@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks of the simulation hot loop: raw step
+// throughput, quiescence scan cost, and output-graph extraction. These keep
+// the engine honest -- the scientific benches above report step *counts*,
+// and this binary reports how fast those steps execute.
+#include "core/simulator.hpp"
+#include "graph/predicates.hpp"
+#include "protocols/protocols.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace netcons;
+
+void BM_StepThroughputStar(benchmark::State& state) {
+  const auto spec = protocols::global_star();
+  Simulator sim(spec.protocol, static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StepThroughputStar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StepThroughputKrc(benchmark::State& state) {
+  const auto spec = protocols::krc(3);
+  Simulator sim(spec.protocol, static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StepThroughputKrc)->Arg(64)->Arg(256);
+
+void BM_QuiescenceScan(benchmark::State& state) {
+  const auto spec = protocols::global_star();
+  Simulator sim(spec.protocol, static_cast<int>(state.range(0)), 42);
+  sim.run(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.is_quiescent());
+  }
+}
+BENCHMARK(BM_QuiescenceScan)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OutputGraphExtraction(benchmark::State& state) {
+  const auto spec = protocols::cycle_cover();
+  Simulator sim(spec.protocol, static_cast<int>(state.range(0)), 42);
+  sim.run(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.world().output_graph(spec.protocol));
+  }
+}
+BENCHMARK(BM_OutputGraphExtraction)->Arg(64)->Arg(256);
+
+void BM_FullStarConvergence(benchmark::State& state) {
+  const auto spec = protocols::global_star();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Simulator sim(spec.protocol, static_cast<int>(state.range(0)), seed++);
+    Simulator::StabilityOptions options;
+    options.max_steps = spec.max_steps(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(sim.run_until_stable(options));
+  }
+}
+BENCHMARK(BM_FullStarConvergence)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace

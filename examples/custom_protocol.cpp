@@ -1,0 +1,59 @@
+// Authoring your own network constructor.
+//
+// We build the paper's maximum-matching variation from Section 3.3 --
+// (a, a, 0) -> (b, b, 1) -- extend it into a "paired-star" protocol of our
+// own, validate it with the builder, run it under two different fair
+// schedulers, and verify the stabilized outputs. This is the end-to-end
+// workflow for experimenting with new rule sets.
+#include "core/simulator.hpp"
+#include "graph/predicates.hpp"
+#include "sched/schedulers.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+#include <memory>
+
+int main() {
+  using namespace netcons;
+
+  // --- Step 1: define states and rules with full validation. ---
+  ProtocolBuilder builder("Paired-Star");
+  const StateId single = builder.add_state("single");
+  const StateId head = builder.add_state("head");    // pair representative
+  const StateId tail = builder.add_state("tail");    // its partner
+  builder.set_initial(single);
+  // Two singles pair up (the matching rule; who becomes head is the model's
+  // symmetry coin).
+  builder.add_rule(single, single, false, head, tail, true);
+  // Heads form a star among themselves: the first head to "win" keeps
+  // absorbing other heads as extra tails.
+  builder.add_rule(head, head, false, head, tail, true);
+  const Protocol protocol = builder.build();
+  std::cout << protocol.describe() << '\n';
+
+  // --- Step 2: run under the uniform random scheduler. ---
+  Simulator uniform_sim(protocol, 17, 3);
+  const auto report = uniform_sim.run_until_stable();
+  std::cout << "uniform scheduler: stabilized = " << report.stabilized
+            << ", quiescent = " << report.quiescent << ", steps = "
+            << report.convergence_step << '\n';
+
+  // --- Step 3: same protocol under a different fair scheduler; correctness
+  // must be scheduler independent (only timing changes). ---
+  Simulator round_sim(protocol, 17, 3, std::make_unique<RandomPermutationScheduler>());
+  const auto report2 = round_sim.run_until_stable();
+  std::cout << "permutation scheduler: stabilized = " << report2.stabilized
+            << ", steps = " << report2.convergence_step << '\n';
+
+  // --- Step 4: inspect the stabilized output. ---
+  const Graph g = uniform_sim.world().output_graph(protocol);
+  TextTable table({"property", "value"});
+  table.add_row({"nodes", TextTable::integer(static_cast<std::uint64_t>(g.order()))});
+  table.add_row({"active edges", TextTable::integer(static_cast<std::uint64_t>(g.edge_count()))});
+  int heads_left = uniform_sim.world().census(head);
+  table.add_row({"surviving heads", TextTable::integer(static_cast<std::uint64_t>(heads_left))});
+  table.add_row({"spanning network",
+                 is_spanning_network(g) ? "yes (n odd leaves one single)" : "almost"});
+  std::cout << '\n' << table;
+  return 0;
+}

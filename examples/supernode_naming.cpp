@@ -1,0 +1,57 @@
+// Theorem 18 in action: organize an anonymous population into named
+// supernodes (lines of ~log k nodes each), then use the names to realize a
+// construction that is impossible for anonymous constant-state nodes alone:
+// the paper's example of partitioning supernodes into triangles by name
+// arithmetic ("id multiple of 3 connects to id+2, else to id-1").
+#include "generic/supernodes.hpp"
+#include "graph/predicates.hpp"
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace netcons;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  generic::SupernodeConstructor ctor(n, seed);
+  const auto report = ctor.run_until_stable(400'000'000);
+  if (!report.stabilized) {
+    std::cerr << "did not stabilize\n";
+    return 1;
+  }
+
+  std::cout << "organized " << n << " anonymous nodes into " << report.supernode_count
+            << " named supernodes in " << report.steps_executed << " interactions\n\n";
+  TextTable table({"supernode name", "line length", "binary name"});
+  for (std::size_t i = 0; i < report.names.size(); ++i) {
+    std::string bin;
+    for (int bit = 7; bit >= 0; --bit) bin += ((report.names[i] >> bit) & 1) ? '1' : '0';
+    table.add_row({TextTable::integer(static_cast<std::uint64_t>(report.names[i])),
+                   TextTable::integer(static_cast<std::uint64_t>(
+                       report.line_lengths[i])),
+                   bin});
+  }
+  std::cout << table;
+
+  // Supernode-level overlay: triangles by name arithmetic (Section 6.4).
+  const int k = report.supernode_count;
+  Graph overlay(k);
+  for (int id = 0; id < k; ++id) {
+    if (id % 3 == 0 && id + 2 < k) {
+      overlay.add_edge(id, id + 2);
+    } else if (id % 3 != 0) {
+      overlay.add_edge(id, id - 1);
+    }
+  }
+  int triangles = 0;
+  for (const auto& comp : overlay.components()) {
+    if (comp.size() == 3) ++triangles;
+  }
+  std::cout << "\nsupernode overlay: " << triangles << " triangles from " << k
+            << " named supernodes (parallel, name-arithmetic construction)\n"
+            << "each supernode's line provides " << report.leader_line_length
+            << " cells ~ log2(" << k << ") bits of local memory\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "analysis/experiment.hpp"
+
+#include "util/rng.hpp"
+
+namespace netcons::analysis {
+
+TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed) {
+  Simulator sim(spec.protocol, n, seed);
+  if (spec.initialize) spec.initialize(sim.mutable_world());
+
+  Simulator::StabilityOptions options;
+  if (spec.max_steps) options.max_steps = spec.max_steps(n);
+  options.certificate = spec.certificate;
+  const ConvergenceReport report = sim.run_until_stable(options);
+
+  TrialResult result;
+  result.stabilized = report.stabilized;
+  result.convergence_step = report.convergence_step;
+  result.steps_executed = report.steps_executed;
+  if (report.stabilized && spec.target) {
+    result.target_ok = spec.target(sim.world().output_graph(spec.protocol));
+  } else {
+    result.target_ok = report.stabilized;
+  }
+  return result;
+}
+
+MeasurePoint measure(const ProtocolSpec& spec, int n, int trials, std::uint64_t base_seed) {
+  MeasurePoint point;
+  point.n = n;
+  point.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const TrialResult r = run_trial(spec, n, trial_seed(base_seed, static_cast<std::uint64_t>(t)));
+    if (r.stabilized && r.target_ok) {
+      point.convergence_steps.add(static_cast<double>(r.convergence_step));
+    } else {
+      ++point.failures;
+    }
+  }
+  return point;
+}
+
+std::vector<MeasurePoint> sweep(const ProtocolSpec& spec, const std::vector<int>& ns, int trials,
+                                std::uint64_t base_seed) {
+  std::vector<MeasurePoint> out;
+  out.reserve(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    out.push_back(measure(spec, ns[i], trials, base_seed + 0x1000 * (i + 1)));
+  }
+  return out;
+}
+
+LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : points) {
+    if (p.convergence_steps.count() == 0) continue;
+    xs.push_back(static_cast<double>(p.n));
+    ys.push_back(p.convergence_steps.mean());
+  }
+  return fit_power_law(xs, ys);
+}
+
+MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
+                             std::uint64_t base_seed) {
+  MeasurePoint point;
+  point.n = n;
+  point.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t steps =
+        run_process(spec, n, trial_seed(base_seed, static_cast<std::uint64_t>(t)));
+    point.convergence_steps.add(static_cast<double>(steps));
+  }
+  return point;
+}
+
+std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec, const std::vector<int>& ns,
+                                        int trials, std::uint64_t base_seed) {
+  std::vector<MeasurePoint> out;
+  out.reserve(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    out.push_back(measure_process(spec, ns[i], trials, base_seed + 0x1000 * (i + 1)));
+  }
+  return out;
+}
+
+}  // namespace netcons::analysis

@@ -1,0 +1,54 @@
+// The experiment harness: repeated-trial convergence measurement, n-sweeps,
+// and empirical exponent fits. Used by every bench binary and by the
+// integration tests.
+#pragma once
+
+#include "core/spec.hpp"
+#include "processes/processes.hpp"
+#include "util/stats.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcons::analysis {
+
+struct TrialResult {
+  bool stabilized = false;
+  bool target_ok = false;
+  std::uint64_t convergence_step = 0;  ///< Paper's running time (last output change).
+  std::uint64_t steps_executed = 0;    ///< Steps run until stability was certified.
+};
+
+/// Run one trial of a protocol on n nodes with the given seed: simulate to
+/// certified stability, then validate the output graph against the target.
+[[nodiscard]] TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed);
+
+struct MeasurePoint {
+  int n = 0;
+  RunningStats convergence_steps;  ///< Over successful trials.
+  int trials = 0;
+  int failures = 0;  ///< Timeouts or target mismatches (should be 0).
+};
+
+/// `trials` independent trials at size n (seeds derived from `base_seed`).
+[[nodiscard]] MeasurePoint measure(const ProtocolSpec& spec, int n, int trials,
+                                   std::uint64_t base_seed);
+
+/// A full n-sweep.
+[[nodiscard]] std::vector<MeasurePoint> sweep(const ProtocolSpec& spec,
+                                              const std::vector<int>& ns, int trials,
+                                              std::uint64_t base_seed);
+
+/// Fit mean convergence steps ~ C * n^alpha over the sweep.
+[[nodiscard]] LinearFit fit_exponent(const std::vector<MeasurePoint>& points);
+
+/// Same trial machinery for the Section 3.3 processes (completion time of a
+/// census condition rather than stabilization).
+[[nodiscard]] MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
+                                           std::uint64_t base_seed);
+[[nodiscard]] std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec,
+                                                      const std::vector<int>& ns, int trials,
+                                                      std::uint64_t base_seed);
+
+}  // namespace netcons::analysis

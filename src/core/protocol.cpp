@@ -1,0 +1,162 @@
+#include "core/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netcons {
+
+std::optional<StateId> Protocol::state_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return static_cast<StateId>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Protocol::describe() const {
+  std::ostringstream os;
+  os << name_ << ": |Q| = " << q_ << ", q0 = " << state_name(q0_)
+     << (randomized_ ? " (randomized/PREL)" : "") << '\n';
+  for (StateId a = 0; a < q_; ++a) {
+    for (StateId b = 0; b < q_; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        const RuleEntry& e = entry(a, b, c != 0);
+        if (!e.defined || !e.effective) continue;
+        os << "  (" << state_name(a) << ", " << state_name(b) << ", " << c << ") -> ("
+           << state_name(e.primary.a) << ", " << state_name(e.primary.b) << ", "
+           << (e.primary.edge ? 1 : 0) << ")";
+        if (e.coin) {
+          os << " | (" << state_name(e.secondary.a) << ", " << state_name(e.secondary.b)
+             << ", " << (e.secondary.edge ? 1 : 0) << ") each w.p. 1/2";
+        }
+        os << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+ProtocolBuilder::ProtocolBuilder(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("ProtocolBuilder: empty name");
+}
+
+StateId ProtocolBuilder::add_state(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("add_state: empty name");
+  for (const auto& existing : state_names_) {
+    if (existing == name) throw std::logic_error("add_state: duplicate state name " + name);
+  }
+  if (state_names_.size() >= 4096) throw std::logic_error("add_state: too many states");
+  state_names_.push_back(name);
+  return static_cast<StateId>(state_names_.size() - 1);
+}
+
+StateId ProtocolBuilder::add_states(const std::string& prefix, int count) {
+  if (count <= 0) throw std::invalid_argument("add_states: nonpositive count");
+  const StateId first = add_state(prefix + "0");
+  for (int i = 1; i < count; ++i) add_state(prefix + std::to_string(i));
+  return first;
+}
+
+void ProtocolBuilder::set_initial(StateId q0) {
+  check_state(q0, "set_initial");
+  q0_ = q0;
+}
+
+void ProtocolBuilder::set_output_states(const std::vector<StateId>& states) {
+  for (StateId s : states) check_state(s, "set_output_states");
+  output_ = states;
+}
+
+void ProtocolBuilder::add_rule(StateId a, StateId b, bool c, StateId a2, StateId b2, bool c2) {
+  check_state(a, "add_rule lhs");
+  check_state(b, "add_rule lhs");
+  check_state(a2, "add_rule rhs");
+  check_state(b2, "add_rule rhs");
+  rules_.push_back({a, b, c, /*coin=*/false, Outcome{a2, b2, c2}, Outcome{}});
+}
+
+void ProtocolBuilder::add_coin_rule(StateId a, StateId b, bool c, Outcome first, Outcome second) {
+  check_state(a, "add_coin_rule lhs");
+  check_state(b, "add_coin_rule lhs");
+  check_state(first.a, "add_coin_rule rhs");
+  check_state(first.b, "add_coin_rule rhs");
+  check_state(second.a, "add_coin_rule rhs");
+  check_state(second.b, "add_coin_rule rhs");
+  rules_.push_back({a, b, c, /*coin=*/true, first, second});
+}
+
+void ProtocolBuilder::check_state(StateId s, const char* what) const {
+  if (static_cast<std::size_t>(s) >= state_names_.size()) {
+    throw std::logic_error(std::string(what) + ": undeclared state id " + std::to_string(s));
+  }
+}
+
+Protocol ProtocolBuilder::build() {
+  if (state_names_.empty()) throw std::logic_error("build: no states declared");
+  if (!q0_) throw std::logic_error("build: initial state not set");
+
+  Protocol p;
+  p.name_ = name_;
+  p.q_ = static_cast<int>(state_names_.size());
+  p.q0_ = *q0_;
+  p.state_names_ = state_names_;
+  p.output_.assign(state_names_.size(), !output_.has_value());
+  if (output_) {
+    for (StateId s : *output_) p.output_[static_cast<std::size_t>(s)] = true;
+  }
+  p.table_.assign(state_names_.size() * state_names_.size() * 2, RuleEntry{});
+
+  auto entry_mut = [&](StateId a, StateId b, bool c) -> RuleEntry& {
+    return p.table_[p.index(a, b, c)];
+  };
+
+  for (const auto& r : rules_) {
+    RuleEntry& e = entry_mut(r.a, r.b, r.c);
+    RuleEntry candidate;
+    candidate.defined = true;
+    candidate.coin = r.coin;
+    candidate.primary = r.primary;
+    candidate.secondary = r.secondary;
+    const bool primary_changes = r.primary.a != r.a || r.primary.b != r.b || r.primary.edge != r.c;
+    const bool secondary_changes =
+        r.coin && (r.secondary.a != r.a || r.secondary.b != r.b || r.secondary.edge != r.c);
+    candidate.effective = primary_changes || secondary_changes;
+    candidate.edge_modifying =
+        (r.primary.edge != r.c) || (r.coin && r.secondary.edge != r.c);
+
+    if (e.defined) {
+      // Redefinition only allowed if identical.
+      if (e.coin != candidate.coin || !(e.primary == candidate.primary) ||
+          (e.coin && !(e.secondary == candidate.secondary))) {
+        throw std::logic_error("build: conflicting redefinition of rule (" +
+                               state_names_[r.a] + ", " + state_names_[r.b] + ", " +
+                               std::to_string(r.c) + ") in " + name_);
+      }
+      continue;
+    }
+    // If the reverse orientation is already defined for a != b, it must agree
+    // under the swap symmetry delta1(a,b,c)=delta2(b,a,c) etc. (footnote 4).
+    if (r.a != r.b) {
+      const RuleEntry& rev = entry_mut(r.b, r.a, r.c);
+      if (rev.defined) {
+        const bool consistent = rev.coin == candidate.coin &&
+                                rev.primary.a == candidate.primary.b &&
+                                rev.primary.b == candidate.primary.a &&
+                                rev.primary.edge == candidate.primary.edge &&
+                                (!rev.coin || (rev.secondary.a == candidate.secondary.b &&
+                                               rev.secondary.b == candidate.secondary.a &&
+                                               rev.secondary.edge == candidate.secondary.edge));
+        if (!consistent) {
+          throw std::logic_error("build: both orientations of (" + state_names_[r.a] +
+                                 ", " + state_names_[r.b] + ", " + std::to_string(r.c) +
+                                 ") defined inconsistently in " + name_);
+        }
+      }
+    }
+    e = candidate;
+    if (candidate.effective) ++p.effective_rules_;
+    if (candidate.coin) p.randomized_ = true;
+  }
+  return p;
+}
+
+}  // namespace netcons

@@ -1,0 +1,180 @@
+// The Network Constructor (NET) protocol representation.
+//
+// A NET is a 4-tuple (Q, q0, Qout, delta) -- Definition 1 of the paper.
+// `delta` is stored as a dense |Q| x |Q| x 2 table of outcomes. The builder
+// enforces the paper's partial-function convention (Section 3.1): delta is
+// defined at (a, a, c) for all a, and at *one orientation* of (a, b, c) for
+// distinct a, b (defining both orientations is allowed only if they agree
+// under the swap symmetry).
+//
+// The PREL extension (Section 3.1, Definition 4) is supported through coin
+// rules: a rule may specify two outcomes taken with probability 1/2 each
+// (used by Graph-Replication and the generic constructors).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons {
+
+using StateId = std::uint16_t;
+
+/// Right-hand side of a transition: new initiator state, new responder
+/// state, new edge state.
+struct Outcome {
+  StateId a = 0;
+  StateId b = 0;
+  bool edge = false;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+/// One entry of the dense delta table.
+struct RuleEntry {
+  bool defined = false;
+  /// True if applying `primary` (or either branch of a coin rule) can change
+  /// any of the three inputs; ineffective rules are stored but never alter
+  /// the configuration.
+  bool effective = false;
+  /// True if any branch changes the edge state (used by stability analyses).
+  bool edge_modifying = false;
+  bool coin = false;          ///< Two equiprobable outcomes (PREL).
+  Outcome primary;
+  Outcome secondary;          ///< Valid only when `coin`.
+};
+
+class ProtocolBuilder;
+
+/// Immutable, validated protocol. Cheap to copy by shared table.
+class Protocol {
+ public:
+  /// Default-constructed protocols are empty placeholders; real instances
+  /// come from ProtocolBuilder::build().
+  Protocol() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int state_count() const noexcept { return q_; }
+  [[nodiscard]] StateId initial_state() const noexcept { return q0_; }
+  [[nodiscard]] bool is_output_state(StateId s) const noexcept {
+    return output_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const std::string& state_name(StateId s) const {
+    return state_names_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::optional<StateId> state_by_name(const std::string& name) const;
+
+  /// Whether the protocol uses coin rules (i.e. lives in PREL rather than REL).
+  [[nodiscard]] bool randomized() const noexcept { return randomized_; }
+
+  /// Number of *defined effective* transitions (the size measure the paper
+  /// reports alongside |Q| when listing protocols).
+  [[nodiscard]] int effective_rule_count() const noexcept { return effective_rules_; }
+
+  /// Direct table access for the oriented triple (a, b, c).
+  [[nodiscard]] const RuleEntry& entry(StateId a, StateId b, bool c) const noexcept {
+    return table_[index(a, b, c)];
+  }
+
+  /// Resolved lookup for an unordered encounter between a node in state `a`
+  /// and one in state `b` over an edge in state `c`. Returns the applicable
+  /// entry and whether the roles are swapped (i.e. the rule is stored as
+  /// (b, a, c), so the *second* node of the encounter acts as initiator).
+  struct Resolved {
+    const RuleEntry* rule = nullptr;  ///< nullptr when delta is undefined here.
+    bool swapped = false;
+  };
+  [[nodiscard]] Resolved resolve(StateId a, StateId b, bool c) const noexcept {
+    const RuleEntry& direct = table_[index(a, b, c)];
+    if (direct.defined) return {&direct, false};
+    const RuleEntry& rev = table_[index(b, a, c)];
+    if (rev.defined) return {&rev, true};
+    return {nullptr, false};
+  }
+
+  /// True when the encounter (a, b, c) would change nothing.
+  [[nodiscard]] bool ineffective(StateId a, StateId b, bool c) const noexcept {
+    const auto r = resolve(a, b, c);
+    return r.rule == nullptr || !r.rule->effective;
+  }
+
+  /// True when the encounter (a, b, c) could change the edge state.
+  [[nodiscard]] bool can_modify_edge(StateId a, StateId b, bool c) const noexcept {
+    const auto r = resolve(a, b, c);
+    return r.rule != nullptr && r.rule->edge_modifying;
+  }
+
+  /// Human-readable rule listing (effective rules only, as in the paper).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class ProtocolBuilder;
+
+  [[nodiscard]] std::size_t index(StateId a, StateId b, bool c) const noexcept {
+    return (static_cast<std::size_t>(a) * static_cast<std::size_t>(q_) +
+            static_cast<std::size_t>(b)) * 2 + (c ? 1 : 0);
+  }
+
+  std::string name_;
+  int q_ = 0;
+  StateId q0_ = 0;
+  bool randomized_ = false;
+  int effective_rules_ = 0;
+  std::vector<bool> output_;
+  std::vector<std::string> state_names_;
+  std::vector<RuleEntry> table_;
+};
+
+/// Builder with full validation. Typical use:
+///
+///   ProtocolBuilder b("Global-Star");
+///   auto c = b.add_state("c"); auto p = b.add_state("p");
+///   b.set_initial(c);
+///   b.add_rule(c, c, 0, c, p, 1);
+///   b.add_rule(p, p, 1, p, p, 0);
+///   b.add_rule(c, p, 0, c, p, 1);
+///   Protocol star = b.build();
+class ProtocolBuilder {
+ public:
+  explicit ProtocolBuilder(std::string name);
+
+  /// Declare a state; returns its id. Names must be unique.
+  StateId add_state(const std::string& name);
+
+  /// Declare `count` states "prefix0..prefix{count-1}"; returns the first id.
+  StateId add_states(const std::string& prefix, int count);
+
+  void set_initial(StateId q0);
+
+  /// Restrict the output set (default: all states are output states).
+  void set_output_states(const std::vector<StateId>& states);
+
+  /// Add the deterministic rule (a, b, c) -> (a2, b2, c2).
+  void add_rule(StateId a, StateId b, bool c, StateId a2, StateId b2, bool c2);
+
+  /// Add the PREL coin rule (a, b, c) -> first | second, each w.p. 1/2.
+  void add_coin_rule(StateId a, StateId b, bool c, Outcome first, Outcome second);
+
+  /// Finalize. Throws std::logic_error on any inconsistency.
+  [[nodiscard]] Protocol build();
+
+ private:
+  struct PendingRule {
+    StateId a, b;
+    bool c;
+    bool coin;
+    Outcome primary, secondary;
+  };
+
+  void check_state(StateId s, const char* what) const;
+
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::optional<StateId> q0_;
+  std::optional<std::vector<StateId>> output_;
+  std::vector<PendingRule> rules_;
+};
+
+}  // namespace netcons

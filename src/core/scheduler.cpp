@@ -1,0 +1,10 @@
+// scheduler.hpp is header-only; translation unit kept for symmetry and to
+// anchor the vtable of Scheduler.
+#include "core/scheduler.hpp"
+
+namespace netcons {
+
+// Anchor: ensures a single strong vtable emission point.
+static_assert(sizeof(Encounter) == 2 * sizeof(int));
+
+}  // namespace netcons

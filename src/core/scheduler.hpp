@@ -1,0 +1,41 @@
+// Interaction schedulers. The model only requires fairness; running times
+// are analyzed under the uniform random scheduler (Section 3.1), which is
+// the default everywhere. Additional schedulers live in src/sched.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <utility>
+
+namespace netcons {
+
+/// An unordered encounter; first < second is NOT guaranteed -- the pair is
+/// symmetric and the simulator resolves orientation from the rule table.
+struct Encounter {
+  int first = 0;
+  int second = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Select the next interacting pair among n nodes.
+  [[nodiscard]] virtual Encounter next(Rng& rng, int n) = 0;
+  /// Reset any internal round state (called when a simulation restarts).
+  virtual void reset() {}
+};
+
+/// The uniform random scheduler: each of the n(n-1)/2 unordered pairs is
+/// selected independently and uniformly at random in every step. Fair with
+/// probability 1.
+class UniformRandomScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Encounter next(Rng& rng, int n) override {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    if (v >= u) ++v;
+    return {u, v};
+  }
+};
+
+}  // namespace netcons

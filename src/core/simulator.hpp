@@ -1,0 +1,99 @@
+// The execution engine: applies scheduler-chosen encounters to a World
+// under a Protocol, tracks output-graph changes, and detects stabilization.
+//
+// Stabilization detection is sound:
+//  * Full quiescence -- no encounter is effective in the current
+//    configuration -- always certifies stability (checked by an O(n^2) scan
+//    amortized over long step intervals).
+//  * Protocols whose stable configurations are not quiescent (e.g. 2RC/kRC
+//    leader swapping, Graph-Replication's eternal leader walk) supply a
+//    *certificate* predicate, proven sound in the paper, that recognizes
+//    output-stable configurations.
+//
+// The reported convergence step is the paper's running time: the last step
+// at which the output graph G(C) changed (tracked in O(1) per step).
+#pragma once
+
+#include "core/protocol.hpp"
+#include "core/scheduler.hpp"
+#include "core/world.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace netcons {
+
+/// Sound recognizer of output-stable configurations (beyond quiescence).
+using StabilityCertificate = std::function<bool(const Protocol&, const World&)>;
+
+struct ConvergenceReport {
+  bool stabilized = false;       ///< A sound stability condition was reached.
+  bool quiescent = false;        ///< Stability was full quiescence.
+  bool certified = false;        ///< Stability came from the certificate.
+  std::uint64_t steps_executed = 0;   ///< Total steps run in this call.
+  std::uint64_t convergence_step = 0; ///< Last step the output graph changed.
+};
+
+class Simulator {
+ public:
+  /// Uses the uniform random scheduler unless another is supplied.
+  Simulator(Protocol protocol, int n, std::uint64_t seed,
+            std::unique_ptr<Scheduler> scheduler = nullptr);
+
+  [[nodiscard]] const Protocol& protocol() const noexcept { return protocol_; }
+  [[nodiscard]] const World& world() const noexcept { return world_; }
+  /// Mutable access for custom initial configurations (e.g. Replication's
+  /// input graph); use before stepping.
+  [[nodiscard]] World& mutable_world() noexcept { return world_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t effective_steps() const noexcept { return effective_steps_; }
+  [[nodiscard]] std::uint64_t last_output_change() const noexcept {
+    return last_output_change_;
+  }
+
+  /// Execute one interaction. Returns true if it was effective.
+  bool step();
+
+  /// Execute exactly `count` steps.
+  void run(std::uint64_t count);
+
+  /// Run until `pred(world)` holds (checked after every step; keep it O(1),
+  /// e.g. census-based) or until `max_steps`. Returns the step count at
+  /// which the predicate first held, or nullopt on timeout.
+  [[nodiscard]] std::optional<std::uint64_t> run_until(
+      const std::function<bool(const World&)>& pred, std::uint64_t max_steps);
+
+  struct StabilityOptions {
+    std::uint64_t max_steps = 0;        ///< 0: derive a generous default.
+    std::uint64_t check_interval = 0;   ///< 0: derive ~n^2 amortized default.
+    StabilityCertificate certificate;   ///< Optional protocol-specific proof.
+  };
+
+  /// Run until stabilization is certified (quiescence or certificate).
+  [[nodiscard]] ConvergenceReport run_until_stable(const StabilityOptions& options);
+  [[nodiscard]] ConvergenceReport run_until_stable();
+
+  /// O(n^2) scan: no encounter is effective in the current configuration.
+  [[nodiscard]] bool is_quiescent() const;
+
+  /// O(n^2) scan: no encounter can modify an edge in the current
+  /// configuration (useful inside certificates; NOT sufficient for
+  /// stability on its own since node dynamics may re-enable edge rules).
+  [[nodiscard]] bool is_edge_quiescent() const;
+
+ private:
+  void apply(const RuleEntry& rule, int initiator, int responder);
+
+  Protocol protocol_;
+  World world_;
+  Rng rng_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t effective_steps_ = 0;
+  std::uint64_t last_output_change_ = 0;
+};
+
+}  // namespace netcons

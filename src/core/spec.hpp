@@ -1,0 +1,29 @@
+// A protocol bundled with everything the experiment harness needs to run
+// and validate it: the target-topology predicate, an optional custom
+// initializer (e.g. Replication's input graph), an optional stability
+// certificate, and a per-n step-budget hint matching the paper's bound.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "graph/graph.hpp"
+
+#include <functional>
+#include <string>
+
+namespace netcons {
+
+struct ProtocolSpec {
+  Protocol protocol;
+  /// Validates the stabilized output graph against the paper's target.
+  std::function<bool(const Graph&)> target;
+  /// Optional sound output-stability certificate (see Simulator).
+  StabilityCertificate certificate;
+  /// Optional custom initial configuration; the default is all-q0/all-inactive.
+  std::function<void(World&)> initialize;
+  /// Generous per-n step budget reflecting the protocol's proven bound
+  /// (with constant headroom), so harness timeouts indicate real trouble.
+  std::function<std::uint64_t(int)> max_steps;
+  std::string notes;
+};
+
+}  // namespace netcons

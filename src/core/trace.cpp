@@ -1,0 +1,55 @@
+#include "core/trace.hpp"
+
+#include "graph/predicates.hpp"
+
+#include <sstream>
+
+namespace netcons {
+
+Snapshot capture(const Simulator& sim) {
+  Snapshot snap;
+  snap.step = sim.steps();
+  const World& w = sim.world();
+  snap.states.reserve(static_cast<std::size_t>(w.size()));
+  for (int u = 0; u < w.size(); ++u) snap.states.push_back(w.state(u));
+  snap.active = w.active_graph();
+  return snap;
+}
+
+std::string census_summary(const Protocol& protocol, const World& world) {
+  std::ostringstream os;
+  bool first = true;
+  for (int s = 0; s < protocol.state_count(); ++s) {
+    const int count = world.census(static_cast<StateId>(s));
+    if (count == 0) continue;
+    if (!first) os << ", ";
+    os << protocol.state_name(static_cast<StateId>(s)) << "=" << count;
+    first = false;
+  }
+  return os.str();
+}
+
+ComponentCensus component_census(const Graph& g) {
+  ComponentCensus census;
+  for (const auto& comp : g.components()) {
+    const auto size = static_cast<int>(comp.size());
+    census.largest = std::max(census.largest, size);
+    if (size == 1) {
+      ++census.isolated;
+      continue;
+    }
+    const Graph sub = g.induced(comp);
+    if (is_spanning_line(sub)) {
+      ++census.lines;
+    } else if (is_spanning_ring(sub)) {
+      ++census.cycles;
+    } else if (is_spanning_star(sub)) {
+      ++census.stars;
+    } else {
+      ++census.other;
+    }
+  }
+  return census;
+}
+
+}  // namespace netcons

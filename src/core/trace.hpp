@@ -1,0 +1,39 @@
+// Execution snapshots for the figure benches (Figure 1's star formation
+// sequence, Figure 2's typical Simple-Global-Line configuration).
+#pragma once
+
+#include "core/simulator.hpp"
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcons {
+
+struct Snapshot {
+  std::uint64_t step = 0;
+  std::vector<StateId> states;
+  Graph active;
+};
+
+/// Capture the simulator's current configuration.
+[[nodiscard]] Snapshot capture(const Simulator& sim);
+
+/// Census line: "state=count" pairs for all non-empty states.
+[[nodiscard]] std::string census_summary(const Protocol& protocol, const World& world);
+
+/// Component summary of the active graph: count of components by size and
+/// shape (line / cycle / star / other), used to reproduce Figure 2's
+/// description of a typical configuration.
+struct ComponentCensus {
+  int isolated = 0;
+  int lines = 0;
+  int cycles = 0;
+  int stars = 0;
+  int other = 0;
+  int largest = 0;  ///< Size of the largest component.
+};
+[[nodiscard]] ComponentCensus component_census(const Graph& g);
+
+}  // namespace netcons

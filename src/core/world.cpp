@@ -1,0 +1,76 @@
+#include "core/world.hpp"
+
+#include <stdexcept>
+
+namespace netcons {
+
+World::World(const Protocol& protocol, int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("World: need at least one node");
+  states_.assign(static_cast<std::size_t>(n), protocol.initial_state());
+  edge_bits_.assign((Graph::pair_count(n) + 63) / 64, 0);
+  degree_.assign(static_cast<std::size_t>(n), 0);
+  census_.assign(static_cast<std::size_t>(protocol.state_count()), 0);
+  census_[protocol.initial_state()] = n;
+}
+
+void World::set_state(int u, StateId s) {
+  StateId& cur = states_[static_cast<std::size_t>(u)];
+  if (cur == s) return;
+  --census_[static_cast<std::size_t>(cur)];
+  ++census_[static_cast<std::size_t>(s)];
+  cur = s;
+}
+
+bool World::set_edge(int u, int v, bool active) {
+  const std::size_t i = Graph::pair_index(u, v);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  const bool old = (edge_bits_[i / 64] & mask) != 0;
+  if (old == active) return false;
+  edge_bits_[i / 64] ^= mask;
+  const int delta = active ? 1 : -1;
+  degree_[static_cast<std::size_t>(u)] += delta;
+  degree_[static_cast<std::size_t>(v)] += delta;
+  active_edges_ += delta;
+  return true;
+}
+
+Graph World::active_graph() const {
+  Graph g(n_);
+  for (int v = 1; v < n_; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph World::output_graph(const Protocol& protocol) const {
+  // Output nodes keep their world ids; non-output nodes are present but
+  // isolated is NOT the paper's definition -- the output graph contains only
+  // Qout nodes. We relabel them 0..k-1 preserving order.
+  std::vector<int> out_nodes;
+  out_nodes.reserve(static_cast<std::size_t>(n_));
+  for (int u = 0; u < n_; ++u) {
+    if (protocol.is_output_state(state(u))) out_nodes.push_back(u);
+  }
+  Graph g(static_cast<int>(out_nodes.size()));
+  for (std::size_t a = 0; a < out_nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < out_nodes.size(); ++b) {
+      if (edge(out_nodes[a], out_nodes[b])) {
+        g.add_edge(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<int> World::active_neighbors(int u) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(active_degree(u)));
+  for (int v = 0; v < n_; ++v) {
+    if (v != u && edge(u, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace netcons

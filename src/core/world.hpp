@@ -1,0 +1,75 @@
+// A configuration of the system: node states, edge states, and the cached
+// bookkeeping (active degrees, per-state census) that protocols' stability
+// certificates and the simulator's output tracking rely on.
+#pragma once
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace netcons {
+
+class World {
+ public:
+  World() = default;
+  /// All nodes in q0, all edges inactive -- the model's initial configuration.
+  World(const Protocol& protocol, int n);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  [[nodiscard]] StateId state(int u) const noexcept {
+    return states_[static_cast<std::size_t>(u)];
+  }
+  void set_state(int u, StateId s);
+
+  [[nodiscard]] bool edge(int u, int v) const noexcept {
+    const std::size_t i = Graph::pair_index(u, v);
+    return (edge_bits_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  /// Returns true if the edge state changed.
+  bool set_edge(int u, int v, bool active);
+
+  /// Number of active edges incident to u.
+  [[nodiscard]] int active_degree(int u) const noexcept {
+    return degree_[static_cast<std::size_t>(u)];
+  }
+
+  /// Number of nodes currently in state s.
+  [[nodiscard]] int census(StateId s) const noexcept {
+    return census_[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] std::int64_t active_edge_count() const noexcept { return active_edges_; }
+
+  /// The active graph over all nodes.
+  [[nodiscard]] Graph active_graph() const;
+
+  /// The paper's output graph G(C): active subgraph induced by nodes whose
+  /// state is in Qout.
+  [[nodiscard]] Graph output_graph(const Protocol& protocol) const;
+
+  /// Nodes whose state satisfies `pred`.
+  template <typename Pred>
+  [[nodiscard]] std::vector<int> nodes_where(Pred pred) const {
+    std::vector<int> out;
+    for (int u = 0; u < n_; ++u) {
+      if (pred(state(u))) out.push_back(u);
+    }
+    return out;
+  }
+
+  /// Active neighbors of u (O(n) scan).
+  [[nodiscard]] std::vector<int> active_neighbors(int u) const;
+
+ private:
+  int n_ = 0;
+  std::int64_t active_edges_ = 0;
+  std::vector<StateId> states_;
+  std::vector<std::uint64_t> edge_bits_;
+  std::vector<int> degree_;
+  std::vector<int> census_;
+};
+
+}  // namespace netcons

@@ -1,0 +1,310 @@
+#include "generic/linear_waste.hpp"
+
+#include <stdexcept>
+
+namespace netcons::generic {
+
+LinearWasteConstructor::LinearWasteConstructor(tm::GraphLanguage language, int n,
+                                               std::uint64_t seed, int space_bits_per_cell)
+    : InteractionSystem(n, seed),
+      language_(std::move(language)),
+      space_bits_per_cell_(space_bits_per_cell),
+      role_(static_cast<std::size_t>(n), Role::Free),
+      sgl_(static_cast<std::size_t>(n), Sgl::Q0),
+      partner_(static_cast<std::size_t>(n), -1),
+      released_(static_cast<std::size_t>(n), 0),
+      edges_(n),
+      free_count_(n),
+      session_of_(static_cast<std::size_t>(n), -1) {
+  if (n < 4) throw std::invalid_argument("LinearWasteConstructor: need n >= 4");
+}
+
+bool LinearWasteConstructor::on_interaction(int u, int v) {
+  if (handle_partition(u, v)) return true;
+  if (handle_sgl(u, v)) return true;
+  return handle_session_op(u, v);
+}
+
+bool LinearWasteConstructor::handle_partition(int u, int v) {
+  if (role_[static_cast<std::size_t>(u)] != Role::Free ||
+      role_[static_cast<std::size_t>(v)] != Role::Free) {
+    return false;
+  }
+  // (q0, q0, 0) -> (qu, qd, 1); the U/D assignment is the model's symmetry
+  // coin.
+  if (rng().coin()) std::swap(u, v);
+  role_[static_cast<std::size_t>(u)] = Role::U;
+  role_[static_cast<std::size_t>(v)] = Role::D;
+  partner_[static_cast<std::size_t>(u)] = v;
+  partner_[static_cast<std::size_t>(v)] = u;
+  edges_.add_edge(u, v);
+  free_count_ -= 2;
+  ++u_count_;
+  ++d_count_;
+  return true;
+}
+
+bool LinearWasteConstructor::handle_sgl(int u, int v) {
+  if (role_[static_cast<std::size_t>(u)] != Role::U ||
+      role_[static_cast<std::size_t>(v)] != Role::U) {
+    return false;
+  }
+  Sgl& a = sgl_[static_cast<std::size_t>(u)];
+  Sgl& b = sgl_[static_cast<std::size_t>(v)];
+  const bool active = edges_.has_edge(u, v);
+
+  // Simple-Global-Line rules over the U-subpopulation (Protocol 1).
+  if (!active && a == Sgl::Q0 && b == Sgl::Q0) {
+    // New line of two; leader settles immediately.
+    int follower = u;
+    int leader = v;
+    if (rng().coin()) std::swap(follower, leader);
+    sgl_[static_cast<std::size_t>(follower)] = Sgl::Q1;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::L;
+    edges_.add_edge(u, v);
+    create_session_at_leader(leader);
+    return true;
+  }
+  if (!active && ((a == Sgl::L && b == Sgl::Q0) || (a == Sgl::Q0 && b == Sgl::L))) {
+    const int leader = (a == Sgl::L) ? u : v;
+    const int fresh = (a == Sgl::L) ? v : u;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(fresh)] = Sgl::L;
+    edges_.add_edge(u, v);
+    kill_session_of(leader);
+    create_session_at_leader(fresh);  // reinitialization after expansion
+    return true;
+  }
+  if (!active && a == Sgl::L && b == Sgl::L) {
+    int absorbed = u;
+    int walker = v;
+    if (rng().coin()) std::swap(absorbed, walker);
+    sgl_[static_cast<std::size_t>(absorbed)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(walker)] = Sgl::W;
+    edges_.add_edge(u, v);
+    kill_session_of(u);
+    kill_session_of(v);
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q2) || (a == Sgl::Q2 && b == Sgl::W))) {
+    std::swap(a, b);  // the walking token moves across the active edge
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q1) || (a == Sgl::Q1 && b == Sgl::W))) {
+    const int settled = (b == Sgl::Q1) ? v : u;
+    a = Sgl::Q2;
+    b = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(settled)] = Sgl::L;
+    // (w, q1, 1) -> (q2, l, 1): the walker cell becomes q2, the endpoint
+    // becomes the settled leader.
+    const int walker_cell = (settled == u) ? v : u;
+    sgl_[static_cast<std::size_t>(walker_cell)] = Sgl::Q2;
+    create_session_at_leader(settled);  // reinitialization after merge
+    return true;
+  }
+  return false;
+}
+
+bool LinearWasteConstructor::handle_session_op(int u, int v) {
+  int sid = session_of_[static_cast<std::size_t>(u)];
+  if (sid == -1) sid = session_of_[static_cast<std::size_t>(v)];
+  if (sid == -1) return false;
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return false;
+  Session& s = it->second;
+  if (s.done || s.next_op >= s.ops.size()) return false;
+  const Op& op = s.ops[s.next_op];
+  const bool match = (op.a == u && op.b == v) || (op.a == v && op.b == u);
+  if (!match) return false;
+
+  switch (op.kind) {
+    case Op::Kind::Walk:
+    case Op::Kind::MarkD:
+    case Op::Kind::UnmarkD:
+      break;  // pure mark movement; no edge changes
+    case Op::Kind::Reattach: {
+      const int d = (role_[static_cast<std::size_t>(op.a)] == Role::D) ? op.a : op.b;
+      if (!edges_.has_edge(op.a, op.b)) edges_.add_edge(op.a, op.b);
+      released_[static_cast<std::size_t>(d)] = 0;
+      break;
+    }
+    case Op::Kind::Coin: {
+      const bool value = rng().coin();
+      if (edges_.set_edge(op.a, op.b, value)) note_output_change();
+      break;
+    }
+    case Op::Kind::Release: {
+      const int d = (role_[static_cast<std::size_t>(op.a)] == Role::D) ? op.a : op.b;
+      edges_.set_edge(op.a, op.b, false);
+      if (!released_[static_cast<std::size_t>(d)]) {
+        released_[static_cast<std::size_t>(d)] = 1;
+        note_output_change();  // the D-node enters the output set
+      }
+      break;
+    }
+  }
+  ++s.next_op;
+  if (s.next_op == s.ops.size()) on_pass_complete(sid);
+  return true;
+}
+
+void LinearWasteConstructor::kill_session_of(int node) {
+  const int sid = session_of_[static_cast<std::size_t>(node)];
+  if (sid == -1) return;
+  auto it = sessions_.find(sid);
+  if (it != sessions_.end()) {
+    for (int member : it->second.u_line) session_of_[static_cast<std::size_t>(member)] = -1;
+    for (int member : it->second.d_line) session_of_[static_cast<std::size_t>(member)] = -1;
+    sessions_.erase(it);
+  }
+}
+
+std::vector<int> LinearWasteConstructor::traverse_line_from(int leader) const {
+  // Follow active U-U edges from the leader endpoint; returns the line with
+  // the leader LAST (left endpoint first).
+  std::vector<int> rev;
+  int prev = -1;
+  int cur = leader;
+  while (cur != -1) {
+    rev.push_back(cur);
+    int next = -1;
+    for (int w = 0; w < size(); ++w) {
+      if (w != cur && w != prev && role_[static_cast<std::size_t>(w)] == Role::U &&
+          edges_.has_edge(cur, w)) {
+        next = w;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+void LinearWasteConstructor::create_session_at_leader(int leader) {
+  Session s;
+  s.u_line = traverse_line_from(leader);
+  s.d_line.reserve(s.u_line.size());
+  for (int u : s.u_line) s.d_line.push_back(partner_[static_cast<std::size_t>(u)]);
+
+  const int sid = next_session_id_++;
+  for (int u : s.u_line) {
+    // A fresh leader settle always follows a kill of the involved lines, but
+    // a merge may have united nodes from several old sessions.
+    if (session_of_[static_cast<std::size_t>(u)] != -1) kill_session_of(u);
+  }
+  for (int u : s.u_line) session_of_[static_cast<std::size_t>(u)] = sid;
+  for (int d : s.d_line) session_of_[static_cast<std::size_t>(d)] = sid;
+
+  build_draw_ops(s);
+  sessions_.emplace(sid, std::move(s));
+}
+
+void LinearWasteConstructor::build_draw_ops(Session& s) {
+  s.ops.clear();
+  s.next_op = 0;
+  s.releasing = false;
+  const auto len = s.u_line.size();
+
+  // Reattach any D-partners released by an earlier (non-spanning) accept.
+  for (std::size_t i = 0; i < len; ++i) {
+    s.ops.push_back({Op::Kind::Reattach, s.u_line[i], s.d_line[i]});
+  }
+  // Head initialization walk (Figure 5): to the right end and back.
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    s.ops.push_back({Op::Kind::Walk, s.u_line[i], s.u_line[i + 1]});
+  }
+  for (std::size_t i = len; i-- > 1;) {
+    s.ops.push_back({Op::Kind::Walk, s.u_line[i], s.u_line[i - 1]});
+  }
+  // Pair pass (Figure 6): for every D-pair (i, j), walk the mark to i, drop
+  // it onto D_i, walk to j, drop onto D_j, toss the coin, unmark.
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t j = i + 1; j < len; ++j) {
+      for (std::size_t k = 0; k < i; ++k) {
+        s.ops.push_back({Op::Kind::Walk, s.u_line[k], s.u_line[k + 1]});
+      }
+      s.ops.push_back({Op::Kind::MarkD, s.u_line[i], s.d_line[i]});
+      for (std::size_t k = 0; k < j; ++k) {
+        s.ops.push_back({Op::Kind::Walk, s.u_line[k], s.u_line[k + 1]});
+      }
+      s.ops.push_back({Op::Kind::MarkD, s.u_line[j], s.d_line[j]});
+      s.ops.push_back({Op::Kind::Coin, s.d_line[i], s.d_line[j]});
+      s.ops.push_back({Op::Kind::UnmarkD, s.u_line[i], s.d_line[i]});
+      s.ops.push_back({Op::Kind::UnmarkD, s.u_line[j], s.d_line[j]});
+    }
+  }
+}
+
+void LinearWasteConstructor::on_pass_complete(int sid) {
+  Session& s = sessions_.at(sid);
+  if (s.releasing) {
+    s.done = true;
+    return;
+  }
+  // The draw pass finished: audit the workspace and run the decider on the
+  // drawn graph (the line's TM phase).
+  ++draw_passes_;
+  const int order = static_cast<int>(s.d_line.size());
+  const std::size_t budget =
+      static_cast<std::size_t>(space_bits_per_cell_) * s.u_line.size();
+  if (language_.workspace_bits(order) > budget) {
+    throw std::logic_error("LinearWasteConstructor: language '" + language_.name +
+                           "' needs more than O(n) workspace (Theorem 14 budget exceeded)");
+  }
+  Graph drawn(order);
+  for (int i = 0; i < order; ++i) {
+    for (int j = i + 1; j < order; ++j) {
+      if (edges_.has_edge(s.d_line[static_cast<std::size_t>(i)],
+                          s.d_line[static_cast<std::size_t>(j)])) {
+        drawn.add_edge(i, j);
+      }
+    }
+  }
+  if (language_.decide(drawn)) {
+    // Accept: release the D-nodes one by one.
+    s.ops.clear();
+    s.next_op = 0;
+    s.releasing = true;
+    for (std::size_t i = 0; i < s.u_line.size(); ++i) {
+      s.ops.push_back({Op::Kind::Release, s.u_line[i], s.d_line[i]});
+    }
+  } else {
+    // Reject: draw a fresh random graph (the retry loop of Figure 3).
+    build_draw_ops(s);
+  }
+}
+
+Graph LinearWasteConstructor::d_graph() const {
+  std::vector<int> d_nodes;
+  for (int u = 0; u < size(); ++u) {
+    if (role_[static_cast<std::size_t>(u)] == Role::D) d_nodes.push_back(u);
+  }
+  return edges_.induced(d_nodes);
+}
+
+LinearWasteConstructor::Report LinearWasteConstructor::run_until_stable(std::uint64_t max_steps) {
+  Report report;
+  const std::uint64_t check_interval =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(size()) * size());
+  while (true) {
+    // Stable iff: at most one unmatched node remains, a single settled line
+    // spans U, and its session has accepted and fully released.
+    if (free_count_ <= 1 && sessions_.size() == 1) {
+      const Session& s = sessions_.begin()->second;
+      if (static_cast<int>(s.u_line.size()) == u_count_ && s.done) {
+        report.stabilized = true;
+        break;
+      }
+    }
+    if (steps() >= max_steps) break;
+    run(std::min(check_interval, max_steps - steps()));
+  }
+  report.steps_executed = steps();
+  report.convergence_step = last_output_change_;
+  report.draw_passes = draw_passes_;
+  report.output = d_graph();
+  return report;
+}
+
+}  // namespace netcons::generic

@@ -1,0 +1,123 @@
+// Theorem 14 (Linear Waste-Half): DGS(O(n)) is constructible with useful
+// space floor(n/2).
+//
+// Interaction-level implementation of the paper's pipeline (Figures 3-6):
+//
+//  1. Partition: (q0, q0, 0) -> (qu, qd, 1) matches every U-node with a
+//     D-partner (one node wasted when n is odd).
+//  2. Line: the U-nodes run Simple-Global-Line verbatim (merges, leader
+//     random walks) to organize into a line.
+//  3. TM session: whenever a line's leader settles (state l at an endpoint),
+//     a simulation session starts for that line: the head initializes its
+//     direction marks by walking the line (Figure 5); then, for every pair
+//     (i, j) of the line's D-partners, a mark walks from the left endpoint
+//     to position i, drops down the vertical matching edge to mark D_i, a
+//     second walk marks D_j, and the next D_i--D_j encounter tosses the fair
+//     coin that writes the random edge (Figure 6). Every one of these
+//     micro-operations advances only when the scheduler selects its specific
+//     pair, so measured step counts include all the scheduling misses the
+//     real protocol would pay.
+//  4. Decide: when all pairs are drawn, the decider for L runs on the
+//     drawn graph using the line as its workspace; the implementation
+//     audits the decider's declared workspace against the line's capacity
+//     (space_bits_per_cell * |U|), honoring the DGS(O(n)) bound. Reject
+//     redraws (back to 3's pair pass); accept releases the D-nodes
+//     (deactivating the matching edges) and freezes.
+//  5. Reinitialization: any line expansion or merge kills the affected
+//     sessions; the new, longer line starts a fresh session (the paper's
+//     reinitialization phase). Only the final, spanning line's session
+//     survives to release.
+//
+// Substitution note (DESIGN.md): the decider runs as audited C++ when the
+// draw pass completes, instead of a hand-compiled tuple table; tape
+// mechanics themselves are exercised by tm::LineTape.
+#pragma once
+
+#include "generic/session.hpp"
+#include "tm/graph_language.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace netcons::generic {
+
+class LinearWasteConstructor : public InteractionSystem {
+ public:
+  struct Report {
+    bool stabilized = false;
+    std::uint64_t steps_executed = 0;
+    std::uint64_t convergence_step = 0;  ///< Last output (D-graph) change.
+    int draw_passes = 0;                 ///< Random graphs drawn in total.
+    Graph output;                        ///< Constructed graph on the D-nodes.
+  };
+
+  LinearWasteConstructor(tm::GraphLanguage language, int n, std::uint64_t seed,
+                         int space_bits_per_cell = 32);
+
+  /// Run until the construction stabilizes (single spanning line, accepted
+  /// and released) or the budget is exhausted.
+  [[nodiscard]] Report run_until_stable(std::uint64_t max_steps);
+
+  /// The active graph induced on the D-nodes (the useful space).
+  [[nodiscard]] Graph d_graph() const;
+
+  [[nodiscard]] int useful_space() const noexcept { return d_count_; }
+  [[nodiscard]] int draw_passes() const noexcept { return draw_passes_; }
+
+ protected:
+  bool on_interaction(int u, int v) override;
+
+ private:
+  enum class Role : std::uint8_t { Free, U, D };
+  enum class Sgl : std::uint8_t { Q0, Q1, Q2, L, W };  // Simple-Global-Line states
+
+  struct Op {
+    enum class Kind : std::uint8_t { Walk, Reattach, MarkD, UnmarkD, Coin, Release };
+    Kind kind;
+    int a = -1;
+    int b = -1;
+  };
+
+  struct Session {
+    std::vector<int> u_line;  ///< Left endpoint first; leader last.
+    std::vector<int> d_line;  ///< Matched partners, same order.
+    std::vector<Op> ops;
+    std::size_t next_op = 0;
+    bool releasing = false;
+    bool done = false;
+  };
+
+  bool handle_partition(int u, int v);
+  bool handle_sgl(int u, int v);
+  bool handle_session_op(int u, int v);
+
+  void kill_session_of(int node);
+  void create_session_at_leader(int leader);
+  void build_draw_ops(Session& session);
+  void on_pass_complete(int session_id);
+  void note_output_change() { last_output_change_ = steps(); }
+
+  [[nodiscard]] std::vector<int> traverse_line_from(int leader) const;
+
+  tm::GraphLanguage language_;
+  int space_bits_per_cell_;
+
+  std::vector<Role> role_;
+  std::vector<Sgl> sgl_;
+  std::vector<int> partner_;
+  std::vector<char> released_;
+  Graph edges_;
+
+  int free_count_ = 0;
+  int u_count_ = 0;
+  int d_count_ = 0;
+  int draw_passes_ = 0;
+  std::uint64_t last_output_change_ = 0;
+
+  int next_session_id_ = 0;
+  std::unordered_map<int, Session> sessions_;
+  std::vector<int> session_of_;  ///< node -> session id, or -1
+};
+
+}  // namespace netcons::generic

@@ -1,0 +1,493 @@
+#include "generic/log_waste.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcons::generic {
+
+LogWasteConstructor::LogWasteConstructor(tm::GraphLanguage language, int n, std::uint64_t seed,
+                                         int space_bits_per_cell)
+    : InteractionSystem(n, seed),
+      language_(std::move(language)),
+      space_bits_per_cell_(space_bits_per_cell),
+      role_(static_cast<std::size_t>(n), Role::Line),
+      sgl_(static_cast<std::size_t>(n), Sgl::Q0),
+      edges_(n),
+      line_nodes_(n),
+      session_of_(static_cast<std::size_t>(n), -1),
+      mem_of_(static_cast<std::size_t>(n), -1) {
+  if (n < 6) throw std::invalid_argument("LogWasteConstructor: need n >= 6");
+}
+
+bool LogWasteConstructor::on_interaction(int u, int v) {
+  if (handle_mem(u, v)) return true;
+  if (handle_sgl(u, v)) return true;
+  return handle_count_op(u, v);
+}
+
+void LogWasteConstructor::clear_incident_edges(int node) {
+  for (int w : edges_.neighbors(node)) {
+    const bool other_free = role_[static_cast<std::size_t>(w)] == Role::Free;
+    edges_.remove_edge(node, w);
+    if (other_free) note_output_change();
+  }
+}
+
+bool LogWasteConstructor::handle_sgl(int u, int v) {
+  const Role ru = role_[static_cast<std::size_t>(u)];
+  const Role rv = role_[static_cast<std::size_t>(v)];
+  const bool u_line = ru == Role::Line;
+  const bool v_line = rv == Role::Line;
+
+  auto absorb_free = [&](int leader, int fresh) {
+    // (l, q_free, 0) -> (q2, l, 1): the leader hops onto the absorbed node.
+    clear_incident_edges(fresh);  // drop any stale drawn edges
+    role_[static_cast<std::size_t>(fresh)] = Role::Line;
+    ++line_nodes_;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(fresh)] = Sgl::L;
+    edges_.add_edge(leader, fresh);
+    kill_session_of(leader);
+    create_session_at_leader(fresh);
+  };
+
+  if (u_line && rv == Role::Free && sgl_[static_cast<std::size_t>(u)] == Sgl::L) {
+    absorb_free(u, v);
+    return true;
+  }
+  if (v_line && ru == Role::Free && sgl_[static_cast<std::size_t>(v)] == Sgl::L) {
+    absorb_free(v, u);
+    return true;
+  }
+  if (!u_line || !v_line) return false;
+
+  Sgl& a = sgl_[static_cast<std::size_t>(u)];
+  Sgl& b = sgl_[static_cast<std::size_t>(v)];
+  const bool active = edges_.has_edge(u, v);
+
+  if (!active && a == Sgl::Q0 && b == Sgl::Q0) {
+    int follower = u;
+    int leader = v;
+    if (rng().coin()) std::swap(follower, leader);
+    sgl_[static_cast<std::size_t>(follower)] = Sgl::Q1;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::L;
+    edges_.add_edge(u, v);
+    create_session_at_leader(leader);
+    return true;
+  }
+  if (!active && ((a == Sgl::L && b == Sgl::Q0) || (a == Sgl::Q0 && b == Sgl::L))) {
+    const int leader = (a == Sgl::L) ? u : v;
+    const int fresh = (a == Sgl::L) ? v : u;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(fresh)] = Sgl::L;
+    edges_.add_edge(u, v);
+    kill_session_of(leader);
+    create_session_at_leader(fresh);
+    return true;
+  }
+  if (!active && a == Sgl::L && b == Sgl::L) {
+    int absorbed = u;
+    int walker = v;
+    if (rng().coin()) std::swap(absorbed, walker);
+    sgl_[static_cast<std::size_t>(absorbed)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(walker)] = Sgl::W;
+    edges_.add_edge(u, v);
+    kill_session_of(u);
+    kill_session_of(v);
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q2) || (a == Sgl::Q2 && b == Sgl::W))) {
+    std::swap(a, b);
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q1) || (a == Sgl::Q1 && b == Sgl::W))) {
+    const int settled = (b == Sgl::Q1) ? v : u;
+    a = Sgl::Q2;
+    b = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(settled)] = Sgl::L;
+    create_session_at_leader(settled);
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> LogWasteConstructor::traverse_line_from(int leader) const {
+  std::vector<int> rev;
+  int prev = -1;
+  int cur = leader;
+  while (cur != -1) {
+    rev.push_back(cur);
+    int next = -1;
+    for (int w = 0; w < size(); ++w) {
+      if (w != cur && w != prev && role_[static_cast<std::size_t>(w)] == Role::Line &&
+          edges_.has_edge(cur, w)) {
+        next = w;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+void LogWasteConstructor::kill_session_of(int node) {
+  const int sid = session_of_[static_cast<std::size_t>(node)];
+  if (sid == -1) return;
+  auto it = sessions_.find(sid);
+  if (it != sessions_.end()) {
+    for (int member : it->second.line) session_of_[static_cast<std::size_t>(member)] = -1;
+    sessions_.erase(it);
+  }
+}
+
+void LogWasteConstructor::create_session_at_leader(int leader) {
+  CountSession s;
+  s.line = traverse_line_from(leader);
+  const auto len = static_cast<int>(s.line.size());
+  // Counter suffix: enough cells for a binary count up to len.
+  s.keep = std::max(2, static_cast<int>(std::ceil(std::log2(static_cast<double>(len) + 1))));
+  s.keep = std::min(s.keep, len);
+
+  const int sid = next_session_id_++;
+  for (int m : s.line) {
+    if (session_of_[static_cast<std::size_t>(m)] != -1) kill_session_of(m);
+  }
+  for (int m : s.line) session_of_[static_cast<std::size_t>(m)] = sid;
+
+  // Counting walk left-to-right (the head increments the counter per move).
+  for (int i = 0; i + 1 < len; ++i) {
+    s.ops.push_back({Op::Kind::Walk, s.line[static_cast<std::size_t>(i)],
+                     s.line[static_cast<std::size_t>(i + 1)]});
+  }
+  sessions_.emplace(sid, std::move(s));
+}
+
+bool LogWasteConstructor::handle_count_op(int u, int v) {
+  int sid = session_of_[static_cast<std::size_t>(u)];
+  if (sid == -1) sid = session_of_[static_cast<std::size_t>(v)];
+  if (sid == -1) return false;
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return false;
+  CountSession& s = it->second;
+  if (s.next_op >= s.ops.size()) return false;
+  const Op& op = s.ops[s.next_op];
+  if (!((op.a == u && op.b == v) || (op.a == v && op.b == u))) return false;
+
+  ++s.next_op;
+  if (s.next_op == s.ops.size()) finish_count(sid);
+  return true;
+}
+
+void LogWasteConstructor::finish_count(int sid) {
+  CountSession s = std::move(sessions_.at(sid));
+  sessions_.erase(sid);
+  for (int m : s.line) session_of_[static_cast<std::size_t>(m)] = -1;
+
+  MemLine mem;
+  const auto len = static_cast<int>(s.line.size());
+  mem.members.assign(s.line.end() - s.keep, s.line.end());
+  mem.believed_free = len - s.keep;
+  mem.retired.assign(static_cast<std::size_t>(size()), 0);
+  mem.tossed.assign(static_cast<std::size_t>(size()), 0);
+  mem.participant.assign(static_cast<std::size_t>(size()), 0);
+  const int mid = next_mem_id_++;
+  // Release the prefix left-to-right. The prefix nodes stay leaderless
+  // line-state nodes (inert) until their release op fires, but they are
+  // claimed by the memory line so the construction can dissolve cleanly.
+  for (int i = 0; i < len - s.keep; ++i) {
+    mem.release_ops.push_back({Op::Kind::ReleaseEdge, s.line[static_cast<std::size_t>(i)],
+                               s.line[static_cast<std::size_t>(i + 1)]});
+    mem_of_[static_cast<std::size_t>(s.line[static_cast<std::size_t>(i)])] = mid;
+  }
+  for (int m : mem.members) {
+    role_[static_cast<std::size_t>(m)] = Role::Mem;
+    mem_of_[static_cast<std::size_t>(m)] = mid;
+    --line_nodes_;
+  }
+  mems_.emplace(mid, std::move(mem));
+}
+
+void LogWasteConstructor::dissolve_mem(int mem_id) {
+  const std::vector<int> members = strip_mem(mem_id);
+  for (int m : members) {
+    for (int w : edges_.neighbors(m)) edges_.remove_edge(m, w);
+    role_[static_cast<std::size_t>(m)] = Role::Line;
+    sgl_[static_cast<std::size_t>(m)] = Sgl::Q0;
+    mem_of_[static_cast<std::size_t>(m)] = -1;
+    ++line_nodes_;
+  }
+  mems_.erase(mem_id);
+}
+
+std::vector<int> LogWasteConstructor::strip_mem(int mem_id) {
+  MemLine& mem = mems_.at(mem_id);
+  // Unreleased prefix nodes fall back to fresh q0 line nodes.
+  for (std::size_t i = mem.next_release; i < mem.release_ops.size(); ++i) {
+    const int m = mem.release_ops[i].a;
+    for (int w : edges_.neighbors(m)) edges_.remove_edge(m, w);
+    sgl_[static_cast<std::size_t>(m)] = Sgl::Q0;
+    mem_of_[static_cast<std::size_t>(m)] = -1;
+  }
+  mem.release_ops.clear();
+  mem.next_release = 0;
+  return mem.members;
+}
+
+void LogWasteConstructor::merge_mems(int mem_a, int mem_b) {
+  // Concatenate the two member paths leader-to-leader into one line-mode
+  // line; the far endpoint of A settles as its leader, the far endpoint of
+  // B becomes the q1 endpoint. Progress is preserved: merged memory lines
+  // form longer and longer lines until one spans.
+  const std::vector<int> a = strip_mem(mem_a);
+  const std::vector<int> b = strip_mem(mem_b);
+  mems_.erase(mem_a);
+  mems_.erase(mem_b);
+  edges_.add_edge(a.back(), b.back());
+  // merged := a_front ... a_leader b_leader ... b_front
+  std::vector<int> merged(a.begin(), a.end());
+  merged.insert(merged.end(), b.rbegin(), b.rend());
+  for (int m : merged) {
+    role_[static_cast<std::size_t>(m)] = Role::Line;
+    sgl_[static_cast<std::size_t>(m)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(m)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(merged.back())] = Sgl::Q1;
+  sgl_[static_cast<std::size_t>(merged.front())] = Sgl::L;
+  create_session_at_leader(merged.front());
+}
+
+void LogWasteConstructor::revert_mem_to_line(int mem_id) {
+  const std::vector<int> m = strip_mem(mem_id);
+  mems_.erase(mem_id);
+  for (int node : m) {
+    role_[static_cast<std::size_t>(node)] = Role::Line;
+    sgl_[static_cast<std::size_t>(node)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(node)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(m.front())] = Sgl::Q1;
+  sgl_[static_cast<std::size_t>(m.back())] = Sgl::L;
+  create_session_at_leader(m.back());
+}
+
+void LogWasteConstructor::merge_mem_into_line(int mem_id, int line_leader) {
+  // Attach the memory line's member path to the line's leader endpoint; the
+  // far end of the memory line becomes the new settled leader.
+  const std::vector<int> m = strip_mem(mem_id);
+  mems_.erase(mem_id);
+  kill_session_of(line_leader);
+  edges_.add_edge(line_leader, m.back());
+  sgl_[static_cast<std::size_t>(line_leader)] = Sgl::Q2;
+  for (int node : m) {
+    role_[static_cast<std::size_t>(node)] = Role::Line;
+    sgl_[static_cast<std::size_t>(node)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(node)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(m.front())] = Sgl::L;
+  create_session_at_leader(m.front());
+}
+
+std::vector<int> LogWasteConstructor::free_nodes() const {
+  std::vector<int> out;
+  for (int u = 0; u < size(); ++u) {
+    if (role_[static_cast<std::size_t>(u)] == Role::Free) out.push_back(u);
+  }
+  return out;
+}
+
+void LogWasteConstructor::try_decide(MemLine& mem) {
+  ++draw_passes_;
+  const auto frees = free_nodes();
+  const auto order = static_cast<int>(frees.size());
+  const std::size_t budget =
+      static_cast<std::size_t>(space_bits_per_cell_) * mem.members.size();
+  if (language_.workspace_bits(order) > budget) {
+    throw std::logic_error("LogWasteConstructor: language '" + language_.name +
+                           "' needs more than O(log n) workspace (Theorem 16 budget exceeded)");
+  }
+  const Graph drawn = edges_.induced(frees);
+  if (language_.decide(drawn)) {
+    mem.accepted = true;
+  } else {
+    // Redraw from scratch.
+    mem.anchor = -1;
+    mem.retired_count = 0;
+    mem.tossed_count = 0;
+    std::fill(mem.retired.begin(), mem.retired.end(), 0);
+    std::fill(mem.tossed.begin(), mem.tossed.end(), 0);
+    std::fill(mem.participant.begin(), mem.participant.end(), 0);
+  }
+}
+
+bool LogWasteConstructor::handle_mem(int u, int v) {
+  const int mu = mem_of_[static_cast<std::size_t>(u)];
+  const int mv = mem_of_[static_cast<std::size_t>(v)];
+  const bool u_is_mem_leader = mu != -1 && mems_.at(mu).members.back() == u;
+  const bool v_is_mem_leader = mv != -1 && mems_.at(mv).members.back() == v;
+
+  // Two memory-line leaders: neither original line was spanning; they merge
+  // into a new line-mode line so that line length keeps growing (the
+  // paper's reinitialization: "the interacting lines may merge").
+  if (u_is_mem_leader && v_is_mem_leader) {
+    merge_mems(mu, mv);
+    return true;
+  }
+  // A memory-line leader detecting a line-mode leader: attach to that line.
+  if (u_is_mem_leader && role_[static_cast<std::size_t>(v)] == Role::Line &&
+      sgl_[static_cast<std::size_t>(v)] == Sgl::L) {
+    merge_mem_into_line(mu, v);
+    return true;
+  }
+  if (v_is_mem_leader && role_[static_cast<std::size_t>(u)] == Role::Line &&
+      sgl_[static_cast<std::size_t>(u)] == Sgl::L) {
+    merge_mem_into_line(mv, u);
+    return true;
+  }
+
+  // Pending prefix releases run before any draw activity of that mem.
+  for (const int mid : {mu, mv}) {
+    if (mid == -1) continue;
+    MemLine& mem = mems_.at(mid);
+    if (!mem.releasing()) continue;
+    const Op& op = mem.release_ops[mem.next_release];
+    if ((op.a == u && op.b == v) || (op.a == v && op.b == u)) {
+      edges_.remove_edge(op.a, op.b);
+      role_[static_cast<std::size_t>(op.a)] = Role::Free;
+      mem_of_[static_cast<std::size_t>(op.a)] = -1;
+      --line_nodes_;
+      ++mem.next_release;
+      return true;
+    }
+  }
+
+  // An accepted memory line meeting a free node it never drew against has
+  // proof that its original line was not spanning: revert and recount.
+  auto excess_free_detected = [&](int mem_id, int other) -> bool {
+    MemLine& mem = mems_.at(mem_id);
+    return mem.accepted && role_[static_cast<std::size_t>(other)] == Role::Free &&
+           !mem.participant[static_cast<std::size_t>(other)];
+  };
+  if (u_is_mem_leader && excess_free_detected(mu, v)) {
+    revert_mem_to_line(mu);
+    return true;
+  }
+  if (v_is_mem_leader && excess_free_detected(mv, u)) {
+    revert_mem_to_line(mv);
+    return true;
+  }
+
+  // Anchor selection: the leader of a drawing memory line picks the next
+  // un-retired free node.
+  auto pick_anchor = [&](int mem_id, int other) -> bool {
+    MemLine& mem = mems_.at(mem_id);
+    if (mem.accepted || mem.anchor != -1 || mem.believed_free < 2) return false;
+    if (mem.releasing()) return false;
+    if (role_[static_cast<std::size_t>(other)] != Role::Free) return false;
+    if (mem.retired[static_cast<std::size_t>(other)]) return false;
+    mem.anchor = other;
+    mem.tossed_count = 0;
+    mem.participant[static_cast<std::size_t>(other)] = 1;
+    std::fill(mem.tossed.begin(), mem.tossed.end(), 0);
+    return true;
+  };
+  if (u_is_mem_leader && pick_anchor(mu, v)) return true;
+  if (v_is_mem_leader && pick_anchor(mv, u)) return true;
+
+  // Coin tosses: (anchor, fresh free candidate).
+  for (auto& [mid, mem] : mems_) {
+    if (mem.accepted || mem.anchor == -1) continue;
+    int other = -1;
+    if (u == mem.anchor) {
+      other = v;
+    } else if (v == mem.anchor) {
+      other = u;
+    } else {
+      continue;
+    }
+    if (role_[static_cast<std::size_t>(other)] != Role::Free) continue;
+    if (mem.retired[static_cast<std::size_t>(other)]) continue;
+    if (mem.tossed[static_cast<std::size_t>(other)]) continue;
+
+    const bool value = rng().coin();
+    if (edges_.set_edge(mem.anchor, other, value)) note_output_change();
+    mem.tossed[static_cast<std::size_t>(other)] = 1;
+    mem.participant[static_cast<std::size_t>(other)] = 1;
+    ++mem.tossed_count;
+    const int remaining = mem.believed_free - mem.retired_count - 1;
+    if (mem.tossed_count >= remaining) {
+      mem.retired[static_cast<std::size_t>(mem.anchor)] = 1;
+      mem.anchor = -1;
+      mem.tossed_count = 0;
+      ++mem.retired_count;
+      if (mem.retired_count >= mem.believed_free - 1) try_decide(mem);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string LogWasteConstructor::debug_state() const {
+  int line = 0, mem = 0, free_count = 0;
+  int q0 = 0, q1 = 0, q2 = 0, lead = 0, walk = 0;
+  for (int u = 0; u < size(); ++u) {
+    switch (role_[static_cast<std::size_t>(u)]) {
+      case Role::Line:
+        ++line;
+        switch (sgl_[static_cast<std::size_t>(u)]) {
+          case Sgl::Q0: ++q0; break;
+          case Sgl::Q1: ++q1; break;
+          case Sgl::Q2: ++q2; break;
+          case Sgl::L: ++lead; break;
+          case Sgl::W: ++walk; break;
+        }
+        break;
+      case Role::Mem: ++mem; break;
+      case Role::Free: ++free_count; break;
+    }
+  }
+  std::string out = "line=" + std::to_string(line) + " (q0=" + std::to_string(q0) +
+                    " q1=" + std::to_string(q1) + " q2=" + std::to_string(q2) +
+                    " l=" + std::to_string(lead) + " w=" + std::to_string(walk) +
+                    ") mem=" + std::to_string(mem) + " free=" + std::to_string(free_count) +
+                    " line_ctr=" + std::to_string(line_nodes_) + " sessions=" + std::to_string(sessions_.size()) +
+                    " mems=" + std::to_string(mems_.size());
+  for (const auto& [mid, m] : mems_) {
+    out += " [mem" + std::to_string(mid) + ": k=" + std::to_string(m.members.size()) +
+           " believed=" + std::to_string(m.believed_free) +
+           " rel=" + std::to_string(m.release_ops.size() - m.next_release) +
+           " retired=" + std::to_string(m.retired_count) +
+           (m.accepted ? " accepted" : "") + "]";
+  }
+  return out;
+}
+
+LogWasteConstructor::Report LogWasteConstructor::run_until_stable(std::uint64_t max_steps) {
+  Report report;
+  const std::uint64_t check_interval =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(size()) * size());
+  while (true) {
+    if (line_nodes_ == 0 && mems_.size() == 1 && mems_.begin()->second.accepted &&
+        static_cast<int>(free_nodes().size()) == mems_.begin()->second.believed_free) {
+      report.stabilized = true;
+      break;
+    }
+    if (steps() >= max_steps) break;
+    run(std::min(check_interval, max_steps - steps()));
+  }
+  report.steps_executed = steps();
+  report.convergence_step = last_output_change_;
+  report.draw_passes = draw_passes_;
+  if (!mems_.empty()) {
+    report.memory_length = static_cast<int>(mems_.begin()->second.members.size());
+  }
+  const auto frees = free_nodes();
+  report.useful_space = static_cast<int>(frees.size());
+  report.output = edges_.induced(frees);
+  return report;
+}
+
+}  // namespace netcons::generic

@@ -1,0 +1,152 @@
+// Theorem 16 (Logarithmic Waste): every graph language decidable in
+// logarithmic space is constructible with useful space n - O(log n).
+//
+// Interaction-level implementation of the paper's pipeline:
+//
+//  * All nodes run Simple-Global-Line. Whenever a line's leader settles, the
+//    line optimistically assumes it is spanning and starts COUNTING: the
+//    head walks left-to-right building a binary counter in the rightmost
+//    ~log L cells, then RELEASES every node except those counter cells
+//    (left-to-right edge deactivations). The surviving suffix becomes a
+//    "memory line" of length ~log L whose leader believes there are
+//    L - log L free nodes.
+//  * Any expansion or merge of a line kills its in-flight counting session
+//    (the paper's reinitialization) -- so while absorbable nodes remain,
+//    expansion outpaces counting and lines keep growing; only a line with
+//    nothing left to absorb completes its count.
+//  * A memory line draws a random graph on the free nodes: it anchors one
+//    free node at a time and tosses a fair coin on each (anchor, other free)
+//    encounter, retiring the anchor when it has tossed against all
+//    remaining candidates (the counter tells it how many). When the draw
+//    completes it runs the decider for L -- audited against the memory
+//    line's O(log n) capacity -- accepting (freeze) or redrawing.
+//  * Two memory-line leaders meeting, or a memory-line leader meeting a
+//    line-mode leader, certify that the original line was not spanning: the
+//    memory line(s) dissolve back to fresh line-mode nodes and the
+//    construction restarts around them.
+//
+// Stable iff a single memory line remains, everything else is free, and its
+// drawn graph was accepted -- then the useful space is n minus the
+// logarithmic memory line.
+#pragma once
+
+#include "generic/session.hpp"
+#include "tm/graph_language.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace netcons::generic {
+
+class LogWasteConstructor : public InteractionSystem {
+ public:
+  struct Report {
+    bool stabilized = false;
+    std::uint64_t steps_executed = 0;
+    std::uint64_t convergence_step = 0;
+    int useful_space = 0;   ///< Free nodes carrying the constructed graph.
+    int memory_length = 0;  ///< Length of the surviving memory line.
+    int draw_passes = 0;
+    Graph output;           ///< Constructed graph on the free nodes.
+  };
+
+  LogWasteConstructor(tm::GraphLanguage language, int n, std::uint64_t seed,
+                      int space_bits_per_cell = 32);
+
+  [[nodiscard]] Report run_until_stable(std::uint64_t max_steps);
+
+  /// One-line diagnostic of the current population (roles, sessions, mems).
+  [[nodiscard]] std::string debug_state() const;
+
+ protected:
+  bool on_interaction(int u, int v) override;
+
+ private:
+  enum class Role : std::uint8_t { Line, Mem, Free };
+  enum class Sgl : std::uint8_t { Q0, Q1, Q2, L, W };
+
+  struct Op {
+    enum class Kind : std::uint8_t { Walk, ReleaseEdge };
+    Kind kind;
+    int a = -1;
+    int b = -1;
+  };
+
+  /// In-flight counting session of a settled line (the walk only; the
+  /// release is performed by the memory line once counting has fixed the
+  /// population estimate, so the still-absorbing line leader cannot chase
+  /// its own released nodes).
+  struct CountSession {
+    std::vector<int> line;  ///< Left endpoint first, leader last.
+    std::vector<Op> ops;
+    std::size_t next_op = 0;
+    int keep = 0;  ///< Suffix length that becomes the memory line.
+  };
+
+  /// A formed memory line: first releases the counted line's prefix
+  /// (left-to-right edge deactivations), then runs the draw-and-decide loop.
+  struct MemLine {
+    std::vector<int> members;  ///< The keep-suffix; leader last.
+    std::vector<Op> release_ops;
+    std::size_t next_release = 0;
+    int believed_free = 0;
+    int anchor = -1;
+    int retired_count = 0;
+    int tossed_count = 0;
+    bool accepted = false;
+    std::vector<char> retired;      ///< Per-node flags (size n).
+    std::vector<char> tossed;       ///< Per-node flags for the current anchor.
+    std::vector<char> participant;  ///< Nodes seen in the current draw pass.
+
+    [[nodiscard]] bool releasing() const noexcept {
+      return next_release < release_ops.size();
+    }
+  };
+
+  bool handle_sgl(int u, int v);
+  bool handle_count_op(int u, int v);
+  bool handle_mem(int u, int v);
+
+  void kill_session_of(int node);
+  void create_session_at_leader(int leader);
+  void finish_count(int session_id);
+  void dissolve_mem(int mem_id);
+  /// Drop an in-flight release prefix back to fresh line nodes; returns the
+  /// mem's member suffix (still intact as a path).
+  std::vector<int> strip_mem(int mem_id);
+  /// Two memory lines certify non-spanning originals: they merge into one
+  /// line-mode line and construction resumes (paper Theorem 16 reinit).
+  void merge_mems(int mem_a, int mem_b);
+  /// A memory line meeting a line-mode leader attaches to that line.
+  void merge_mem_into_line(int mem_id, int line_leader);
+  /// A memory line that detects a free node beyond its believed census
+  /// (its original line was not spanning after all) reverts to a line-mode
+  /// line so it can re-absorb everything and recount.
+  void revert_mem_to_line(int mem_id);
+  void clear_incident_edges(int node);
+  [[nodiscard]] std::vector<int> traverse_line_from(int leader) const;
+  [[nodiscard]] std::vector<int> free_nodes() const;
+  void try_decide(MemLine& mem);
+  void note_output_change() { last_output_change_ = steps(); }
+
+  tm::GraphLanguage language_;
+  int space_bits_per_cell_;
+
+  std::vector<Role> role_;
+  std::vector<Sgl> sgl_;
+  Graph edges_;
+  int line_nodes_ = 0;
+
+  int next_session_id_ = 0;
+  std::unordered_map<int, CountSession> sessions_;
+  std::vector<int> session_of_;
+
+  int next_mem_id_ = 0;
+  std::unordered_map<int, MemLine> mems_;
+  std::vector<int> mem_of_;
+
+  int draw_passes_ = 0;
+  std::uint64_t last_output_change_ = 0;
+};
+
+}  // namespace netcons::generic

@@ -1,0 +1,478 @@
+#include "generic/no_waste.hpp"
+
+#include "graph/random_graphs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcons::generic {
+
+NoWasteConstructor::NoWasteConstructor(tm::GraphLanguage language, int n, std::uint64_t seed,
+                                       int max_degree, int space_bits_per_cell)
+    : InteractionSystem(n, seed),
+      language_(std::move(language)),
+      max_degree_(max_degree),
+      space_bits_per_cell_(space_bits_per_cell),
+      role_(static_cast<std::size_t>(n), Role::Line),
+      sgl_(static_cast<std::size_t>(n), Sgl::Q0),
+      edges_(n),
+      line_nodes_(n),
+      session_of_(static_cast<std::size_t>(n), -1),
+      mem_of_(static_cast<std::size_t>(n), -1) {
+  if (n < 6) throw std::invalid_argument("NoWasteConstructor: need n >= 6");
+  if (max_degree < 2) throw std::invalid_argument("NoWasteConstructor: need max_degree >= 2");
+}
+
+bool NoWasteConstructor::on_interaction(int u, int v) {
+  if (handle_mem(u, v)) return true;
+  if (handle_sgl(u, v)) return true;
+  return handle_count_op(u, v);
+}
+
+void NoWasteConstructor::clear_incident_edges(int node) {
+  for (int w : edges_.neighbors(node)) {
+    const bool other_free = role_[static_cast<std::size_t>(w)] == Role::Free;
+    edges_.remove_edge(node, w);
+    if (other_free) note_output_change();
+  }
+}
+
+bool NoWasteConstructor::handle_sgl(int u, int v) {
+  const Role ru = role_[static_cast<std::size_t>(u)];
+  const Role rv = role_[static_cast<std::size_t>(v)];
+  const bool u_line = ru == Role::Line;
+  const bool v_line = rv == Role::Line;
+
+  auto absorb_free = [&](int leader, int fresh) {
+    clear_incident_edges(fresh);
+    role_[static_cast<std::size_t>(fresh)] = Role::Line;
+    ++line_nodes_;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(fresh)] = Sgl::L;
+    edges_.add_edge(leader, fresh);
+    kill_session_of(leader);
+    create_session_at_leader(fresh);
+  };
+
+  if (u_line && rv == Role::Free && sgl_[static_cast<std::size_t>(u)] == Sgl::L) {
+    absorb_free(u, v);
+    return true;
+  }
+  if (v_line && ru == Role::Free && sgl_[static_cast<std::size_t>(v)] == Sgl::L) {
+    absorb_free(v, u);
+    return true;
+  }
+  if (!u_line || !v_line) return false;
+
+  Sgl& a = sgl_[static_cast<std::size_t>(u)];
+  Sgl& b = sgl_[static_cast<std::size_t>(v)];
+  const bool active = edges_.has_edge(u, v);
+
+  if (!active && a == Sgl::Q0 && b == Sgl::Q0) {
+    int follower = u;
+    int leader = v;
+    if (rng().coin()) std::swap(follower, leader);
+    sgl_[static_cast<std::size_t>(follower)] = Sgl::Q1;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::L;
+    edges_.add_edge(u, v);
+    create_session_at_leader(leader);
+    return true;
+  }
+  if (!active && ((a == Sgl::L && b == Sgl::Q0) || (a == Sgl::Q0 && b == Sgl::L))) {
+    const int leader = (a == Sgl::L) ? u : v;
+    const int fresh = (a == Sgl::L) ? v : u;
+    sgl_[static_cast<std::size_t>(leader)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(fresh)] = Sgl::L;
+    edges_.add_edge(u, v);
+    kill_session_of(leader);
+    create_session_at_leader(fresh);
+    return true;
+  }
+  if (!active && a == Sgl::L && b == Sgl::L) {
+    int absorbed = u;
+    int walker = v;
+    if (rng().coin()) std::swap(absorbed, walker);
+    sgl_[static_cast<std::size_t>(absorbed)] = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(walker)] = Sgl::W;
+    edges_.add_edge(u, v);
+    kill_session_of(u);
+    kill_session_of(v);
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q2) || (a == Sgl::Q2 && b == Sgl::W))) {
+    std::swap(a, b);
+    return true;
+  }
+  if (active && ((a == Sgl::W && b == Sgl::Q1) || (a == Sgl::Q1 && b == Sgl::W))) {
+    const int settled = (b == Sgl::Q1) ? v : u;
+    a = Sgl::Q2;
+    b = Sgl::Q2;
+    sgl_[static_cast<std::size_t>(settled)] = Sgl::L;
+    create_session_at_leader(settled);
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> NoWasteConstructor::traverse_line_from(int leader) const {
+  std::vector<int> rev;
+  int prev = -1;
+  int cur = leader;
+  while (cur != -1) {
+    rev.push_back(cur);
+    int next = -1;
+    for (int w = 0; w < size(); ++w) {
+      if (w != cur && w != prev && role_[static_cast<std::size_t>(w)] == Role::Line &&
+          edges_.has_edge(cur, w)) {
+        next = w;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+void NoWasteConstructor::kill_session_of(int node) {
+  const int sid = session_of_[static_cast<std::size_t>(node)];
+  if (sid == -1) return;
+  auto it = sessions_.find(sid);
+  if (it != sessions_.end()) {
+    for (int member : it->second.line) session_of_[static_cast<std::size_t>(member)] = -1;
+    sessions_.erase(it);
+  }
+}
+
+void NoWasteConstructor::create_session_at_leader(int leader) {
+  CountSession s;
+  s.line = traverse_line_from(leader);
+  const auto len = static_cast<int>(s.line.size());
+  s.keep = std::max(3, static_cast<int>(std::ceil(std::log2(static_cast<double>(len) + 1))));
+  s.keep = std::min(s.keep, len);
+
+  const int sid = next_session_id_++;
+  for (int m : s.line) {
+    if (session_of_[static_cast<std::size_t>(m)] != -1) kill_session_of(m);
+  }
+  for (int m : s.line) session_of_[static_cast<std::size_t>(m)] = sid;
+  for (int i = 0; i + 1 < len; ++i) {
+    s.walk.emplace_back(s.line[static_cast<std::size_t>(i)],
+                        s.line[static_cast<std::size_t>(i + 1)]);
+  }
+  sessions_.emplace(sid, std::move(s));
+}
+
+bool NoWasteConstructor::handle_count_op(int u, int v) {
+  int sid = session_of_[static_cast<std::size_t>(u)];
+  if (sid == -1) sid = session_of_[static_cast<std::size_t>(v)];
+  if (sid == -1) return false;
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return false;
+  CountSession& s = it->second;
+  if (s.next_op >= s.walk.size()) return false;
+  const auto& [a, b] = s.walk[s.next_op];
+  if (!((a == u && b == v) || (a == v && b == u))) return false;
+  ++s.next_op;
+  if (s.next_op == s.walk.size()) finish_count(sid);
+  return true;
+}
+
+void NoWasteConstructor::finish_count(int sid) {
+  CountSession s = std::move(sessions_.at(sid));
+  sessions_.erase(sid);
+  for (int m : s.line) session_of_[static_cast<std::size_t>(m)] = -1;
+
+  MemS mem;
+  const auto len = static_cast<int>(s.line.size());
+  mem.members.assign(s.line.end() - s.keep, s.line.end());
+  mem.believed_free = len - s.keep;
+  mem.retired.assign(static_cast<std::size_t>(size()), 0);
+  mem.tossed.assign(static_cast<std::size_t>(size()), 0);
+  mem.participant.assign(static_cast<std::size_t>(size()), 0);
+  const int mid = next_mem_id_++;
+  for (int i = 0; i < len - s.keep; ++i) {
+    mem.release_ops.push_back({s.line[static_cast<std::size_t>(i)],
+                               s.line[static_cast<std::size_t>(i + 1)], false});
+    mem_of_[static_cast<std::size_t>(s.line[static_cast<std::size_t>(i)])] = mid;
+  }
+  for (int m : mem.members) {
+    role_[static_cast<std::size_t>(m)] = Role::Mem;
+    mem_of_[static_cast<std::size_t>(m)] = mid;
+    --line_nodes_;
+  }
+  plan_rewire(mem);
+  mems_.emplace(mid, std::move(mem));
+}
+
+void NoWasteConstructor::plan_rewire(MemS& mem) {
+  // Sample a random connected max_degree_-bounded target on S and plan one
+  // edge-assignment op per S-S pair (Theorem 17 step 2).
+  const auto k = static_cast<int>(mem.members.size());
+  const Graph target = sample_bounded_degree_connected(k, max_degree_, rng());
+  mem.rewire_ops.clear();
+  mem.next_rewire = 0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      mem.rewire_ops.push_back({mem.members[static_cast<std::size_t>(i)],
+                                mem.members[static_cast<std::size_t>(j)],
+                                target.has_edge(i, j)});
+    }
+  }
+}
+
+std::vector<int> NoWasteConstructor::strip_mem(int mem_id) {
+  MemS& mem = mems_.at(mem_id);
+  for (std::size_t i = mem.next_release; i < mem.release_ops.size(); ++i) {
+    const int m = mem.release_ops[i].a;
+    for (int w : edges_.neighbors(m)) edges_.remove_edge(m, w);
+    sgl_[static_cast<std::size_t>(m)] = Sgl::Q0;
+    mem_of_[static_cast<std::size_t>(m)] = -1;
+  }
+  mem.release_ops.clear();
+  mem.next_release = 0;
+  return mem.members;
+}
+
+void NoWasteConstructor::merge_mems(int mem_a, int mem_b) {
+  const std::vector<int> a = strip_mem(mem_a);
+  const std::vector<int> b = strip_mem(mem_b);
+  mems_.erase(mem_a);
+  mems_.erase(mem_b);
+  // The S subgraphs may be arbitrary bounded-degree graphs; clear them and
+  // rebuild a plain line for line mode.
+  for (int m : a) clear_incident_edges(m);
+  for (int m : b) clear_incident_edges(m);
+  std::vector<int> merged(a.begin(), a.end());
+  merged.insert(merged.end(), b.rbegin(), b.rend());
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    edges_.add_edge(merged[i], merged[i + 1]);
+  }
+  for (int m : merged) {
+    role_[static_cast<std::size_t>(m)] = Role::Line;
+    sgl_[static_cast<std::size_t>(m)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(m)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(merged.back())] = Sgl::Q1;
+  sgl_[static_cast<std::size_t>(merged.front())] = Sgl::L;
+  create_session_at_leader(merged.front());
+}
+
+void NoWasteConstructor::merge_mem_into_line(int mem_id, int line_leader) {
+  const std::vector<int> m = strip_mem(mem_id);
+  mems_.erase(mem_id);
+  for (int node : m) clear_incident_edges(node);
+  kill_session_of(line_leader);
+  // Rebuild the S part as a path hanging off the line's old leader.
+  edges_.add_edge(line_leader, m.back());
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) edges_.add_edge(m[i], m[i + 1]);
+  sgl_[static_cast<std::size_t>(line_leader)] = Sgl::Q2;
+  for (int node : m) {
+    role_[static_cast<std::size_t>(node)] = Role::Line;
+    sgl_[static_cast<std::size_t>(node)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(node)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(m.front())] = Sgl::L;
+  create_session_at_leader(m.front());
+}
+
+void NoWasteConstructor::revert_mem_to_line(int mem_id) {
+  const std::vector<int> m = strip_mem(mem_id);
+  mems_.erase(mem_id);
+  for (int node : m) clear_incident_edges(node);
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) edges_.add_edge(m[i], m[i + 1]);
+  for (int node : m) {
+    role_[static_cast<std::size_t>(node)] = Role::Line;
+    sgl_[static_cast<std::size_t>(node)] = Sgl::Q2;
+    mem_of_[static_cast<std::size_t>(node)] = -1;
+    ++line_nodes_;
+  }
+  sgl_[static_cast<std::size_t>(m.front())] = Sgl::Q1;
+  sgl_[static_cast<std::size_t>(m.back())] = Sgl::L;
+  create_session_at_leader(m.back());
+}
+
+std::vector<int> NoWasteConstructor::free_nodes() const {
+  std::vector<int> out;
+  for (int u = 0; u < size(); ++u) {
+    if (role_[static_cast<std::size_t>(u)] == Role::Free) out.push_back(u);
+  }
+  return out;
+}
+
+void NoWasteConstructor::try_decide(MemS& mem) {
+  ++draw_passes_;
+  const auto frees = free_nodes();
+  const auto order = static_cast<int>(frees.size() + mem.members.size());
+  const std::size_t budget =
+      static_cast<std::size_t>(space_bits_per_cell_) * mem.members.size();
+  if (language_.workspace_bits(order) > budget) {
+    throw std::logic_error("NoWasteConstructor: language '" + language_.name +
+                           "' needs more than O(log n) workspace (Theorem 17 budget exceeded)");
+  }
+  // Decide on the FULL graph: S plus the free nodes.
+  std::vector<int> all(frees);
+  all.insert(all.end(), mem.members.begin(), mem.members.end());
+  std::sort(all.begin(), all.end());
+  const Graph drawn = edges_.induced(all);
+  if (language_.decide(drawn)) {
+    mem.accepted = true;
+  } else {
+    // Resample S's internal graph and redraw everything outside it.
+    mem.anchor = -1;
+    mem.retired_count = 0;
+    mem.tossed_count = 0;
+    std::fill(mem.retired.begin(), mem.retired.end(), 0);
+    std::fill(mem.tossed.begin(), mem.tossed.end(), 0);
+    std::fill(mem.participant.begin(), mem.participant.end(), 0);
+    plan_rewire(mem);
+  }
+}
+
+bool NoWasteConstructor::handle_mem(int u, int v) {
+  const int mu = mem_of_[static_cast<std::size_t>(u)];
+  const int mv = mem_of_[static_cast<std::size_t>(v)];
+  const bool u_is_mem_leader = mu != -1 && mems_.at(mu).members.back() == u;
+  const bool v_is_mem_leader = mv != -1 && mems_.at(mv).members.back() == v;
+
+  if (u_is_mem_leader && v_is_mem_leader) {
+    merge_mems(mu, mv);
+    return true;
+  }
+  if (u_is_mem_leader && role_[static_cast<std::size_t>(v)] == Role::Line &&
+      sgl_[static_cast<std::size_t>(v)] == Sgl::L) {
+    merge_mem_into_line(mu, v);
+    return true;
+  }
+  if (v_is_mem_leader && role_[static_cast<std::size_t>(u)] == Role::Line &&
+      sgl_[static_cast<std::size_t>(u)] == Sgl::L) {
+    merge_mem_into_line(mv, u);
+    return true;
+  }
+
+  // Pending prefix releases, then the S-internal rewiring pass.
+  for (const int mid : {mu, mv}) {
+    if (mid == -1) continue;
+    MemS& mem = mems_.at(mid);
+    if (mem.next_release < mem.release_ops.size()) {
+      const Op& op = mem.release_ops[mem.next_release];
+      if ((op.a == u && op.b == v) || (op.a == v && op.b == u)) {
+        edges_.remove_edge(op.a, op.b);
+        role_[static_cast<std::size_t>(op.a)] = Role::Free;
+        mem_of_[static_cast<std::size_t>(op.a)] = -1;
+        --line_nodes_;
+        ++mem.next_release;
+        return true;
+      }
+      continue;
+    }
+    if (mem.next_rewire < mem.rewire_ops.size()) {
+      const Op& op = mem.rewire_ops[mem.next_rewire];
+      if ((op.a == u && op.b == v) || (op.a == v && op.b == u)) {
+        edges_.set_edge(op.a, op.b, op.activate);
+        note_output_change();
+        ++mem.next_rewire;
+        return true;
+      }
+      continue;
+    }
+  }
+
+  auto excess_free_detected = [&](int mem_id, int other) -> bool {
+    MemS& mem = mems_.at(mem_id);
+    return mem.accepted && role_[static_cast<std::size_t>(other)] == Role::Free &&
+           !mem.participant[static_cast<std::size_t>(other)];
+  };
+  if (u_is_mem_leader && excess_free_detected(mu, v)) {
+    revert_mem_to_line(mu);
+    return true;
+  }
+  if (v_is_mem_leader && excess_free_detected(mv, u)) {
+    revert_mem_to_line(mv);
+    return true;
+  }
+
+  // Anchor selection (Theorem 17 step 3): every believed free node anchors
+  // once; coverage is all free-free pairs plus all free-S pairs.
+  auto pick_anchor = [&](int mem_id, int other) -> bool {
+    MemS& mem = mems_.at(mem_id);
+    if (mem.accepted || mem.busy() || mem.anchor != -1 || mem.believed_free < 1) return false;
+    if (role_[static_cast<std::size_t>(other)] != Role::Free) return false;
+    if (mem.retired[static_cast<std::size_t>(other)]) return false;
+    mem.anchor = other;
+    mem.tossed_count = 0;
+    mem.participant[static_cast<std::size_t>(other)] = 1;
+    std::fill(mem.tossed.begin(), mem.tossed.end(), 0);
+    return true;
+  };
+  if (u_is_mem_leader && pick_anchor(mu, v)) return true;
+  if (v_is_mem_leader && pick_anchor(mv, u)) return true;
+
+  // Coin tosses: (anchor, candidate) where candidate is an un-retired free
+  // node or any member of S.
+  for (auto& [mid, mem] : mems_) {
+    if (mem.accepted || mem.busy() || mem.anchor == -1) continue;
+    int other = -1;
+    if (u == mem.anchor) {
+      other = v;
+    } else if (v == mem.anchor) {
+      other = u;
+    } else {
+      continue;
+    }
+    const bool other_is_s = mem_of_[static_cast<std::size_t>(other)] == mid &&
+                            role_[static_cast<std::size_t>(other)] == Role::Mem;
+    const bool other_is_free = role_[static_cast<std::size_t>(other)] == Role::Free &&
+                               !mem.retired[static_cast<std::size_t>(other)];
+    if (!other_is_s && !other_is_free) continue;
+    if (mem.tossed[static_cast<std::size_t>(other)]) continue;
+
+    const bool value = rng().coin();
+    if (edges_.set_edge(mem.anchor, other, value)) note_output_change();
+    mem.tossed[static_cast<std::size_t>(other)] = 1;
+    if (other_is_free) mem.participant[static_cast<std::size_t>(other)] = 1;
+    ++mem.tossed_count;
+    const int wanted = (mem.believed_free - mem.retired_count - 1) +
+                       static_cast<int>(mem.members.size());
+    if (mem.tossed_count >= wanted) {
+      mem.retired[static_cast<std::size_t>(mem.anchor)] = 1;
+      mem.anchor = -1;
+      mem.tossed_count = 0;
+      ++mem.retired_count;
+      if (mem.retired_count >= mem.believed_free) try_decide(mem);
+    }
+    return true;
+  }
+  return false;
+}
+
+NoWasteConstructor::Report NoWasteConstructor::run_until_stable(std::uint64_t max_steps) {
+  Report report;
+  const std::uint64_t check_interval =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(size()) * size());
+  while (true) {
+    if (line_nodes_ == 0 && mems_.size() == 1 && mems_.begin()->second.accepted &&
+        static_cast<int>(free_nodes().size()) == mems_.begin()->second.believed_free) {
+      report.stabilized = true;
+      break;
+    }
+    if (steps() >= max_steps) break;
+    run(std::min(check_interval, max_steps - steps()));
+  }
+  report.steps_executed = steps();
+  report.convergence_step = last_output_change_;
+  report.draw_passes = draw_passes_;
+  if (!mems_.empty()) {
+    report.tm_subgraph_order = static_cast<int>(mems_.begin()->second.members.size());
+  }
+  std::vector<int> all(size());
+  for (int i = 0; i < size(); ++i) all[static_cast<std::size_t>(i)] = i;
+  report.output = edges_.induced(all);
+  report.useful_space = report.stabilized ? size() : 0;
+  return report;
+}
+
+}  // namespace netcons::generic

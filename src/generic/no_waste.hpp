@@ -1,0 +1,138 @@
+// Theorem 17 (No Waste): for languages L whose members contain a connected
+// bounded-degree subgraph of logarithmic order, and which are decidable in
+// logarithmic space, a randomized NET constructs L with useful space n --
+// the TM does not live on discardable scaffolding but *inside* the graph it
+// outputs.
+//
+// Pipeline (paper Section 6.3), at the same interaction-level fidelity as
+// LogWasteConstructor:
+//
+//  1. Spanning-line formation with optimistic counting (identical to
+//     Theorem 16): a settled line counts itself and separates a logarithmic
+//     subpopulation S; the rest are released as free nodes.
+//  2. S is rewired into a *random connected graph of maximum degree <= d*
+//     (one coin-driven edge assignment per S-S encounter, from a sampled
+//     target), to serve as the TM substrate (bounded degree makes it
+//     operable as a TM, cf. [AAC+05] Theorem 7) while remaining part of the
+//     output.
+//  3. S draws a random graph on E_I \ E[S]: every free node anchors in turn
+//     and tosses a fair coin against each remaining free node AND each
+//     member of S, covering exactly the pairs outside S.
+//  4. The decider for L runs on the FULL n-node graph, audited against S's
+//     O(log n) capacity. Accept freezes -- the whole population is the
+//     output; reject resamples S's internal graph and redraws.
+//  5. The same non-spanning defenses as Theorem 16 apply: memory-S lines
+//     merge with other lines/memories, and an accepted S that meets an
+//     unknown free node reverts and recounts.
+//
+// The paper notes the construction is *not* equiprobable over L (different
+// members contain different numbers of qualifying subgraphs); we inherit
+// exactly that caveat.
+#pragma once
+
+#include "generic/session.hpp"
+#include "tm/graph_language.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace netcons::generic {
+
+class NoWasteConstructor : public InteractionSystem {
+ public:
+  struct Report {
+    bool stabilized = false;
+    std::uint64_t steps_executed = 0;
+    std::uint64_t convergence_step = 0;
+    int useful_space = 0;  ///< Equals n on success: no waste.
+    int tm_subgraph_order = 0;
+    int draw_passes = 0;
+    Graph output;  ///< The full n-node constructed graph.
+  };
+
+  NoWasteConstructor(tm::GraphLanguage language, int n, std::uint64_t seed, int max_degree = 3,
+                     int space_bits_per_cell = 32);
+
+  [[nodiscard]] Report run_until_stable(std::uint64_t max_steps);
+
+ protected:
+  bool on_interaction(int u, int v) override;
+
+ private:
+  enum class Role : std::uint8_t { Line, Mem, Free };
+  enum class Sgl : std::uint8_t { Q0, Q1, Q2, L, W };
+
+  struct Op {
+    int a = -1;
+    int b = -1;
+    bool activate = false;
+  };
+
+  struct CountSession {
+    std::vector<int> line;
+    std::vector<std::pair<int, int>> walk;  ///< Counting-walk encounters.
+    std::size_t next_op = 0;
+    int keep = 0;
+  };
+
+  /// The separated subpopulation S: memory + TM substrate + output member.
+  struct MemS {
+    std::vector<int> members;  ///< Leader last.
+    std::vector<Op> release_ops;
+    std::size_t next_release = 0;
+    std::vector<Op> rewire_ops;  ///< S-internal random bounded-degree graph.
+    std::size_t next_rewire = 0;
+    int believed_free = 0;
+    int anchor = -1;
+    int retired_count = 0;
+    int tossed_count = 0;
+    bool accepted = false;
+    std::vector<char> retired;
+    std::vector<char> tossed;
+    std::vector<char> participant;
+
+    [[nodiscard]] bool busy() const noexcept {
+      return next_release < release_ops.size() || next_rewire < rewire_ops.size();
+    }
+  };
+
+  bool handle_sgl(int u, int v);
+  bool handle_count_op(int u, int v);
+  bool handle_mem(int u, int v);
+
+  void kill_session_of(int node);
+  void create_session_at_leader(int leader);
+  void finish_count(int session_id);
+  void plan_rewire(MemS& mem);
+  std::vector<int> strip_mem(int mem_id);
+  void merge_mems(int mem_a, int mem_b);
+  void merge_mem_into_line(int mem_id, int line_leader);
+  void revert_mem_to_line(int mem_id);
+  void clear_incident_edges(int node);
+  [[nodiscard]] std::vector<int> traverse_line_from(int leader) const;
+  [[nodiscard]] std::vector<int> free_nodes() const;
+  void try_decide(MemS& mem);
+  void note_output_change() { last_output_change_ = steps(); }
+
+  tm::GraphLanguage language_;
+  int max_degree_;
+  int space_bits_per_cell_;
+
+  std::vector<Role> role_;
+  std::vector<Sgl> sgl_;
+  Graph edges_;
+  int line_nodes_ = 0;
+
+  int next_session_id_ = 0;
+  std::unordered_map<int, CountSession> sessions_;
+  std::vector<int> session_of_;
+
+  int next_mem_id_ = 0;
+  std::unordered_map<int, MemS> mems_;
+  std::vector<int> mem_of_;
+
+  int draw_passes_ = 0;
+  std::uint64_t last_output_change_ = 0;
+};
+
+}  // namespace netcons::generic

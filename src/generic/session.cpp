@@ -1,0 +1,8 @@
+// session.hpp is header-only; anchor translation unit.
+#include "generic/session.hpp"
+
+namespace netcons::generic {
+
+static_assert(sizeof(InteractionSystem) > 0);
+
+}  // namespace netcons::generic

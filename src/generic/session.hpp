@@ -1,0 +1,56 @@
+// Shared machinery for the Section 6 generic constructors.
+//
+// These constructors carry per-node records (role, marks, TM components)
+// rather than a flat finite-state table. Each one derives from
+// InteractionSystem: the same uniform random scheduler picks one unordered
+// pair per step, and the subclass's on_interaction decides whether that
+// encounter advances anything -- exactly the model's execution semantics,
+// with step counts directly comparable to the flat protocols'.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace netcons::generic {
+
+class InteractionSystem {
+ public:
+  InteractionSystem(int n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  virtual ~InteractionSystem() = default;
+
+  /// Execute one scheduler step; returns true if it was effective.
+  bool step() {
+    const Encounter e = scheduler_.next(rng_, n_);
+    ++steps_;
+    const bool effective = on_interaction(e.first, e.second);
+    if (effective) ++effective_steps_;
+    return effective;
+  }
+
+  void run(std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) step();
+  }
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t effective_steps() const noexcept { return effective_steps_; }
+
+ protected:
+  /// React to the unordered encounter {u, v}; return whether it changed
+  /// anything.
+  virtual bool on_interaction(int u, int v) = 0;
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  int n_;
+  Rng rng_;
+  UniformRandomScheduler scheduler_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t effective_steps_ = 0;
+};
+
+}  // namespace netcons::generic

@@ -1,0 +1,254 @@
+#include "generic/supernodes.hpp"
+
+#include <stdexcept>
+
+namespace netcons::generic {
+
+SupernodeConstructor::SupernodeConstructor(int n, std::uint64_t seed)
+    : InteractionSystem(n, seed),
+      role_(static_cast<std::size_t>(n), Role::Candidate),
+      owner_(static_cast<std::size_t>(n), -1),
+      edges_(n),
+      candidates_(n) {
+  if (n < 8) throw std::invalid_argument("SupernodeConstructor: need n >= 8");
+}
+
+bool SupernodeConstructor::on_interaction(int u, int v) {
+  const Role ru = role_[static_cast<std::size_t>(u)];
+  const Role rv = role_[static_cast<std::size_t>(v)];
+
+  // Leader election among candidates: (l0, l0, 0) -> (l, q0, 0).
+  if (ru == Role::Candidate && rv == Role::Candidate) {
+    int leader = u;
+    int loser = v;
+    if (rng().coin()) std::swap(leader, loser);
+    role_[static_cast<std::size_t>(leader)] = Role::Leader;
+    role_[static_cast<std::size_t>(loser)] = Role::Free;
+    --candidates_;
+    --candidates_;
+    ++free_;
+    ++leaders_;
+    owner_[static_cast<std::size_t>(leader)] = leader;
+    Build build;
+    build.lines.push_back({leader});
+    build.names.push_back(0);
+    builds_.emplace(leader, std::move(build));
+    return true;
+  }
+
+  // Two leaders: one wins, the other reverts its whole component.
+  if (ru == Role::Leader && rv == Role::Leader) {
+    int loser = u;
+    if (rng().coin()) loser = v;
+    become_reverter(loser);
+    return true;
+  }
+
+  // A reverter releases the next node of its component.
+  if (ru == Role::Reverter && handle_revert(u, v)) return true;
+  if (rv == Role::Reverter && handle_revert(v, u)) return true;
+
+  // Structural grabs: a designated structure node attaches a free node or a
+  // candidate (leaders attach both q0 and l0 nodes).
+  if (grabbable(v) && (ru == Role::Leader || ru == Role::Member)) return handle_grab(u, v);
+  if (grabbable(u) && (rv == Role::Leader || rv == Role::Member)) return handle_grab(v, u);
+  return false;
+}
+
+void SupernodeConstructor::attach(Build& build, int line_index, int fresh) {
+  auto& line = build.lines[static_cast<std::size_t>(line_index)];
+  edges_.add_edge(line.back(), fresh);
+  line.push_back(fresh);
+}
+
+void SupernodeConstructor::start_line(Build& build, int fresh) {
+  // New lines hang off the hub (the left endpoint of the leader's line).
+  edges_.add_edge(build.lines[0].front(), fresh);
+  build.lines.push_back({fresh});
+  build.names.push_back(build.next_name++);
+}
+
+bool SupernodeConstructor::handle_grab(int structural, int fresh) {
+  const int leader = owner_[static_cast<std::size_t>(structural)];
+  if (leader == -1) return false;
+  auto it = builds_.find(leader);
+  if (it == builds_.end()) return false;
+  Build& build = it->second;
+
+  // Identify whether `structural` is the node the current phase is waiting
+  // on, and what the grab does.
+  bool did = false;
+  switch (build.phase) {
+    case Build::Phase::Bootstrap: {
+      // Steps 0..6 build: leader line to length 2, then three hub lines of
+      // length 2 (names 1..3 assigned by start_line order at build time).
+      const int step = build.bootstrap_step;
+      const int hub = build.lines[0].front();
+      if (step == 0 && structural == hub) {
+        attach(build, 0, fresh);
+        did = true;
+      } else if (step == 1 || step == 3 || step == 5) {
+        if (structural == hub) {
+          Build& b2 = build;
+          edges_.add_edge(hub, fresh);
+          b2.lines.push_back({fresh});
+          b2.names.push_back((step + 1) / 2);  // names 1, 2, 3
+          did = true;
+        }
+      } else if (step == 2 || step == 4 || step == 6) {
+        auto& line = build.lines[static_cast<std::size_t>(step / 2)];
+        if (structural == line.back()) {
+          attach(build, step / 2, fresh);
+          did = true;
+        }
+      }
+      if (did) {
+        ++build.bootstrap_step;
+        if (build.bootstrap_step == 7) {
+          build.phase = Build::Phase::WaitExtend;
+          build.j = 2;
+        }
+      }
+      break;
+    }
+    case Build::Phase::WaitExtend:
+      // A new phase begins when the leader's own line grows by one.
+      if (structural == build.lines[0].back()) {
+        attach(build, 0, fresh);
+        ++build.j;
+        build.r = 1 << (build.j - 1);
+        build.a = 2;
+        build.visit_index = 1;
+        build.phase = Build::Phase::Increment;
+        did = true;
+      }
+      break;
+    case Build::Phase::Increment: {
+      auto& target = build.lines[static_cast<std::size_t>(build.visit_index)];
+      if (structural == target.back()) {
+        attach(build, build.visit_index, fresh);
+        ++build.visit_index;
+        ++build.a;
+        if (build.a > build.r) {
+          build.phase = Build::Phase::Create;
+          build.a = 1;
+          build.partial_line = -1;
+        }
+        did = true;
+      }
+      break;
+    }
+    case Build::Phase::Create:
+      if (build.partial_line == -1) {
+        if (structural == build.lines[0].front()) {  // the hub starts new lines
+          start_line(build, fresh);
+          build.partial_line = static_cast<int>(build.lines.size()) - 1;
+          did = true;
+        }
+      } else {
+        auto& partial = build.lines[static_cast<std::size_t>(build.partial_line)];
+        if (structural == partial.back()) {
+          attach(build, build.partial_line, fresh);
+          did = true;
+        }
+      }
+      if (did) {
+        auto& partial = build.lines[static_cast<std::size_t>(build.partial_line)];
+        if (partial.size() == build.lines[0].size()) {
+          build.partial_line = -1;
+          ++build.a;
+          if (build.a > build.r) build.phase = Build::Phase::WaitExtend;
+        }
+      }
+      break;
+  }
+
+  if (did) {
+    if (role_[static_cast<std::size_t>(fresh)] == Role::Candidate) {
+      --candidates_;
+    } else {
+      --free_;
+    }
+    role_[static_cast<std::size_t>(fresh)] = Role::Member;
+    owner_[static_cast<std::size_t>(fresh)] = leader;
+  }
+  return did;
+}
+
+void SupernodeConstructor::become_reverter(int leader) {
+  auto it = builds_.find(leader);
+  if (it == builds_.end()) return;
+  Revert revert;
+  // Release in reverse creation order: last line first, each from its right
+  // endpoint, the leader's own node last (handled when the order empties).
+  for (auto line = it->second.lines.rbegin(); line != it->second.lines.rend(); ++line) {
+    for (auto node = line->rbegin(); node != line->rend(); ++node) {
+      if (*node != leader) revert.order.push_back(*node);
+    }
+  }
+  builds_.erase(it);
+  --leaders_;
+  if (revert.order.empty()) {
+    // Nothing to dismantle (the loser had no members yet): free immediately.
+    for (int w : edges_.neighbors(leader)) edges_.remove_edge(leader, w);
+    role_[static_cast<std::size_t>(leader)] = Role::Free;
+    owner_[static_cast<std::size_t>(leader)] = -1;
+    ++free_;
+    return;
+  }
+  role_[static_cast<std::size_t>(leader)] = Role::Reverter;
+  reverts_.emplace(leader, std::move(revert));
+}
+
+bool SupernodeConstructor::handle_revert(int reverter, int target) {
+  auto it = reverts_.find(reverter);
+  if (it == reverts_.end()) return false;
+  Revert& revert = it->second;
+  if (revert.next >= revert.order.size()) return false;
+  if (revert.order[revert.next] != target) return false;
+
+  // Release: deactivate the target's remaining edges and free it.
+  for (int w : edges_.neighbors(target)) edges_.remove_edge(target, w);
+  role_[static_cast<std::size_t>(target)] = Role::Free;
+  owner_[static_cast<std::size_t>(target)] = -1;
+  ++free_;
+  ++revert.next;
+
+  if (revert.next == revert.order.size()) {
+    // Everything released; the reverter itself becomes free.
+    for (int w : edges_.neighbors(reverter)) edges_.remove_edge(reverter, w);
+    role_[static_cast<std::size_t>(reverter)] = Role::Free;
+    owner_[static_cast<std::size_t>(reverter)] = -1;
+    ++free_;
+    reverts_.erase(it);
+  }
+  return true;
+}
+
+SupernodeConstructor::Report SupernodeConstructor::run_until_stable(std::uint64_t max_steps) {
+  Report report;
+  const std::uint64_t check_interval =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(size()) * size());
+  while (true) {
+    if (leaders_ == 1 && candidates_ == 0 && free_ == 0 && reverts_.empty()) {
+      report.stabilized = true;
+      break;
+    }
+    if (steps() >= max_steps) break;
+    run(std::min(check_interval, max_steps - steps()));
+  }
+  report.steps_executed = steps();
+  if (!builds_.empty()) {
+    const Build& build = builds_.begin()->second;
+    report.supernode_count = static_cast<int>(build.lines.size());
+    report.leader_line_length = static_cast<int>(build.lines[0].size());
+    for (const auto& line : build.lines) {
+      report.line_lengths.push_back(static_cast<int>(line.size()));
+    }
+    report.names = build.names;
+  }
+  report.structure = edges_;
+  return report;
+}
+
+}  // namespace netcons::generic

@@ -1,0 +1,96 @@
+// Theorem 18 (Partitioning into Supernodes): organize n nodes into k lines
+// ("supernodes") of length ~log k each, with unique binary names -- enough
+// local memory per supernode to run named, memory-equipped distributed
+// algorithms on top (Section 6.4).
+//
+// Interaction-level implementation of the paper's construction:
+//  * Leader election: all nodes start as candidates l0; (l0, l0) leaves one
+//    leader l and one free node q0.
+//  * Each leader bootstraps the assumed starting configuration (4 lines of
+//    2 nodes, left endpoints hub-connected to the leader's line's left
+//    endpoint) and then runs the phase protocol: when its own line grows to
+//    length j it increments every existing line to length j (the "increment
+//    existing lines" subphase, a <= r = 2^{j-1}) and then creates r new
+//    lines of length j (the "create new lines" subphase), doubling the line
+//    count each phase. Lines are named in creation order (the paper's cname
+//    counter).
+//  * When two leaders meet, the loser becomes a reverter w and dismantles
+//    its whole component node by node (each release consumes an interaction
+//    with the released node), returning everything to q0 -- the generic
+//    simulate-with-a-pre-elected-leader technique. Leaders attach both q0
+//    and l0 nodes, so everything is eventually absorbed by the unique
+//    surviving leader.
+//
+// The system stabilizes when a single leader remains and no free or
+// candidate nodes are left to grab.
+#pragma once
+
+#include "generic/session.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace netcons::generic {
+
+class SupernodeConstructor : public InteractionSystem {
+ public:
+  struct Report {
+    bool stabilized = false;
+    std::uint64_t steps_executed = 0;
+    int supernode_count = 0;          ///< k: number of lines.
+    int leader_line_length = 0;       ///< j: current phase's line length.
+    std::vector<int> line_lengths;    ///< All line lengths (leader's first).
+    std::vector<int> names;           ///< Line names in line order.
+    Graph structure;                  ///< The active graph (lines + hub edges).
+  };
+
+  SupernodeConstructor(int n, std::uint64_t seed);
+
+  [[nodiscard]] Report run_until_stable(std::uint64_t max_steps);
+
+ protected:
+  bool on_interaction(int u, int v) override;
+
+ private:
+  enum class Role : std::uint8_t { Candidate, Free, Leader, Member, Reverter };
+
+  struct Build {
+    enum class Phase : std::uint8_t { Bootstrap, WaitExtend, Increment, Create };
+    Phase phase = Phase::Bootstrap;
+    std::vector<std::vector<int>> lines;  ///< lines[0] is the leader's line.
+    std::vector<int> names;               ///< Parallel to `lines`.
+    int bootstrap_step = 0;
+    int j = 2;           ///< Phase number == leader-line length.
+    int r = 0;           ///< Lines to touch this phase.
+    int a = 0;           ///< Progress counter within the subphase.
+    int visit_index = 1; ///< Next line to increment.
+    int partial_line = -1;
+    int next_name = 4;   ///< 0..3 are the bootstrap lines.
+  };
+
+  struct Revert {
+    std::vector<int> order;  ///< Reverse creation order.
+    std::size_t next = 0;
+  };
+
+  [[nodiscard]] bool grabbable(int node) const {
+    const Role role = role_[static_cast<std::size_t>(node)];
+    return role == Role::Free || role == Role::Candidate;
+  }
+  bool handle_grab(int structural, int fresh);
+  void attach(Build& build, int line_index, int fresh);
+  void start_line(Build& build, int fresh);
+  void become_reverter(int leader);
+  bool handle_revert(int reverter, int target);
+
+  std::vector<Role> role_;
+  std::vector<int> owner_;  ///< member/leader -> leader node id.
+  Graph edges_;
+  std::unordered_map<int, Build> builds_;
+  std::unordered_map<int, Revert> reverts_;
+  int candidates_ = 0;
+  int free_ = 0;
+  int leaders_ = 0;
+};
+
+}  // namespace netcons::generic

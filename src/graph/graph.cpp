@@ -1,0 +1,164 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace netcons {
+
+Graph::Graph(int n) : n_(n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative order");
+  bits_.assign((pair_count(n) + 63) / 64, 0);
+  degree_.assign(static_cast<std::size_t>(n), 0);
+}
+
+std::size_t Graph::pair_index(int u, int v) noexcept {
+  assert(u != v);
+  if (u > v) std::swap(u, v);
+  return static_cast<std::size_t>(v) * (static_cast<std::size_t>(v) - 1) / 2 +
+         static_cast<std::size_t>(u);
+}
+
+std::size_t Graph::pair_count(int n) noexcept {
+  return static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2;
+}
+
+bool Graph::has_edge(int u, int v) const noexcept {
+  if (u == v) return false;
+  const std::size_t i = pair_index(u, v);
+  return (bits_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+bool Graph::set_edge(int u, int v, bool active) {
+  if (u == v || u < 0 || v < 0 || u >= n_ || v >= n_) {
+    throw std::out_of_range("Graph::set_edge: bad endpoints");
+  }
+  const std::size_t i = pair_index(u, v);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  const bool old = (bits_[i / 64] & mask) != 0;
+  if (old == active) return false;
+  bits_[i / 64] ^= mask;
+  const int delta = active ? 1 : -1;
+  degree_[static_cast<std::size_t>(u)] += delta;
+  degree_[static_cast<std::size_t>(v)] += delta;
+  edges_ += delta;
+  return true;
+}
+
+std::vector<int> Graph::neighbors(int u) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(degree(u)));
+  for (int v = 0; v < n_; ++v) {
+    if (v != u && has_edge(u, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(edges_));
+  for (int v = 1; v < n_; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (has_edge(u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> Graph::components() const {
+  std::vector<int> label(static_cast<std::size_t>(n_), -1);
+  std::vector<std::vector<int>> comps;
+  std::vector<int> stack;
+  for (int s = 0; s < n_; ++s) {
+    if (label[static_cast<std::size_t>(s)] != -1) continue;
+    const int id = static_cast<int>(comps.size());
+    comps.emplace_back();
+    stack.push_back(s);
+    label[static_cast<std::size_t>(s)] = id;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      comps[static_cast<std::size_t>(id)].push_back(u);
+      for (int v = 0; v < n_; ++v) {
+        if (label[static_cast<std::size_t>(v)] == -1 && has_edge(u, v)) {
+          label[static_cast<std::size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+Graph Graph::induced(const std::vector<int>& nodes) const {
+  Graph g(static_cast<int>(nodes.size()));
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+      if (has_edge(nodes[a], nodes[b])) g.add_edge(static_cast<int>(a), static_cast<int>(b));
+    }
+  }
+  return g;
+}
+
+std::string Graph::adjacency_bits() const {
+  std::string s(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), '0');
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      if (u != v && has_edge(u, v)) {
+        s[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(v)] = '1';
+      }
+    }
+  }
+  return s;
+}
+
+std::optional<Graph> Graph::from_adjacency_bits(const std::string& bits) {
+  int n = 0;
+  while (static_cast<std::size_t>(n) * static_cast<std::size_t>(n) < bits.size()) ++n;
+  if (static_cast<std::size_t>(n) * static_cast<std::size_t>(n) != bits.size()) {
+    return std::nullopt;
+  }
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      const char c = bits[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(v)];
+      if (c != '0' && c != '1') return std::nullopt;
+      const char mirror = bits[static_cast<std::size_t>(v) * static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(u)];
+      if (c != mirror) return std::nullopt;
+      if (u == v && c == '1') return std::nullopt;
+      if (u < v && c == '1') g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph Graph::line(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph Graph::ring(int n) {
+  Graph g = line(n);
+  if (n >= 3) g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph Graph::star(int n) {
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph Graph::clique(int n) {
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace netcons

@@ -1,0 +1,67 @@
+// Simple undirected graph on nodes {0..n-1}, stored as a triangular edge
+// bitset plus cached degrees. This is the "output graph" type extracted from
+// configurations and the input type of every topology predicate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n);
+
+  [[nodiscard]] int order() const noexcept { return n_; }
+  [[nodiscard]] std::int64_t edge_count() const noexcept { return edges_; }
+
+  /// Index of the unordered pair {u, v} (u != v) in the triangular layout.
+  [[nodiscard]] static std::size_t pair_index(int u, int v) noexcept;
+  /// Number of unordered pairs over n nodes.
+  [[nodiscard]] static std::size_t pair_count(int n) noexcept;
+
+  [[nodiscard]] bool has_edge(int u, int v) const noexcept;
+  /// Sets the edge state; returns true if the state changed.
+  bool set_edge(int u, int v, bool active);
+  void add_edge(int u, int v) { set_edge(u, v, true); }
+  void remove_edge(int u, int v) { set_edge(u, v, false); }
+
+  [[nodiscard]] int degree(int u) const noexcept { return degree_[static_cast<std::size_t>(u)]; }
+  [[nodiscard]] const std::vector<int>& degrees() const noexcept { return degree_; }
+
+  /// Neighbors of u (O(n) scan; fine for the small graphs we analyze).
+  [[nodiscard]] std::vector<int> neighbors(int u) const;
+
+  /// All active edges as (u, v) pairs with u < v.
+  [[nodiscard]] std::vector<std::pair<int, int>> edges() const;
+
+  /// Connected components as node lists (singletons included).
+  [[nodiscard]] std::vector<std::vector<int>> components() const;
+
+  [[nodiscard]] bool operator==(const Graph& other) const noexcept = default;
+
+  /// Subgraph induced by `nodes`, relabeled 0..k-1 in the given order.
+  [[nodiscard]] Graph induced(const std::vector<int>& nodes) const;
+
+  /// Row-major adjacency-matrix bit string ("0101..."), the TM input
+  /// encoding used throughout Section 6.
+  [[nodiscard]] std::string adjacency_bits() const;
+  [[nodiscard]] static std::optional<Graph> from_adjacency_bits(const std::string& bits);
+
+  /// Named constructions used as test fixtures and replication inputs.
+  [[nodiscard]] static Graph line(int n);
+  [[nodiscard]] static Graph ring(int n);
+  [[nodiscard]] static Graph star(int n);
+  [[nodiscard]] static Graph clique(int n);
+
+ private:
+  int n_ = 0;
+  std::int64_t edges_ = 0;
+  std::vector<std::uint64_t> bits_;
+  std::vector<int> degree_;
+};
+
+}  // namespace netcons

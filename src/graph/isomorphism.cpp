@@ -1,0 +1,99 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace netcons {
+namespace {
+
+/// Per-node invariant: (degree, sorted multiset of neighbor degrees).
+struct NodeInvariant {
+  int degree = 0;
+  std::vector<int> neighbor_degrees;
+
+  bool operator==(const NodeInvariant&) const = default;
+  bool operator<(const NodeInvariant& o) const {
+    if (degree != o.degree) return degree < o.degree;
+    return neighbor_degrees < o.neighbor_degrees;
+  }
+};
+
+std::vector<NodeInvariant> invariants(const Graph& g) {
+  std::vector<NodeInvariant> inv(static_cast<std::size_t>(g.order()));
+  for (int u = 0; u < g.order(); ++u) {
+    auto& iu = inv[static_cast<std::size_t>(u)];
+    iu.degree = g.degree(u);
+    for (int v : g.neighbors(u)) iu.neighbor_degrees.push_back(g.degree(v));
+    std::sort(iu.neighbor_degrees.begin(), iu.neighbor_degrees.end());
+  }
+  return inv;
+}
+
+/// Backtracking mapper: assign a-nodes in order of decreasing degree
+/// (most-constrained first), checking adjacency consistency incrementally.
+class Matcher {
+ public:
+  Matcher(const Graph& a, const Graph& b) : a_(a), b_(b) {
+    inv_a_ = invariants(a);
+    inv_b_ = invariants(b);
+    order_.resize(static_cast<std::size_t>(a.order()));
+    for (int u = 0; u < a.order(); ++u) order_[static_cast<std::size_t>(u)] = u;
+    std::sort(order_.begin(), order_.end(), [&](int x, int y) {
+      return inv_a_[static_cast<std::size_t>(y)] < inv_a_[static_cast<std::size_t>(x)];
+    });
+    map_.assign(static_cast<std::size_t>(a.order()), -1);
+    used_.assign(static_cast<std::size_t>(b.order()), false);
+  }
+
+  [[nodiscard]] bool search(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const int u = order_[depth];
+    for (int v = 0; v < b_.order(); ++v) {
+      if (used_[static_cast<std::size_t>(v)]) continue;
+      if (!(inv_a_[static_cast<std::size_t>(u)] == inv_b_[static_cast<std::size_t>(v)])) continue;
+      if (!consistent(u, v, depth)) continue;
+      map_[static_cast<std::size_t>(u)] = v;
+      used_[static_cast<std::size_t>(v)] = true;
+      if (search(depth + 1)) return true;
+      map_[static_cast<std::size_t>(u)] = -1;
+      used_[static_cast<std::size_t>(v)] = false;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] bool consistent(int u, int v, std::size_t depth) const {
+    for (std::size_t i = 0; i < depth; ++i) {
+      const int w = order_[i];
+      const int mapped = map_[static_cast<std::size_t>(w)];
+      if (a_.has_edge(u, w) != b_.has_edge(v, mapped)) return false;
+    }
+    return true;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  std::vector<NodeInvariant> inv_a_;
+  std::vector<NodeInvariant> inv_b_;
+  std::vector<int> order_;
+  std::vector<int> map_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+bool are_isomorphic(const Graph& a, const Graph& b) {
+  if (a.order() != b.order() || a.edge_count() != b.edge_count()) return false;
+  if (a.order() == 0) return true;
+  auto ia = invariants(a);
+  auto ib = invariants(b);
+  auto sa = ia;
+  auto sb = ib;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  if (sa != sb) return false;
+  Matcher m(a, b);
+  return m.search(0);
+}
+
+}  // namespace netcons

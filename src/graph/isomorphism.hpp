@@ -1,0 +1,16 @@
+// Graph isomorphism for the small graphs produced in experiments
+// (replication targets, generic-constructor outputs). Degree-sequence and
+// neighborhood-invariant screening followed by backtracking search; exact.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace netcons {
+
+/// Exact isomorphism test. Intended for graphs of order <= ~64; complexity is
+/// exponential in the worst case but the invariant screening makes the
+/// experimental workloads (lines, rings, stars, cliques, sparse G(n,p))
+/// effectively instant.
+[[nodiscard]] bool are_isomorphic(const Graph& a, const Graph& b);
+
+}  // namespace netcons

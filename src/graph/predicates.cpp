@@ -1,0 +1,159 @@
+#include "graph/predicates.hpp"
+
+#include <algorithm>
+
+namespace netcons {
+
+bool is_connected(const Graph& g) {
+  if (g.order() == 0) return true;
+  return g.components().size() == 1;
+}
+
+bool is_spanning_line(const Graph& g) {
+  const int n = g.order();
+  if (n == 0) return false;
+  if (n == 1) return g.edge_count() == 0;
+  if (g.edge_count() != n - 1) return false;
+  int deg1 = 0;
+  for (int u = 0; u < n; ++u) {
+    const int d = g.degree(u);
+    if (d == 1) {
+      ++deg1;
+    } else if (d != 2) {
+      return false;
+    }
+  }
+  return deg1 == 2 && is_connected(g);
+}
+
+bool is_spanning_ring(const Graph& g) {
+  const int n = g.order();
+  if (n < 3) return false;
+  if (g.edge_count() != n) return false;
+  for (int u = 0; u < n; ++u) {
+    if (g.degree(u) != 2) return false;
+  }
+  return is_connected(g);
+}
+
+bool is_spanning_star(const Graph& g) {
+  const int n = g.order();
+  if (n < 2) return n == 1 && g.edge_count() == 0;
+  if (g.edge_count() != n - 1) return false;
+  int centers = 0;
+  for (int u = 0; u < n; ++u) {
+    const int d = g.degree(u);
+    if (d == n - 1) {
+      ++centers;
+    } else if (d != 1) {
+      return false;
+    }
+  }
+  // n == 2: both endpoints have degree 1 == n-1; count them as one star.
+  return n == 2 ? g.edge_count() == 1 : centers == 1;
+}
+
+bool is_cycle_cover(const Graph& g, int waste) {
+  int irregular = 0;
+  std::vector<char> in_cycle(static_cast<std::size_t>(g.order()), 0);
+  for (const auto& comp : g.components()) {
+    const auto size = static_cast<int>(comp.size());
+    bool all_deg2 = true;
+    for (int u : comp) {
+      if (g.degree(u) != 2) all_deg2 = false;
+    }
+    if (all_deg2 && size >= 3) {
+      // A connected graph where every node has degree 2 is a single cycle.
+      continue;
+    }
+    // Waste component: isolated node or a single active edge pair; anything
+    // larger that is not a cycle is a violation.
+    if (size == 1 && g.degree(comp[0]) == 0) {
+      irregular += 1;
+    } else if (size == 2 && g.degree(comp[0]) == 1 && g.degree(comp[1]) == 1) {
+      irregular += 2;
+    } else {
+      return false;
+    }
+  }
+  return irregular <= waste;
+}
+
+bool is_k_regular_connected_relaxed(const Graph& g, int k) {
+  const int n = g.order();
+  if (n < k + 1) return false;
+  if (!is_connected(g)) return false;
+  std::vector<int> deficient;
+  for (int u = 0; u < n; ++u) {
+    if (g.degree(u) > k) return false;
+    if (g.degree(u) < k) deficient.push_back(u);
+  }
+  const auto l = static_cast<int>(deficient.size());
+  if (l > k - 1) return false;
+  for (int u : deficient) {
+    if (g.degree(u) < l - 1) return false;
+  }
+  return true;
+}
+
+bool is_k_regular_connected(const Graph& g, int k) {
+  const int n = g.order();
+  if (n < k + 1) return false;
+  for (int u = 0; u < n; ++u) {
+    if (g.degree(u) != k) return false;
+  }
+  return is_connected(g);
+}
+
+bool is_clique_partition(const Graph& g, int c) {
+  const int n = g.order();
+  int full_cliques = 0;
+  int leftover_components = 0;
+  for (const auto& comp : g.components()) {
+    const auto size = static_cast<int>(comp.size());
+    if (size == static_cast<int>(c)) {
+      // Must be a complete clique.
+      for (std::size_t a = 0; a < comp.size(); ++a) {
+        for (std::size_t b = a + 1; b < comp.size(); ++b) {
+          if (!g.has_edge(comp[a], comp[b])) return false;
+        }
+      }
+      ++full_cliques;
+    } else if (size < c) {
+      ++leftover_components;
+      // Leftover nodes cannot fill another clique; allow any internal shape
+      // but only in a single leftover component (isolated nodes each count
+      // as a component, so `c - 1` singletons are also fine).
+      if (size > c - 1) return false;
+    } else {
+      return false;
+    }
+  }
+  const int leftover_nodes = n - full_cliques * c;
+  return full_cliques == n / c && leftover_nodes <= c - 1 &&
+         leftover_components <= std::max(1, leftover_nodes);
+}
+
+bool is_maximum_matching(const Graph& g) {
+  const int n = g.order();
+  for (int u = 0; u < n; ++u) {
+    if (g.degree(u) > 1) return false;
+  }
+  return g.edge_count() == n / 2;
+}
+
+bool is_spanning_network(const Graph& g) {
+  for (int u = 0; u < g.order(); ++u) {
+    if (g.degree(u) == 0) return false;
+  }
+  return g.order() > 0;
+}
+
+bool has_max_degree(const Graph& g, int d) {
+  for (int u = 0; u < g.order(); ++u) {
+    if (g.degree(u) > d) return false;
+  }
+  return true;
+}
+
+}  // namespace netcons

@@ -1,0 +1,52 @@
+// Topology predicates for every target network of the paper (Section 3.2).
+// All predicates operate on the extracted output graph; "spanning" always
+// refers to the graph's full node set, and the waste-tolerant variants take
+// the allowed number of unused nodes explicitly.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace netcons {
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Spanning line: connected, two nodes of degree 1, n-2 nodes of degree 2.
+/// (n == 1: trivially a line; n == 2: a single edge.)
+[[nodiscard]] bool is_spanning_line(const Graph& g);
+
+/// Spanning ring: connected and 2-regular (requires n >= 3).
+[[nodiscard]] bool is_spanning_ring(const Graph& g);
+
+/// Spanning star: one center of degree n-1, the rest degree 1 (n >= 2;
+/// n == 2 is the single edge).
+[[nodiscard]] bool is_spanning_star(const Graph& g);
+
+/// Cycle cover with waste: at least n - waste nodes have degree exactly 2 and
+/// every degree-2 component is a cycle; the remaining nodes are either
+/// isolated or form one extra active edge (paper Theorem 5 allows waste 2).
+[[nodiscard]] bool is_cycle_cover(const Graph& g, int waste);
+
+/// Connected spanning network where >= n-k+1 nodes have degree k and each of
+/// the remaining l <= k-1 nodes has degree in [l-1, k-1] (Theorem 11's
+/// guarantee). For the clean case (n*k even and the protocol converged fully)
+/// this accepts the k-regular connected graph.
+[[nodiscard]] bool is_k_regular_connected_relaxed(const Graph& g, int k);
+
+/// Strict check: connected and k-regular.
+[[nodiscard]] bool is_k_regular_connected(const Graph& g, int k);
+
+/// Partition into floor(n/c) cliques of order c; the <= c-1 leftover nodes
+/// may form at most one smaller component with arbitrary internal edges.
+[[nodiscard]] bool is_clique_partition(const Graph& g, int c);
+
+/// Matching of cardinality floor(n/2): every node has degree <= 1 and the
+/// number of edges is floor(n/2).
+[[nodiscard]] bool is_maximum_matching(const Graph& g);
+
+/// Every node has at least one active edge (Theorem 1's "spanning network").
+[[nodiscard]] bool is_spanning_network(const Graph& g);
+
+/// True if the graph has maximum degree <= d.
+[[nodiscard]] bool has_max_degree(const Graph& g, int d);
+
+}  // namespace netcons

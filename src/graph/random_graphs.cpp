@@ -1,0 +1,52 @@
+#include "graph/random_graphs.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace netcons {
+
+Graph sample_gnp(int n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("sample_gnp: p out of [0,1]");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph sample_bounded_degree_connected(int n, int d, Rng& rng) {
+  if (n > 1 && d < 2 && n > 2) {
+    throw std::invalid_argument("sample_bounded_degree_connected: need d >= 2 for n > 2");
+  }
+  Graph g(n);
+  if (n <= 1) return g;
+  // Random attachment tree with degree cap: attach node v to a uniformly
+  // chosen earlier node that still has capacity.
+  std::vector<int> candidates;
+  for (int v = 1; v < n; ++v) {
+    candidates.clear();
+    for (int u = 0; u < v; ++u) {
+      if (g.degree(u) < d) candidates.push_back(u);
+    }
+    if (candidates.empty()) {
+      throw std::invalid_argument("sample_bounded_degree_connected: cap too tight");
+    }
+    const int u = candidates[rng.below(candidates.size())];
+    g.add_edge(u, v);
+  }
+  // A few random extra edges respecting the cap (densifies without bias
+  // toward any particular topology).
+  const int extra_attempts = n;
+  for (int i = 0; i < extra_attempts; ++i) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u != v && !g.has_edge(u, v) && g.degree(u) < d && g.degree(v) < d) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace netcons

@@ -1,0 +1,19 @@
+// Random graph models used by the generic constructors of Section 6.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace netcons {
+
+/// Erdos-Renyi G(n, p): each unordered pair active independently with
+/// probability p. The paper's generic constructors draw from G(n, 1/2).
+[[nodiscard]] Graph sample_gnp(int n, double p, Rng& rng);
+
+/// Random connected graph of max degree <= d on n nodes (used by the
+/// Theorem 17 "no waste" constructor to seed the logarithmic TM subgraph):
+/// random spanning tree capped at degree d, plus random extra edges that
+/// respect the cap.
+[[nodiscard]] Graph sample_bounded_degree_connected(int n, int d, Rng& rng);
+
+}  // namespace netcons

@@ -1,0 +1,77 @@
+#include "graph/render.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace netcons {
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream os;
+  const char* kind = options.directed ? "digraph" : "graph";
+  const char* link = options.directed ? " -> " : " -- ";
+  os << kind << " \"" << options.graph_name << "\" {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  for (int u = 0; u < g.order(); ++u) {
+    os << "  n" << u;
+    const bool has_label =
+        static_cast<std::size_t>(u) < options.node_labels.size() &&
+        !options.node_labels[static_cast<std::size_t>(u)].empty();
+    const bool has_color =
+        static_cast<std::size_t>(u) < options.node_colors.size() &&
+        !options.node_colors[static_cast<std::size_t>(u)].empty();
+    if (has_label || has_color) {
+      os << " [";
+      if (has_label) {
+        os << "label=\"" << u << ":" << options.node_labels[static_cast<std::size_t>(u)]
+           << "\"";
+      }
+      if (has_color) {
+        if (has_label) os << ", ";
+        os << "style=filled, fillcolor=\"" << options.node_colors[static_cast<std::size_t>(u)]
+           << "\"";
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << link << "n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ascii_adjacency(const Graph& g) {
+  std::ostringstream os;
+  const int n = g.order();
+  os << "    ";
+  for (int v = 0; v < n; ++v) os << v % 10;
+  os << '\n';
+  for (int u = 0; u < n; ++u) {
+    os << (u < 10 ? "  " : " ") << u << ' ';
+    for (int v = 0; v < n; ++v) {
+      if (v <= u) {
+        os << ' ';
+      } else {
+        os << (g.has_edge(u, v) ? '#' : '.');
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string degree_histogram(const Graph& g) {
+  std::map<int, int> hist;
+  for (int u = 0; u < g.order(); ++u) ++hist[g.degree(u)];
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [degree, count] : hist) {
+    if (!first) os << ' ';
+    os << "deg" << degree << ":" << count;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace netcons

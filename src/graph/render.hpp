@@ -1,0 +1,33 @@
+// Rendering helpers for constructed networks: Graphviz DOT export (with
+// optional per-node state labels) and a compact ASCII adjacency picture for
+// terminal inspection. Used by the figure benches and examples; pure
+// functions with no I/O of their own.
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <string>
+#include <vector>
+
+namespace netcons {
+
+struct DotOptions {
+  std::string graph_name = "netcons";
+  /// Optional per-node labels (e.g. protocol state names); empty = ids only.
+  std::vector<std::string> node_labels;
+  /// Optional per-node fill colors (Graphviz color names).
+  std::vector<std::string> node_colors;
+  bool directed = false;
+};
+
+/// Graphviz DOT source for the graph.
+[[nodiscard]] std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+/// Upper-triangular ASCII adjacency matrix ('#' = active), with a header
+/// row of node indices (mod 10). Intended for n <= ~60.
+[[nodiscard]] std::string ascii_adjacency(const Graph& g);
+
+/// One-line degree histogram: "deg0:x deg1:y ...".
+[[nodiscard]] std::string degree_histogram(const Graph& g);
+
+}  // namespace netcons

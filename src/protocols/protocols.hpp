@@ -1,0 +1,90 @@
+// Factories for every direct constructor in the paper (Sections 4, 5, 7 and
+// the Theorem 15 partition rules), each bundled as a ProtocolSpec with its
+// target-topology predicate, a sound stability certificate where stable
+// configurations are not quiescent, and a per-n step budget reflecting the
+// proven running-time bound.
+//
+//   Protocol 1   Simple-Global-Line      5 states   Omega(n^4), O(n^5)
+//   Protocol 2   Fast-Global-Line        9 states   O(n^3)
+//   Protocol 3   Cycle-Cover             3 states   Theta(n^2)
+//   Protocol 4   Global-Star             2 states   Theta(n^2 log n)
+//   Protocol 5   Global-Ring            10 states   (correctness only)
+//   Protocol 6   2RC                     6 states   (correctness only)
+//   Protocol 7   kRC                 2(k+1) states  (correctness only)
+//   Protocol 8   c-Cliques            5c-3 states   (correctness only)
+//   Protocol 9   Graph-Replication      12 states   Theta(n^4 log n)
+//   Protocol 10  Faster-Global-Line      6 states   (open question)
+//   Theorem 1    Spanning-Net            2 states   Theta(n log n)
+//   Section 7    Degree-doubling      ~2d+4 states  (size discussion)
+//   Theorem 15   (U,D,M) partition       6 states   (substrate)
+#pragma once
+
+#include "core/spec.hpp"
+
+namespace netcons::protocols {
+
+/// Protocol 1. Lines with a unique leader merge until one spans.
+[[nodiscard]] ProtocolSpec simple_global_line();
+
+/// Protocol 2. Merging-free: awake lines steal nodes from sleeping lines.
+[[nodiscard]] ProtocolSpec fast_global_line();
+
+/// Protocol 10 (Section 7). Conjectured improvement: followers dissolve
+/// their own lines, feeding the surviving leader.
+[[nodiscard]] ProtocolSpec faster_global_line();
+
+/// Protocol 3. Degree-counting up to 2; waste <= 2.
+[[nodiscard]] ProtocolSpec cycle_cover();
+
+/// Protocol 4. Centers attract peripherals; peripherals repel each other.
+[[nodiscard]] ProtocolSpec global_star();
+
+/// Protocol 5 (journal version, with the PODC'14 bug fixed via the l-bar
+/// state). Spanning ring via line formation + guarded closing.
+[[nodiscard]] ProtocolSpec global_ring();
+
+/// Protocol 6 == krc(2).
+[[nodiscard]] ProtocolSpec two_rc();
+
+/// Protocol 7. Connected spanning network where >= n-k+1 nodes reach
+/// degree k (Theorem 11). Requires k >= 2.
+[[nodiscard]] ProtocolSpec krc(int k);
+
+/// Protocol 8. Partition into floor(n/c) cliques of order c. Requires c >= 3
+/// (the paper's state chart implicitly assumes it; c = 2 is the
+/// maximum-matching process).
+[[nodiscard]] ProtocolSpec c_cliques(int c);
+
+/// Protocol 9 (randomized / PREL). Replicates the input graph `g1`, provided
+/// the population has >= 2 * g1.order() nodes. `g1` must be connected.
+///
+/// Output-set note: we take the output graph to be the active subgraph on
+/// the V2 states {r0, r, ra, rd, r'} -- the problem definition in
+/// Section 3.2 ("the output induced by the active edges between the nodes
+/// of V2"). The paper's Qout = {r, ra, rd} would make the output node set
+/// oscillate through the transient r' state forever.
+[[nodiscard]] ProtocolSpec replication(const Graph& g1);
+
+/// Theorem 1's upper bound: (a,a,0) -> (b,b,1), (a,b,0) -> (b,b,1)
+/// constructs a spanning network in Theta(n log n).
+[[nodiscard]] ProtocolSpec spanning_net();
+
+/// Section 7 size-lower-bound discussion: a distinguished node acquires
+/// exactly 2^d neighbors using Theta(d) states.
+[[nodiscard]] ProtocolSpec degree_doubling(int d);
+
+/// Theorem 15's (U, D, M) partition rules: matches every U-node with a
+/// D-node and an M-node.
+[[nodiscard]] ProtocolSpec partition_udm();
+
+/// Section 7 discussion: with a pre-elected unique leader, the single rule
+/// (l, q0, 0) -> (q1, l, 1) builds a stable spanning line in
+/// Theta(n^2 log n) -- the target the paper's open question about composing
+/// leader election with line construction is chasing. The spec's
+/// initializer plants the leader (the "pre-elected" assumption).
+[[nodiscard]] ProtocolSpec preelected_line();
+
+/// All line constructors (for the Section 4 comparison bench).
+[[nodiscard]] std::vector<ProtocolSpec> line_protocols();
+
+}  // namespace netcons::protocols

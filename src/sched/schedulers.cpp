@@ -1,0 +1,60 @@
+#include "sched/schedulers.hpp"
+
+#include "graph/graph.hpp"
+
+namespace netcons {
+
+Encounter RandomPermutationScheduler::next(Rng& rng, int n) {
+  if (n != n_ || cursor_ >= pairs_.size()) {
+    if (n != n_) {
+      n_ = n;
+      pairs_.clear();
+      pairs_.reserve(Graph::pair_count(n));
+      for (int v = 1; v < n; ++v) {
+        for (int u = 0; u < v; ++u) pairs_.push_back({u, v});
+      }
+    }
+    // Fisher-Yates reshuffle for the new round.
+    for (std::size_t i = pairs_.size(); i > 1; --i) {
+      const std::size_t j = rng.below(i);
+      std::swap(pairs_[i - 1], pairs_[j]);
+    }
+    cursor_ = 0;
+  }
+  return pairs_[cursor_++];
+}
+
+StaleBiasedScheduler::StaleBiasedScheduler(double bias) : bias_(bias) {
+  if (bias < 0.0 || bias >= 1.0) {
+    throw std::invalid_argument("StaleBiasedScheduler: bias must be in [0,1)");
+  }
+}
+
+Encounter StaleBiasedScheduler::next(Rng& rng, int n) {
+  if (n != n_) {
+    n_ = n;
+    last_played_.assign(Graph::pair_count(n), 0);
+    clock_ = 0;
+  }
+  ++clock_;
+  Encounter e{};
+  if (rng.bernoulli(bias_)) {
+    // Pick the stalest pair (ties broken by index). O(n^2) but this
+    // scheduler is a correctness probe, not a throughput path.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < last_played_.size(); ++i) {
+      if (last_played_[i] < last_played_[best]) best = i;
+    }
+    // Invert the triangular index.
+    int v = 1;
+    while (Graph::pair_count(v + 1) <= best) ++v;
+    const int u = static_cast<int>(best - Graph::pair_count(v));
+    e = {u, v};
+  } else {
+    e = uniform_.next(rng, n);
+  }
+  last_played_[Graph::pair_index(e.first, e.second)] = clock_;
+  return e;
+}
+
+}  // namespace netcons

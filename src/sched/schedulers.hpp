@@ -1,0 +1,74 @@
+// Additional schedulers beyond the uniform random one.
+//
+// * ScriptedScheduler drives an exact, hand-chosen execution -- the unit
+//   tests use it to exercise individual transitions deterministically
+//   (the "adversary" of the model made concrete).
+// * RandomPermutationScheduler is a fair round-based scheduler: each round
+//   plays all n(n-1)/2 pairs in a fresh random order. Used to check that
+//   correctness (not timing) is scheduler-independent, as the paper's
+//   correctness proofs only assume fairness.
+// * StaleBiasedScheduler is a fair-but-skewed stress scheduler that favors
+//   the least recently played pairs, probing sensitivity of measured times.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace netcons {
+
+class ScriptedScheduler final : public Scheduler {
+ public:
+  /// Plays `script` in order; afterwards falls back to uniform random
+  /// (or throws if `strict`).
+  explicit ScriptedScheduler(std::vector<Encounter> script, bool strict = false)
+      : script_(std::move(script)), strict_(strict) {}
+
+  [[nodiscard]] Encounter next(Rng& rng, int n) override {
+    if (position_ < script_.size()) return script_[position_++];
+    if (strict_) throw std::out_of_range("ScriptedScheduler: script exhausted");
+    return fallback_.next(rng, n);
+  }
+
+  void reset() override { position_ = 0; }
+
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::vector<Encounter> script_;
+  bool strict_;
+  std::size_t position_ = 0;
+  UniformRandomScheduler fallback_;
+};
+
+class RandomPermutationScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Encounter next(Rng& rng, int n) override;
+  void reset() override { cursor_ = 0; pairs_.clear(); }
+
+ private:
+  std::vector<Encounter> pairs_;
+  std::size_t cursor_ = 0;
+  int n_ = 0;
+};
+
+class StaleBiasedScheduler final : public Scheduler {
+ public:
+  /// `bias` in [0,1): probability of picking the stalest pair instead of a
+  /// uniform one. bias = 0 degenerates to the uniform scheduler.
+  explicit StaleBiasedScheduler(double bias = 0.5);
+
+  [[nodiscard]] Encounter next(Rng& rng, int n) override;
+  void reset() override { last_played_.clear(); }
+
+ private:
+  double bias_;
+  std::vector<std::uint64_t> last_played_;
+  std::uint64_t clock_ = 0;
+  int n_ = 0;
+  UniformRandomScheduler uniform_;
+};
+
+}  // namespace netcons

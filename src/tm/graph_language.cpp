@@ -1,0 +1,145 @@
+#include "tm/graph_language.hpp"
+
+#include "graph/predicates.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace netcons::tm {
+namespace {
+
+std::size_t log2_bits(int n) {
+  return static_cast<std::size_t>(std::ceil(std::log2(std::max(2, n))));
+}
+
+}  // namespace
+
+GraphLanguage connected_language() {
+  GraphLanguage lang;
+  lang.name = "connected";
+  lang.decide = [](const Graph& g) { return is_connected(g); };
+  lang.workspace_bits = [](int n) {
+    return static_cast<std::size_t>(n) + 2 * log2_bits(n);  // bitmap + cursor
+  };
+  lang.space_class = "O(n)";
+  return lang;
+}
+
+GraphLanguage max_degree_language(int d) {
+  GraphLanguage lang;
+  lang.name = "max-degree<=" + std::to_string(d);
+  lang.decide = [d](const Graph& g) { return has_max_degree(g, d); };
+  lang.workspace_bits = [](int n) { return 3 * log2_bits(n); };
+  lang.space_class = "O(log n)";
+  return lang;
+}
+
+GraphLanguage triangle_free_language() {
+  GraphLanguage lang;
+  lang.name = "triangle-free";
+  lang.decide = [](const Graph& g) {
+    for (int a = 0; a < g.order(); ++a) {
+      for (int b = a + 1; b < g.order(); ++b) {
+        if (!g.has_edge(a, b)) continue;
+        for (int c = b + 1; c < g.order(); ++c) {
+          if (g.has_edge(a, c) && g.has_edge(b, c)) return false;
+        }
+      }
+    }
+    return true;
+  };
+  lang.workspace_bits = [](int n) { return 3 * log2_bits(n); };
+  lang.space_class = "O(log n)";
+  return lang;
+}
+
+GraphLanguage has_triangle_language() {
+  GraphLanguage base = triangle_free_language();
+  GraphLanguage lang;
+  lang.name = "has-triangle";
+  lang.decide = [inner = base.decide](const Graph& g) { return !inner(g); };
+  lang.workspace_bits = base.workspace_bits;
+  lang.space_class = "O(log n)";
+  return lang;
+}
+
+GraphLanguage even_edges_language() {
+  GraphLanguage lang;
+  lang.name = "even-edges";
+  lang.decide = [](const Graph& g) { return g.edge_count() % 2 == 0; };
+  lang.workspace_bits = [](int n) { return 2 * log2_bits(n) + 1; };
+  lang.space_class = "O(log n)";
+  return lang;
+}
+
+GraphLanguage bipartite_language() {
+  GraphLanguage lang;
+  lang.name = "bipartite";
+  lang.decide = [](const Graph& g) {
+    std::vector<int> color(static_cast<std::size_t>(g.order()), -1);
+    std::vector<int> stack;
+    for (int s = 0; s < g.order(); ++s) {
+      if (color[static_cast<std::size_t>(s)] != -1) continue;
+      color[static_cast<std::size_t>(s)] = 0;
+      stack.push_back(s);
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int v : g.neighbors(u)) {
+          if (color[static_cast<std::size_t>(v)] == -1) {
+            color[static_cast<std::size_t>(v)] = 1 - color[static_cast<std::size_t>(u)];
+            stack.push_back(v);
+          } else if (color[static_cast<std::size_t>(v)] == color[static_cast<std::size_t>(u)]) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+  lang.workspace_bits = [](int n) { return 2 * static_cast<std::size_t>(n) + 2 * log2_bits(n); };
+  lang.space_class = "O(n)";
+  return lang;
+}
+
+GraphLanguage hamiltonian_path_language() {
+  GraphLanguage lang;
+  lang.name = "hamiltonian-path";
+  lang.decide = [](const Graph& g) {
+    const int n = g.order();
+    if (n == 0) return false;
+    if (n == 1) return true;
+    std::vector<int> path;
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    std::function<bool(int)> extend = [&](int u) -> bool {
+      path.push_back(u);
+      used[static_cast<std::size_t>(u)] = true;
+      if (static_cast<int>(path.size()) == n) return true;
+      for (int v = 0; v < n; ++v) {
+        if (!used[static_cast<std::size_t>(v)] && g.has_edge(u, v)) {
+          if (extend(v)) return true;
+        }
+      }
+      path.pop_back();
+      used[static_cast<std::size_t>(u)] = false;
+      return false;
+    };
+    for (int s = 0; s < n; ++s) {
+      if (extend(s)) return true;
+    }
+    return false;
+  };
+  lang.workspace_bits = [](int n) {
+    return static_cast<std::size_t>(n) * log2_bits(n) + static_cast<std::size_t>(n);
+  };
+  lang.space_class = "O(n log n)";
+  return lang;
+}
+
+std::vector<GraphLanguage> all_languages() {
+  return {connected_language(),    max_degree_language(3), triangle_free_language(),
+          has_triangle_language(), even_edges_language(),  bipartite_language(),
+          hamiltonian_path_language()};
+}
+
+}  // namespace netcons::tm

@@ -1,0 +1,60 @@
+// Decidable graph languages with explicit workspace accounting -- the "L"
+// of Section 6. The generic constructors draw random graphs and run a
+// decider for L on them; the theorems (14/15/16) differ only in how much
+// simulation space the organized population provides, so every decider here
+// reports the workspace (in bits, as a function of the input-graph order)
+// that its implementation needs. The constructors check that bound against
+// the space they physically allocated before running the decider.
+//
+// The paper does not spell out tuple tables for graph deciders either; the
+// deciders are implemented directly, with their space usage audited, and the
+// TM substrate itself is exercised by tm/turing_machine + tm/line_tape.
+// (See DESIGN.md, "Substitutions".)
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace netcons::tm {
+
+struct GraphLanguage {
+  std::string name;
+  std::function<bool(const Graph&)> decide;
+  /// Workspace, in bits, the decider needs for an order-n input (beyond the
+  /// read-only adjacency matrix).
+  std::function<std::size_t(int)> workspace_bits;
+  std::string space_class;  ///< e.g. "O(log n)", "O(n)", "O(n^2)".
+};
+
+/// Connected graphs. Workspace: visited bitmap + frontier cursor, O(n) bits.
+[[nodiscard]] GraphLanguage connected_language();
+
+/// Graphs with maximum degree <= d. Workspace: two indices + a counter,
+/// O(log n) bits.
+[[nodiscard]] GraphLanguage max_degree_language(int d);
+
+/// Triangle-free graphs. Workspace: three indices, O(log n) bits.
+[[nodiscard]] GraphLanguage triangle_free_language();
+
+/// Graphs containing at least one triangle.
+[[nodiscard]] GraphLanguage has_triangle_language();
+
+/// Graphs with an even number of edges. Workspace: two indices + one parity
+/// bit, O(log n) bits.
+[[nodiscard]] GraphLanguage even_edges_language();
+
+/// Bipartite graphs. Workspace: 2-coloring array, O(n) bits.
+[[nodiscard]] GraphLanguage bipartite_language();
+
+/// Graphs with a Hamiltonian path (exponential time, O(n log n) bits of
+/// workspace via the path stack; usable for the small orders the generic
+/// constructors run at).
+[[nodiscard]] GraphLanguage hamiltonian_path_language();
+
+/// All deciders above (for sweeping benches/tests).
+[[nodiscard]] std::vector<GraphLanguage> all_languages();
+
+}  // namespace netcons::tm

@@ -1,0 +1,158 @@
+#include "tm/line_tape.hpp"
+
+#include <stdexcept>
+
+namespace netcons::tm {
+
+LineTape::LineTape(TuringMachine machine, std::vector<int> line_nodes, std::string input)
+    : machine_(std::move(machine)), nodes_(std::move(line_nodes)) {
+  if (nodes_.size() < 2) throw std::invalid_argument("LineTape: need a line of >= 2 cells");
+  if (input.size() > nodes_.size()) throw std::invalid_argument("LineTape: input too long");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    position_of_[nodes_[i]] = static_cast<int>(i);
+  }
+  tape_.assign(nodes_.size(), TuringMachine::kBlank);
+  std::copy(input.begin(), input.end(), tape_.begin());
+  marks_.assign(nodes_.size(), Mark::None);
+  head_ = 0;
+  state_ = machine_.initial_state;
+  // The head starts at the left endpoint here; the initialization walk still
+  // runs to place the direction marks (it is a no-op walk to the right end
+  // and back), exercising the Figure 5 mechanics.
+  settle();
+}
+
+bool LineTape::is_head_cell_pair(int u, int v, int& other_pos) const {
+  const auto iu = position_of_.find(u);
+  const auto iv = position_of_.find(v);
+  if (iu == position_of_.end() || iv == position_of_.end()) return false;
+  const int pu = iu->second;
+  const int pv = iv->second;
+  if (pu == head_) {
+    other_pos = pv;
+  } else if (pv == head_) {
+    other_pos = pu;
+  } else {
+    return false;
+  }
+  return std::abs(other_pos - head_) == 1;
+}
+
+bool LineTape::on_interaction(int u, int v) {
+  if (phase_ == Phase::Halted) return false;
+  int other = -1;
+  if (!is_head_cell_pair(u, v, other)) return false;
+  const int last = static_cast<int>(nodes_.size()) - 1;
+
+  switch (phase_) {
+    case Phase::InitToRight:
+      // Walk right leaving temporary marks until the right endpoint.
+      if (other != head_ + 1) return false;
+      marks_[static_cast<std::size_t>(head_)] = Mark::Temp;
+      head_ = other;
+      if (head_ == last) phase_ = Phase::InitToLeft;
+      break;
+    case Phase::InitToLeft:
+      // Walk back left, converting marks to 'r' (right-of-head).
+      if (other != head_ - 1) return false;
+      marks_[static_cast<std::size_t>(head_)] = Mark::Right;
+      head_ = other;
+      if (head_ == 0) phase_ = Phase::Working;
+      break;
+    case Phase::Working: {
+      const auto it = machine_.delta.find({state_, tape_[static_cast<std::size_t>(head_)]});
+      if (it == machine_.delta.end()) {
+        phase_ = Phase::Halted;
+        accepted_ = false;
+        return false;
+      }
+      const Tuple& t = it->second;
+      const int want = head_ + (t.move == Move::Right ? 1 : t.move == Move::Left ? -1 : 0);
+      if (want == head_ || want != other) return false;  // Stay handled in settle()
+      tape_[static_cast<std::size_t>(head_)] = t.write;
+      state_ = t.next_state;
+      ++tm_steps_;
+      marks_[static_cast<std::size_t>(head_)] = (t.move == Move::Right) ? Mark::Left : Mark::Right;
+      marks_[static_cast<std::size_t>(want)] = Mark::None;
+      head_ = want;
+      break;
+    }
+    case Phase::Halted:
+      return false;
+  }
+  ++interactions_used_;
+  settle();
+  return true;
+}
+
+void LineTape::settle() {
+  if (phase_ != Phase::Working) {
+    // A 2-cell line starting at the left endpoint may already be "at" the
+    // right endpoint only after moving; nothing to settle during init.
+    return;
+  }
+  const int last = static_cast<int>(nodes_.size()) - 1;
+  while (true) {
+    if (machine_.is_halting(state_)) {
+      phase_ = Phase::Halted;
+      accepted_ = (state_ == machine_.accept_state);
+      return;
+    }
+    const auto it = machine_.delta.find({state_, tape_[static_cast<std::size_t>(head_)]});
+    if (it == machine_.delta.end()) {
+      phase_ = Phase::Halted;
+      accepted_ = false;
+      return;
+    }
+    const Tuple& t = it->second;
+    if (t.move == Move::Stay) {
+      // Stay transitions need no neighbor interaction.
+      tape_[static_cast<std::size_t>(head_)] = t.write;
+      state_ = t.next_state;
+      ++tm_steps_;
+      continue;
+    }
+    // Moving off either end of the bounded tape rejects.
+    if ((t.move == Move::Left && head_ == 0) || (t.move == Move::Right && head_ == last)) {
+      tape_[static_cast<std::size_t>(head_)] = t.write;
+      state_ = t.next_state;
+      ++tm_steps_;
+      phase_ = Phase::Halted;
+      accepted_ = false;
+      return;
+    }
+    return;  // Needs a real neighbor interaction.
+  }
+}
+
+std::string LineTape::tape() const {
+  const auto last = tape_.find_last_not_of(TuringMachine::kBlank);
+  return (last == std::string::npos) ? std::string{} : tape_.substr(0, last + 1);
+}
+
+std::optional<std::pair<int, int>> LineTape::pending_encounter() const {
+  if (phase_ == Phase::Halted) return std::nullopt;
+  const int last = static_cast<int>(nodes_.size()) - 1;
+  int want = head_;
+  switch (phase_) {
+    case Phase::InitToRight:
+      want = head_ + 1;
+      break;
+    case Phase::InitToLeft:
+      want = head_ - 1;
+      break;
+    case Phase::Working: {
+      const auto it = machine_.delta.find({state_, tape_[static_cast<std::size_t>(head_)]});
+      if (it == machine_.delta.end()) return std::nullopt;
+      want = head_ + (it->second.move == Move::Right ? 1 : -1);
+      break;
+    }
+    case Phase::Halted:
+      return std::nullopt;
+  }
+  if (want < 0 || want > last) return std::nullopt;
+  return std::make_pair(nodes_[static_cast<std::size_t>(head_)],
+                        nodes_[static_cast<std::size_t>(want)]);
+}
+
+}  // namespace netcons::tm

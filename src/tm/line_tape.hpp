@@ -1,0 +1,66 @@
+// Interaction-driven execution of a Turing machine on a line of population
+// nodes -- the Section 6 / Figure 5 mechanism.
+//
+// The tape cells are the nodes of a constructed line. The head has no global
+// sense of direction: it first walks to one endpoint leaving temporary 't'
+// marks, then back to the other endpoint leaving 'r' marks; afterwards every
+// cell left of the head carries 'l' and every cell right of it carries 'r',
+// and the head navigates by those marks (Figure 5). Each head move happens
+// only when the scheduler selects the interaction between the head's cell
+// and the correct neighbor cell, exactly as in the model.
+#pragma once
+
+#include "tm/turing_machine.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace netcons::tm {
+
+class LineTape {
+ public:
+  enum class Phase { InitToRight, InitToLeft, Working, Halted };
+  enum class Mark : std::uint8_t { None, Temp, Left, Right };
+
+  /// `line_nodes` are population node ids ordered along the line;
+  /// `input` is written onto the leftmost cells.
+  LineTape(TuringMachine machine, std::vector<int> line_nodes, std::string input);
+
+  /// Report that the scheduler selected the (unordered) encounter {u, v}.
+  /// Returns true if this interaction advanced the machine.
+  bool on_interaction(int u, int v);
+
+  [[nodiscard]] Phase phase() const noexcept { return phase_; }
+  [[nodiscard]] bool halted() const noexcept { return phase_ == Phase::Halted; }
+  [[nodiscard]] bool accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t tm_steps() const noexcept { return tm_steps_; }
+  [[nodiscard]] std::uint64_t interactions_used() const noexcept { return interactions_used_; }
+  [[nodiscard]] int head_position() const noexcept { return head_; }
+  [[nodiscard]] Mark mark(int position) const {
+    return marks_[static_cast<std::size_t>(position)];
+  }
+  /// Final (or current) tape with trailing blanks trimmed.
+  [[nodiscard]] std::string tape() const;
+
+  /// The encounter the machine is currently waiting for, as population node
+  /// ids, or nullopt when halted. Exposes progress to orchestrators.
+  [[nodiscard]] std::optional<std::pair<int, int>> pending_encounter() const;
+
+ private:
+  void settle();  ///< Apply halting / stay-moves that need no interaction.
+  [[nodiscard]] bool is_head_cell_pair(int u, int v, int& other_pos) const;
+
+  TuringMachine machine_;
+  std::vector<int> nodes_;                   ///< line position -> node id
+  std::unordered_map<int, int> position_of_;  ///< node id -> line position
+  std::string tape_;
+  std::vector<Mark> marks_;
+  Phase phase_ = Phase::InitToRight;
+  int head_ = 0;
+  int state_ = 0;
+  bool accepted_ = false;
+  std::uint64_t tm_steps_ = 0;
+  std::uint64_t interactions_used_ = 0;
+};
+
+}  // namespace netcons::tm

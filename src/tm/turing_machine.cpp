@@ -1,0 +1,140 @@
+#include "tm/turing_machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netcons::tm {
+
+RunResult run(const TuringMachine& machine, const std::string& input, std::size_t tape_cells,
+              std::uint64_t max_steps) {
+  if (tape_cells == 0 || input.size() > tape_cells) {
+    throw std::invalid_argument("tm::run: input exceeds tape budget");
+  }
+  std::string tape(tape_cells, TuringMachine::kBlank);
+  std::copy(input.begin(), input.end(), tape.begin());
+
+  RunResult result;
+  int state = machine.initial_state;
+  std::size_t head = 0;
+  std::size_t high_water = input.empty() ? 1 : input.size();
+
+  while (result.steps < max_steps) {
+    if (machine.is_halting(state)) {
+      result.halted = true;
+      result.accepted = (state == machine.accept_state);
+      break;
+    }
+    const auto it = machine.delta.find({state, tape[head]});
+    if (it == machine.delta.end()) {
+      // Undefined transition: implicit reject.
+      result.halted = true;
+      result.accepted = false;
+      break;
+    }
+    tape[head] = it->second.write;
+    state = it->second.next_state;
+    ++result.steps;
+    switch (it->second.move) {
+      case Move::Left:
+        if (head == 0) {
+          // Falling off the left end rejects (standard bounded-tape choice).
+          result.halted = true;
+          result.accepted = false;
+        } else {
+          --head;
+        }
+        break;
+      case Move::Right:
+        if (head + 1 >= tape_cells) {
+          // Out of budget: reject, as the space-bounded simulation would.
+          result.halted = true;
+          result.accepted = false;
+        } else {
+          ++head;
+          high_water = std::max(high_water, head + 1);
+        }
+        break;
+      case Move::Stay:
+        break;
+    }
+    if (result.halted) break;
+  }
+
+  result.cells_used = high_water;
+  const auto last = tape.find_last_not_of(TuringMachine::kBlank);
+  result.tape = (last == std::string::npos) ? std::string{} : tape.substr(0, last + 1);
+  return result;
+}
+
+TuringMachine binary_increment() {
+  // States: 0 = scan right to end, 1 = carry left, accept on completion.
+  TuringMachine m;
+  m.name = "binary-increment";
+  m.initial_state = 0;
+  m.accept_state = 100;
+  m.reject_state = -2;
+  m.delta[{0, '0'}] = {0, '0', Move::Right};
+  m.delta[{0, '1'}] = {0, '1', Move::Right};
+  m.delta[{0, TuringMachine::kBlank}] = {1, TuringMachine::kBlank, Move::Left};
+  m.delta[{1, '0'}] = {100, '1', Move::Stay};
+  m.delta[{1, '1'}] = {1, '0', Move::Left};
+  // All-ones overflow: the head falls off the left edge and rejects; callers
+  // size the tape with a leading '0' to avoid it.
+  return m;
+}
+
+TuringMachine palindrome() {
+  // Classic two-end marking: erase matching outer symbols until empty.
+  // States: 0 pick first symbol; 1/2 run right remembering 0/1; 3/4 check
+  // last symbol; 5 run left to the start.
+  TuringMachine m;
+  m.name = "palindrome";
+  m.initial_state = 0;
+  m.accept_state = 100;
+  m.reject_state = 101;
+  const char B = TuringMachine::kBlank;
+  m.delta[{0, B}] = {100, B, Move::Stay};  // empty: accept
+  m.delta[{0, '0'}] = {1, B, Move::Right};
+  m.delta[{0, '1'}] = {2, B, Move::Right};
+  m.delta[{1, '0'}] = {1, '0', Move::Right};
+  m.delta[{1, '1'}] = {1, '1', Move::Right};
+  m.delta[{1, B}] = {3, B, Move::Left};
+  m.delta[{2, '0'}] = {2, '0', Move::Right};
+  m.delta[{2, '1'}] = {2, '1', Move::Right};
+  m.delta[{2, B}] = {4, B, Move::Left};
+  m.delta[{3, B}] = {100, B, Move::Stay};  // odd length middle consumed
+  m.delta[{3, '0'}] = {5, B, Move::Left};
+  m.delta[{3, '1'}] = {101, '1', Move::Stay};
+  m.delta[{4, B}] = {100, B, Move::Stay};
+  m.delta[{4, '1'}] = {5, B, Move::Left};
+  m.delta[{4, '0'}] = {101, '0', Move::Stay};
+  m.delta[{5, '0'}] = {5, '0', Move::Left};
+  m.delta[{5, '1'}] = {5, '1', Move::Left};
+  m.delta[{5, B}] = {0, B, Move::Right};
+  return m;
+}
+
+TuringMachine zeros_then_ones() {
+  // Accept 0^k 1^k: repeatedly erase one leading 0 and one trailing 1.
+  TuringMachine m;
+  m.name = "zeros-then-ones";
+  m.initial_state = 0;
+  m.accept_state = 100;
+  m.reject_state = 101;
+  const char B = TuringMachine::kBlank;
+  m.delta[{0, B}] = {100, B, Move::Stay};
+  m.delta[{0, '0'}] = {1, B, Move::Right};
+  m.delta[{0, '1'}] = {101, '1', Move::Stay};
+  m.delta[{1, '0'}] = {1, '0', Move::Right};
+  m.delta[{1, '1'}] = {1, '1', Move::Right};
+  m.delta[{1, B}] = {2, B, Move::Left};
+  m.delta[{2, '1'}] = {3, B, Move::Left};
+  m.delta[{2, '0'}] = {101, '0', Move::Stay};
+  m.delta[{2, B}] = {101, B, Move::Stay};  // lone 0 erased, no matching 1
+  m.delta[{3, '0'}] = {3, '0', Move::Left};
+  m.delta[{3, '1'}] = {3, '1', Move::Left};
+  m.delta[{3, B}] = {0, B, Move::Right};
+  return m;
+}
+
+}  // namespace netcons::tm

@@ -1,0 +1,65 @@
+// A deterministic single-tape Turing machine with an explicit tuple table.
+//
+// This is the computational substrate of Section 6: the generic constructors
+// organize part of the population into a line and operate it as a TM. The
+// class is deliberately classic -- integer control states, char tape
+// alphabet, (state, symbol) -> (state, symbol, move) tuples -- so that the
+// line-tape execution (line_tape.hpp) can drive exactly one tuple per
+// head-neighbor interaction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons::tm {
+
+enum class Move : std::int8_t { Left = -1, Stay = 0, Right = 1 };
+
+struct Tuple {
+  int next_state = 0;
+  char write = '_';
+  Move move = Move::Stay;
+};
+
+struct TuringMachine {
+  static constexpr char kBlank = '_';
+
+  int initial_state = 0;
+  int accept_state = -1;
+  int reject_state = -2;
+  /// delta: (state, read symbol) -> tuple. Missing entries mean reject.
+  std::map<std::pair<int, char>, Tuple> delta;
+  std::string name;
+
+  [[nodiscard]] bool is_halting(int state) const noexcept {
+    return state == accept_state || state == reject_state;
+  }
+};
+
+/// Result of running a TM on a bounded tape.
+struct RunResult {
+  bool halted = false;
+  bool accepted = false;
+  std::uint64_t steps = 0;
+  std::size_t cells_used = 0;  ///< High-water mark of visited cells.
+  std::string tape;            ///< Final tape contents (trailing blanks trimmed).
+};
+
+/// Execute `machine` on `input` with an explicit cell budget (the tape does
+/// not grow past `tape_cells`; a move beyond it rejects, modeling the
+/// space-bounded simulation of Section 6) and a step budget.
+[[nodiscard]] RunResult run(const TuringMachine& machine, const std::string& input,
+                            std::size_t tape_cells, std::uint64_t max_steps);
+
+/// Concrete machines used by the unit tests and the line-tape demo.
+/// Increment a binary number (most significant bit first); accepts always.
+[[nodiscard]] TuringMachine binary_increment();
+/// Accept iff the {0,1} input is a palindrome.
+[[nodiscard]] TuringMachine palindrome();
+/// Accept iff the input is of the form 0^k 1^k.
+[[nodiscard]] TuringMachine zeros_then_ones();
+
+}  // namespace netcons::tm

@@ -1,0 +1,13 @@
+// rng.hpp is header-only; this translation unit exists so the library has a
+// concrete object to archive and to catch ODR/compile issues early.
+#include "util/rng.hpp"
+
+namespace netcons {
+
+// Compile-time sanity checks on the seeding contract.
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == 0xffffffffffffffffULL);
+static_assert(trial_seed(1, 2) != trial_seed(1, 3));
+static_assert(trial_seed(1, 2) != trial_seed(2, 2));
+
+}  // namespace netcons

@@ -1,0 +1,158 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netcons {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  samples_.push_back(x);
+}
+
+double RunningStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double position = p * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_halfwidth() const noexcept { return 1.96 * sem(); }
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >=2 equally sized samples");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("fit_linear: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) {
+      throw std::invalid_argument("fit_power_law: inputs must be positive");
+    }
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double harmonic(std::uint64_t n) noexcept {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+namespace theory {
+
+double one_way_epidemic(std::uint64_t n) noexcept {
+  // E[X] = sum_{i=1..n-1} n(n-1) / (2 i (n-i)) = (n-1) H_{n-1}.
+  if (n < 2) return 0.0;
+  return static_cast<double>(n - 1) * harmonic(n - 1);
+}
+
+double one_to_one_elimination(std::uint64_t n) noexcept {
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t i = 2; i <= n; ++i) {
+    sum += 1.0 / (static_cast<double>(i) * static_cast<double>(i - 1));
+  }
+  return static_cast<double>(n) * static_cast<double>(n - 1) * sum;
+}
+
+double one_to_all_elimination(std::uint64_t n) noexcept {
+  if (n < 2) return 0.0;
+  const double m = static_cast<double>(n) * static_cast<double>(n - 1);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / (m - static_cast<double>(i) * static_cast<double>(i - 1));
+  }
+  return m * sum;
+}
+
+double meet_everybody(std::uint64_t n) noexcept {
+  // Each step touches the distinguished node with prob (n-1)/(n(n-1)/2) = 2/n;
+  // conditioned on touching it, each partner uniform: coupon collector over
+  // n-1 coupons => E[X] = (n/2) * (n-1) H_{n-1}.
+  if (n < 2) return 0.0;
+  return static_cast<double>(n) / 2.0 * static_cast<double>(n - 1) * harmonic(n - 1);
+}
+
+double edge_cover(std::uint64_t n) noexcept {
+  if (n < 2) return 0.0;
+  const std::uint64_t m = n * (n - 1) / 2;
+  return static_cast<double>(m) * harmonic(m);
+}
+
+double n_log_n(std::uint64_t n) noexcept {
+  return static_cast<double>(n) * std::log(static_cast<double>(n));
+}
+
+double n_squared(std::uint64_t n) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n);
+}
+
+double n_squared_log_n(std::uint64_t n) noexcept {
+  return n_squared(n) * std::log(static_cast<double>(n));
+}
+
+}  // namespace theory
+
+std::vector<double> eval_over(std::span<const std::uint64_t> ns, double (*f)(std::uint64_t)) {
+  std::vector<double> out;
+  out.reserve(ns.size());
+  for (auto n : ns) out.push_back(f(n));
+  return out;
+}
+
+}  // namespace netcons

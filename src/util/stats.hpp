@@ -1,0 +1,92 @@
+// Streaming statistics and model fitting used by the experiment harness.
+//
+// The paper's evaluation consists of expected interaction counts with known
+// asymptotic orders (Table 1, Table 2). The benches estimate expectations
+// with confidence intervals and check *shape* by fitting exponents on a
+// log-log scale, so everything here is small, exact, and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netcons {
+
+/// Welford's online mean/variance accumulator. Samples are additionally
+/// retained so percentiles can be reported (sample counts in this library
+/// are experiment-sized, never streaming-scale).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// p in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// OLS fit over (x, y) pairs. Requires xs.size() == ys.size() >= 2.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y = C * x^alpha by OLS on (ln x, ln y); returns alpha as `slope` and
+/// ln C as `intercept`. All inputs must be strictly positive.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// nth harmonic number H_n = sum_{i=1..n} 1/i.
+[[nodiscard]] double harmonic(std::uint64_t n) noexcept;
+
+/// Closed-form expected convergence times of the basic probabilistic
+/// processes of Section 3.3, to leading order (Table 1 shapes). These are the
+/// reference curves the benches compare against; constants follow the
+/// proofs of Propositions 1-7 where the proof pins them down.
+namespace theory {
+/// One-way epidemic: (n-1) * H_{n-1}  (Proposition 1, exact).
+[[nodiscard]] double one_way_epidemic(std::uint64_t n) noexcept;
+/// One-to-one elimination: n(n-1) * sum_{i=2..n} 1/(i(i-1))  (Prop. 2, exact).
+[[nodiscard]] double one_to_one_elimination(std::uint64_t n) noexcept;
+/// One-to-all elimination: n(n-1) * sum_{i=0..n-1} 1/(n(n-1)-i(i-1)) (Prop. 4, exact).
+[[nodiscard]] double one_to_all_elimination(std::uint64_t n) noexcept;
+/// Meet everybody: (n-1)/2 * n * H_{n-1} -- coupon collector over n-1
+/// coupons, each step hitting the distinguished node with prob 2/n.
+[[nodiscard]] double meet_everybody(std::uint64_t n) noexcept;
+/// Edge cover: m * H_m with m = n(n-1)/2 (Proposition 7, exact).
+[[nodiscard]] double edge_cover(std::uint64_t n) noexcept;
+/// Reference shapes for fits.
+[[nodiscard]] double n_log_n(std::uint64_t n) noexcept;
+[[nodiscard]] double n_squared(std::uint64_t n) noexcept;
+[[nodiscard]] double n_squared_log_n(std::uint64_t n) noexcept;
+}  // namespace theory
+
+/// Exact expected number of steps of a one-to-one elimination (also the
+/// maximum-matching upper bound shape) -- convenience vector builders for
+/// plotting reference series next to measurements.
+[[nodiscard]] std::vector<double> eval_over(std::span<const std::uint64_t> ns,
+                                            double (*f)(std::uint64_t));
+
+}  // namespace netcons

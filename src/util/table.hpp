@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer used by the bench binaries so that every
+// regenerated paper table/figure prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netcons {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+  /// Format helpers used throughout the benches.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+  [[nodiscard]] static std::string integer(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netcons

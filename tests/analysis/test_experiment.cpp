@@ -1,0 +1,61 @@
+#include "analysis/experiment.hpp"
+
+#include "protocols/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons::analysis {
+namespace {
+
+TEST(Experiment, RunTrialReportsConvergence) {
+  const auto spec = protocols::global_star();
+  const TrialResult result = run_trial(spec, 10, 42);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.target_ok);
+  EXPECT_GT(result.convergence_step, 0u);
+  EXPECT_GE(result.steps_executed, result.convergence_step);
+}
+
+TEST(Experiment, MeasureAggregatesTrials) {
+  const auto spec = protocols::cycle_cover();
+  const MeasurePoint point = measure(spec, 12, 8, 7);
+  EXPECT_EQ(point.n, 12);
+  EXPECT_EQ(point.trials, 8);
+  EXPECT_EQ(point.failures, 0);
+  EXPECT_EQ(point.convergence_steps.count(), 8u);
+  EXPECT_GT(point.convergence_steps.mean(), 0.0);
+}
+
+TEST(Experiment, SweepAndExponentFit) {
+  const auto spec = protocols::cycle_cover();
+  const auto points = sweep(spec, {12, 20, 32, 48}, 8, 99);
+  ASSERT_EQ(points.size(), 4u);
+  const LinearFit fit = fit_exponent(points);
+  EXPECT_NEAR(fit.slope, 2.0, 0.4);  // Theta(n^2)
+}
+
+TEST(Experiment, MeasureProcessMatchesTheory) {
+  const auto spec = one_way_epidemic();
+  const MeasurePoint point = measure_process(spec, 20, 60, 5);
+  const double expected = spec.expected_steps(20);
+  EXPECT_NEAR(point.convergence_steps.mean(), expected,
+              6.0 * point.convergence_steps.sem() + 0.05 * expected);
+}
+
+TEST(Experiment, SweepProcessProducesOnePointPerN) {
+  const auto spec = node_cover();
+  const auto points = sweep_process(spec, {8, 16, 32}, 5, 3);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].convergence_steps.mean(), points[2].convergence_steps.mean());
+}
+
+TEST(Experiment, TrialsAreReproducible) {
+  const auto spec = protocols::global_star();
+  const TrialResult a = run_trial(spec, 9, 123);
+  const TrialResult b = run_trial(spec, 9, 123);
+  EXPECT_EQ(a.convergence_step, b.convergence_step);
+  EXPECT_EQ(a.steps_executed, b.steps_executed);
+}
+
+}  // namespace
+}  // namespace netcons::analysis

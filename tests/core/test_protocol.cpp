@@ -1,0 +1,153 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons {
+namespace {
+
+Protocol make_star() {
+  ProtocolBuilder b("star");
+  const StateId c = b.add_state("c");
+  const StateId p = b.add_state("p");
+  b.set_initial(c);
+  b.add_rule(c, c, false, c, p, true);
+  b.add_rule(p, p, true, p, p, false);
+  b.add_rule(c, p, false, c, p, true);
+  return b.build();
+}
+
+TEST(ProtocolBuilder, BasicMetadata) {
+  const Protocol star = make_star();
+  EXPECT_EQ(star.name(), "star");
+  EXPECT_EQ(star.state_count(), 2);
+  EXPECT_EQ(star.initial_state(), 0);
+  EXPECT_FALSE(star.randomized());
+  EXPECT_EQ(star.effective_rule_count(), 3);
+  EXPECT_EQ(star.state_name(0), "c");
+  EXPECT_EQ(star.state_by_name("p"), std::optional<StateId>{1});
+  EXPECT_FALSE(star.state_by_name("zz").has_value());
+  // All states are output states by default.
+  EXPECT_TRUE(star.is_output_state(0));
+  EXPECT_TRUE(star.is_output_state(1));
+}
+
+TEST(ProtocolBuilder, RejectsDuplicatesAndUnknowns) {
+  ProtocolBuilder b("bad");
+  const StateId a = b.add_state("a");
+  EXPECT_THROW((void)b.add_state("a"), std::logic_error);
+  EXPECT_THROW(b.set_initial(static_cast<StateId>(7)), std::logic_error);
+  EXPECT_THROW(b.add_rule(a, static_cast<StateId>(9), false, a, a, false), std::logic_error);
+  EXPECT_THROW((void)b.build(), std::logic_error);  // initial not set
+}
+
+TEST(ProtocolBuilder, RejectsConflictingRedefinition) {
+  ProtocolBuilder b("conflict");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_rule(a, c, false, a, a, true);
+  b.add_rule(a, c, false, a, a, true);  // identical redefinition is fine
+  b.add_rule(a, c, true, c, c, false);
+  EXPECT_NO_THROW((void)b.build());
+
+  ProtocolBuilder b2("conflict2");
+  const StateId x = b2.add_state("x");
+  const StateId y = b2.add_state("y");
+  b2.set_initial(x);
+  b2.add_rule(x, y, false, x, x, true);
+  b2.add_rule(x, y, false, y, y, true);  // conflicting
+  EXPECT_THROW((void)b2.build(), std::logic_error);
+}
+
+TEST(ProtocolBuilder, RejectsInconsistentOrientations) {
+  ProtocolBuilder b("orient");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_rule(a, c, false, a, a, true);
+  // (c, a) must be the swap image (a2, b2) = (a, a): it is, so allowed.
+  b.add_rule(c, a, false, a, a, true);
+  EXPECT_NO_THROW((void)b.build());
+
+  ProtocolBuilder b2("orient2");
+  const StateId x = b2.add_state("x");
+  const StateId y = b2.add_state("y");
+  b2.set_initial(x);
+  b2.add_rule(x, y, false, x, x, true);
+  b2.add_rule(y, x, false, y, y, true);  // not the swap image
+  EXPECT_THROW((void)b2.build(), std::logic_error);
+}
+
+TEST(Protocol, ResolveHandlesOrientation) {
+  const Protocol star = make_star();
+  const StateId c = *star.state_by_name("c");
+  const StateId p = *star.state_by_name("p");
+  // Stored orientation.
+  const auto direct = star.resolve(c, p, false);
+  ASSERT_NE(direct.rule, nullptr);
+  EXPECT_FALSE(direct.swapped);
+  // Reverse orientation found via swap.
+  const auto rev = star.resolve(p, c, false);
+  ASSERT_NE(rev.rule, nullptr);
+  EXPECT_TRUE(rev.swapped);
+  // Undefined triple.
+  EXPECT_EQ(star.resolve(c, p, true).rule, nullptr);
+  EXPECT_TRUE(star.ineffective(c, p, true));
+  EXPECT_FALSE(star.ineffective(c, c, false));
+}
+
+TEST(Protocol, EdgeModifyingFlag) {
+  const Protocol star = make_star();
+  const StateId c = *star.state_by_name("c");
+  const StateId p = *star.state_by_name("p");
+  EXPECT_TRUE(star.can_modify_edge(c, c, false));
+  EXPECT_TRUE(star.can_modify_edge(p, p, true));
+  EXPECT_FALSE(star.can_modify_edge(p, p, false));
+}
+
+TEST(Protocol, IneffectiveRulesAreStoredButInert) {
+  ProtocolBuilder b("inert");
+  const StateId a = b.add_state("a");
+  b.set_initial(a);
+  b.add_rule(a, a, false, a, a, false);  // explicit no-op
+  const Protocol p = b.build();
+  EXPECT_EQ(p.effective_rule_count(), 0);
+  EXPECT_TRUE(p.ineffective(a, a, false));
+}
+
+TEST(Protocol, CoinRulesMarkRandomized) {
+  ProtocolBuilder b("coin");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_coin_rule(a, c, false, Outcome{a, a, false}, Outcome{c, c, true});
+  const Protocol p = b.build();
+  EXPECT_TRUE(p.randomized());
+  const auto r = p.resolve(a, c, false);
+  ASSERT_NE(r.rule, nullptr);
+  EXPECT_TRUE(r.rule->coin);
+  EXPECT_TRUE(r.rule->effective);
+  EXPECT_TRUE(r.rule->edge_modifying);
+}
+
+TEST(Protocol, DescribeListsEffectiveRules) {
+  const Protocol star = make_star();
+  const std::string text = star.describe();
+  EXPECT_NE(text.find("star"), std::string::npos);
+  EXPECT_NE(text.find("(c, c, 0) -> (c, p, 1)"), std::string::npos);
+}
+
+TEST(Protocol, OutputStatesRestriction) {
+  ProtocolBuilder b("out");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.set_output_states({c});
+  b.add_rule(a, a, false, c, c, true);
+  const Protocol p = b.build();
+  EXPECT_FALSE(p.is_output_state(a));
+  EXPECT_TRUE(p.is_output_state(c));
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,167 @@
+#include "core/simulator.hpp"
+
+#include "sched/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace netcons {
+namespace {
+
+Protocol star_protocol() {
+  ProtocolBuilder b("star");
+  const StateId c = b.add_state("c");
+  const StateId p = b.add_state("p");
+  b.set_initial(c);
+  b.add_rule(c, c, false, c, p, true);
+  b.add_rule(p, p, true, p, p, false);
+  b.add_rule(c, p, false, c, p, true);
+  return b.build();
+}
+
+TEST(Simulator, ScriptedExactTransitions) {
+  // Drive a precise execution of Global-Star on 3 nodes:
+  // (0,1): c,c -> one becomes p, edge 0-1 active.
+  // (0,2): the surviving center meets c... depends on the coin; instead use
+  // the deterministic (c, p, 0) attraction by scripting (0,1) then (0,1)
+  // again (now ineffective) then checking census.
+  auto sched = std::make_unique<ScriptedScheduler>(
+      std::vector<Encounter>{{0, 1}, {0, 1}}, /*strict=*/false);
+  Simulator sim(star_protocol(), 3, 42, std::move(sched));
+  EXPECT_TRUE(sim.step());  // effective: creates center-peripheral pair
+  EXPECT_TRUE(sim.world().edge(0, 1));
+  EXPECT_EQ(sim.world().census(0), 2);  // two c's remain (one of 0/1 + node 2)
+  EXPECT_EQ(sim.world().census(1), 1);
+  EXPECT_FALSE(sim.step());  // (c, p, 1) or (p, c, 1) is undefined: ineffective
+  EXPECT_EQ(sim.effective_steps(), 1u);
+  EXPECT_EQ(sim.steps(), 2u);
+}
+
+TEST(Simulator, SymmetricCoinAssignsBothWays) {
+  // (c, c, 0) -> (c, p, 1): with identical inputs the model assigns the two
+  // distinct outputs equiprobably. Run many 2-node trials and check both
+  // assignments occur.
+  int node0_center = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto sched = std::make_unique<ScriptedScheduler>(std::vector<Encounter>{{0, 1}});
+    Simulator sim(star_protocol(), 2, trial_seed(7, static_cast<std::uint64_t>(t)),
+                  std::move(sched));
+    sim.step();
+    if (sim.world().state(0) == 0) ++node0_center;
+  }
+  EXPECT_GT(node0_center, trials / 2 - 50);
+  EXPECT_LT(node0_center, trials / 2 + 50);
+}
+
+TEST(Simulator, QuiescenceDetection) {
+  // A 2-node star is stable after one interaction.
+  Simulator sim(star_protocol(), 2, 5);
+  EXPECT_FALSE(sim.is_quiescent());
+  const auto report = sim.run_until_stable();
+  EXPECT_TRUE(report.stabilized);
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_TRUE(sim.is_quiescent());
+  EXPECT_EQ(report.convergence_step, 1u);  // single effective step
+}
+
+TEST(Simulator, EdgeQuiescenceIsWeaker) {
+  ProtocolBuilder b("swap-only");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_rule(a, c, false, c, a, false);  // node states swap forever, no edges
+  const Protocol p = b.build();
+  Simulator sim(p, 3, 11);
+  sim.mutable_world().set_state(0, c);
+  EXPECT_TRUE(sim.is_edge_quiescent());
+  EXPECT_FALSE(sim.is_quiescent());
+}
+
+TEST(Simulator, CertificateShortCircuitsStability) {
+  // The swap-only protocol never quiesces; a certificate recognizes it.
+  ProtocolBuilder b("swap-only");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_rule(a, c, false, c, a, false);
+  const Protocol p = b.build();
+
+  Simulator sim(p, 4, 13);
+  sim.mutable_world().set_state(0, c);
+  Simulator::StabilityOptions options;
+  options.max_steps = 100000;
+  options.certificate = [](const Protocol&, const World& w) { return w.census(1) == 1; };
+  const auto report = sim.run_until_stable(options);
+  EXPECT_TRUE(report.stabilized);
+  EXPECT_TRUE(report.certified);
+  EXPECT_FALSE(report.quiescent);
+}
+
+TEST(Simulator, TimeoutReportsNotStabilized) {
+  ProtocolBuilder b("ping");
+  const StateId a = b.add_state("a");
+  const StateId c = b.add_state("c");
+  b.set_initial(a);
+  b.add_rule(a, c, false, c, a, false);
+  const Protocol p = b.build();
+  Simulator sim(p, 3, 17);
+  sim.mutable_world().set_state(0, c);
+  Simulator::StabilityOptions options;
+  options.max_steps = 1000;
+  const auto report = sim.run_until_stable(options);
+  EXPECT_FALSE(report.stabilized);
+  EXPECT_EQ(report.steps_executed, 1000u);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim(star_protocol(), 6, 23);
+  const auto step = sim.run_until([](const World& w) { return w.census(0) == 1; }, 1000000);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(sim.world().census(0), 1);
+}
+
+TEST(Simulator, OutputChangeTrackingMatchesStarConvergence) {
+  // After stabilization the convergence step must be the last step at which
+  // the active graph changed; replaying to that step must give the final
+  // output, and any later effective steps must not alter it.
+  Simulator sim(star_protocol(), 8, 29);
+  Simulator::StabilityOptions options;
+  options.max_steps = 10'000'000;
+  const auto report = sim.run_until_stable(options);
+  ASSERT_TRUE(report.stabilized);
+  const Graph final_graph = sim.world().output_graph(sim.protocol());
+
+  Simulator replay(star_protocol(), 8, 29);
+  replay.run(report.convergence_step);
+  EXPECT_EQ(replay.world().output_graph(replay.protocol()), final_graph);
+}
+
+TEST(Simulator, CoinRuleTakesBothBranches) {
+  ProtocolBuilder b("coin");
+  const StateId a = b.add_state("a");
+  const StateId h = b.add_state("h");
+  const StateId t = b.add_state("t");
+  b.set_initial(a);
+  b.add_coin_rule(a, a, false, Outcome{h, h, false}, Outcome{t, t, false});
+  const Protocol p = b.build();
+
+  int heads = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto sched = std::make_unique<ScriptedScheduler>(std::vector<Encounter>{{0, 1}});
+    Simulator sim(p, 2, trial_seed(31, static_cast<std::uint64_t>(i)), std::move(sched));
+    sim.step();
+    if (sim.world().state(0) == h) ++heads;
+  }
+  EXPECT_GT(heads, 50);
+  EXPECT_LT(heads, 150);
+}
+
+TEST(Simulator, RejectsTinyPopulation) {
+  EXPECT_THROW(Simulator(star_protocol(), 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,50 @@
+#include "core/trace.hpp"
+
+#include "protocols/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons {
+namespace {
+
+TEST(Trace, CaptureSnapshotsConfiguration) {
+  auto spec = protocols::global_star();
+  Simulator sim(spec.protocol, 5, 3);
+  sim.run(100);
+  const Snapshot snap = capture(sim);
+  EXPECT_EQ(snap.step, 100u);
+  EXPECT_EQ(snap.states.size(), 5u);
+  EXPECT_EQ(snap.active.order(), 5);
+}
+
+TEST(Trace, CensusSummaryListsNonEmptyStates) {
+  auto spec = protocols::global_star();
+  Simulator sim(spec.protocol, 4, 3);
+  const std::string s = census_summary(sim.protocol(), sim.world());
+  EXPECT_EQ(s, "c=4");
+}
+
+TEST(Trace, ComponentCensusClassifiesShapes) {
+  Graph g(12);
+  // line 0-1-2, cycle 3-4-5, star 6:{7,8,9}, isolated 10, 11
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(6, 7);
+  g.add_edge(6, 8);
+  g.add_edge(6, 9);
+  const ComponentCensus census = component_census(g);
+  EXPECT_EQ(census.isolated, 2);
+  // A 3-node line is also classified first as a line (star of 3 == line of 3:
+  // the line check runs first).
+  EXPECT_EQ(census.lines, 1);
+  EXPECT_EQ(census.cycles, 1);
+  EXPECT_EQ(census.stars, 1);
+  EXPECT_EQ(census.other, 0);
+  EXPECT_EQ(census.largest, 4);
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,95 @@
+#include "generic/linear_waste.hpp"
+
+#include "graph/predicates.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons::generic {
+namespace {
+
+using netcons::tm::connected_language;
+using netcons::tm::even_edges_language;
+using netcons::tm::has_triangle_language;
+
+TEST(LinearWaste, ConstructsAConnectedGraphOnHalfTheNodes) {
+  LinearWasteConstructor ctor(connected_language(), 10, 7);
+  const auto report = ctor.run_until_stable(80'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.output.order(), 5);  // floor(10/2) useful space
+  EXPECT_TRUE(netcons::is_connected(report.output));
+  EXPECT_GE(report.draw_passes, 1);
+  EXPECT_LE(report.convergence_step, report.steps_executed);
+}
+
+TEST(LinearWaste, OddPopulationWastesOneNode) {
+  LinearWasteConstructor ctor(even_edges_language(), 9, 11);
+  const auto report = ctor.run_until_stable(80'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.output.order(), 4);  // floor(9/2)
+  EXPECT_EQ(report.output.edge_count() % 2, 0);
+}
+
+class LinearWasteSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LinearWasteSweep, EvenEdgesLanguageAcrossSizesAndSeeds) {
+  const auto [n, seed] = GetParam();
+  LinearWasteConstructor ctor(even_edges_language(), n,
+                              netcons::trial_seed(21000, static_cast<std::uint64_t>(seed)));
+  const auto report = ctor.run_until_stable(200'000'000);
+  ASSERT_TRUE(report.stabilized) << "n=" << n << " seed=" << seed;
+  EXPECT_EQ(report.output.order(), n / 2);
+  EXPECT_EQ(report.output.edge_count() % 2, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinearWasteSweep,
+                         ::testing::Combine(::testing::Values(6, 8, 10, 12),
+                                            ::testing::Values(1, 2)));
+
+TEST(LinearWaste, RejectionLoopRetriesUntilAccept) {
+  // has-triangle on 5 D-nodes is rejected with decent probability under
+  // G(5, 1/2), so multi-pass executions are common; verify the retry loop
+  // converges and the accepted graph is in the language.
+  int multi_pass_seen = 0;
+  for (int seed = 0; seed < 6; ++seed) {
+    LinearWasteConstructor ctor(has_triangle_language(), 10,
+                                netcons::trial_seed(22000, static_cast<std::uint64_t>(seed)));
+    const auto report = ctor.run_until_stable(200'000'000);
+    ASSERT_TRUE(report.stabilized) << seed;
+    EXPECT_TRUE(has_triangle_language().decide(report.output));
+    if (report.draw_passes > 1) ++multi_pass_seen;
+  }
+  EXPECT_GE(multi_pass_seen, 1);
+}
+
+TEST(LinearWaste, SpaceAuditRejectsSuperLinearLanguages) {
+  // A fake language demanding quadratic workspace must trip the Theorem 14
+  // budget check.
+  netcons::tm::GraphLanguage greedy;
+  greedy.name = "quadratic-hog";
+  greedy.decide = [](const Graph&) { return true; };
+  greedy.workspace_bits = [](int n) {
+    return static_cast<std::size_t>(n) * static_cast<std::size_t>(n) * 64;
+  };
+  greedy.space_class = "O(n^2)";
+  LinearWasteConstructor ctor(greedy, 8, 3);
+  EXPECT_THROW((void)ctor.run_until_stable(10'000'000), std::logic_error);
+}
+
+TEST(LinearWaste, RequiresMinimumPopulation) {
+  EXPECT_THROW(LinearWasteConstructor(even_edges_language(), 3, 1), std::invalid_argument);
+}
+
+TEST(LinearWaste, DeterministicGivenSeed) {
+  LinearWasteConstructor a(even_edges_language(), 8, 123);
+  LinearWasteConstructor b(even_edges_language(), 8, 123);
+  const auto ra = a.run_until_stable(100'000'000);
+  const auto rb = b.run_until_stable(100'000'000);
+  ASSERT_TRUE(ra.stabilized);
+  ASSERT_TRUE(rb.stabilized);
+  EXPECT_EQ(ra.steps_executed, rb.steps_executed);
+  EXPECT_EQ(ra.output, rb.output);
+}
+
+}  // namespace
+}  // namespace netcons::generic

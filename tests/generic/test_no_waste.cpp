@@ -1,0 +1,84 @@
+#include "generic/no_waste.hpp"
+
+#include "graph/predicates.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons::generic {
+namespace {
+
+using netcons::tm::even_edges_language;
+using netcons::tm::has_triangle_language;
+
+TEST(NoWaste, WholePopulationIsTheOutput) {
+  NoWasteConstructor ctor(even_edges_language(), 10, 3);
+  const auto report = ctor.run_until_stable(500'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.useful_space, 10);  // no waste
+  EXPECT_EQ(report.output.order(), 10);
+  EXPECT_EQ(report.output.edge_count() % 2, 0);
+  EXPECT_GE(report.tm_subgraph_order, 3);
+}
+
+TEST(NoWaste, EmbeddedTmSubgraphIsBoundedDegreeConnected) {
+  // The S part of the output must contain the random connected subgraph of
+  // max degree <= d that hosts the TM (condition (i) of Theorem 17).
+  // We verify the constructed S-internal structure: connected and capped
+  // once the edges to the rest are ignored. Since S's identity is internal,
+  // we check the weaker public consequence: the full output contains at
+  // least one connected induced subgraph of logarithmic order -- by
+  // construction the report's tm_subgraph_order nodes form one.
+  NoWasteConstructor ctor(even_edges_language(), 12, 7, /*max_degree=*/3);
+  const auto report = ctor.run_until_stable(500'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_LE(report.tm_subgraph_order, 6);  // ~log n, not linear
+}
+
+class NoWasteSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NoWasteSweep, StabilizesAcrossSizesAndSeeds) {
+  const auto [n, seed] = GetParam();
+  NoWasteConstructor ctor(even_edges_language(), n,
+                          netcons::trial_seed(27000, static_cast<std::uint64_t>(seed)));
+  const auto report = ctor.run_until_stable(1'000'000'000);
+  ASSERT_TRUE(report.stabilized) << "n=" << n << " seed=" << seed;
+  EXPECT_EQ(report.output.order(), n);
+  EXPECT_EQ(report.output.edge_count() % 2, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NoWasteSweep,
+                         ::testing::Combine(::testing::Values(8, 10, 12),
+                                            ::testing::Values(1, 2)));
+
+TEST(NoWaste, HasTriangleLanguage) {
+  NoWasteConstructor ctor(has_triangle_language(), 10, 17);
+  const auto report = ctor.run_until_stable(500'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_TRUE(has_triangle_language().decide(report.output));
+}
+
+TEST(NoWaste, SpaceAuditTripsOnLinearLanguages) {
+  NoWasteConstructor ctor(netcons::tm::connected_language(), 12, 7, /*max_degree=*/3,
+                          /*space_bits_per_cell=*/1);
+  EXPECT_THROW((void)ctor.run_until_stable(500'000'000), std::logic_error);
+}
+
+TEST(NoWaste, ValidatesArguments) {
+  EXPECT_THROW(NoWasteConstructor(even_edges_language(), 4, 1), std::invalid_argument);
+  EXPECT_THROW(NoWasteConstructor(even_edges_language(), 10, 1, /*max_degree=*/1),
+               std::invalid_argument);
+}
+
+TEST(NoWaste, DeterministicGivenSeed) {
+  NoWasteConstructor a(even_edges_language(), 9, 99);
+  NoWasteConstructor b(even_edges_language(), 9, 99);
+  const auto ra = a.run_until_stable(500'000'000);
+  const auto rb = b.run_until_stable(500'000'000);
+  ASSERT_TRUE(ra.stabilized);
+  EXPECT_EQ(ra.steps_executed, rb.steps_executed);
+  EXPECT_EQ(ra.output, rb.output);
+}
+
+}  // namespace
+}  // namespace netcons::generic

@@ -1,0 +1,97 @@
+#include "generic/supernodes.hpp"
+
+#include "graph/predicates.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netcons::generic {
+namespace {
+
+TEST(Supernodes, PhaseBoundaryPopulationGivesUniformLines) {
+  // n = 24 = 2^3 * 3 is exactly the end of phase 3: 8 lines of length 3.
+  SupernodeConstructor ctor(24, 5);
+  const auto report = ctor.run_until_stable(200'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.supernode_count, 8);
+  for (int len : report.line_lengths) EXPECT_EQ(len, 3);
+}
+
+TEST(Supernodes, NamesAreUniqueAndContiguous) {
+  SupernodeConstructor ctor(24, 9);
+  const auto report = ctor.run_until_stable(200'000'000);
+  ASSERT_TRUE(report.stabilized);
+  std::set<int> names(report.names.begin(), report.names.end());
+  EXPECT_EQ(names.size(), report.names.size());
+  EXPECT_EQ(*names.begin(), 0);
+  EXPECT_EQ(*names.rbegin(), report.supernode_count - 1);
+}
+
+class SupernodeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SupernodeSweep, AllNodesAreOrganized) {
+  const auto [n, seed] = GetParam();
+  SupernodeConstructor ctor(n, netcons::trial_seed(23000, static_cast<std::uint64_t>(seed)));
+  const auto report = ctor.run_until_stable(400'000'000);
+  ASSERT_TRUE(report.stabilized) << "n=" << n;
+
+  // Every node belongs to the single surviving structure.
+  int total = 0;
+  for (int len : report.line_lengths) total += len;
+  EXPECT_EQ(total, n);
+
+  // Lines are lines: hub edges + internal path edges only.
+  EXPECT_GE(report.supernode_count, 4);
+  // Line lengths differ by at most one except a single partial line under
+  // construction when the free pool ran dry.
+  int shorter_than_leader = 0;
+  for (int len : report.line_lengths) {
+    EXPECT_LE(len, report.leader_line_length);
+    if (len < report.leader_line_length - 1) ++shorter_than_leader;
+  }
+  EXPECT_LE(shorter_than_leader, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SupernodeSweep,
+                         ::testing::Combine(::testing::Values(8, 12, 17, 24, 33, 64),
+                                            ::testing::Values(1, 2)));
+
+TEST(Supernodes, MemoryIsLogarithmicInCount) {
+  // Theorem 18: k supernodes of length ~log k. At phase ends, length j and
+  // count 2^j satisfy length == log2(count) exactly.
+  SupernodeConstructor ctor(64, 3);  // 2^4 * 4 = 64: end of phase 4
+  const auto report = ctor.run_until_stable(400'000'000);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_EQ(report.supernode_count, 16);
+  EXPECT_EQ(report.leader_line_length, 4);
+}
+
+TEST(Supernodes, StructureGraphIsHubPlusPaths) {
+  SupernodeConstructor ctor(24, 13);
+  const auto report = ctor.run_until_stable(200'000'000);
+  ASSERT_TRUE(report.stabilized);
+  const Graph& g = report.structure;
+  EXPECT_TRUE(netcons::is_connected(g));
+  // Edge count: internal path edges (sum of len-1) + hub edges (k - 1).
+  int expected_edges = report.supernode_count - 1;
+  for (int len : report.line_lengths) expected_edges += len - 1;
+  EXPECT_EQ(g.edge_count(), expected_edges);
+}
+
+TEST(Supernodes, RejectsTinyPopulations) {
+  EXPECT_THROW(SupernodeConstructor(4, 1), std::invalid_argument);
+}
+
+TEST(Supernodes, DeterministicGivenSeed) {
+  SupernodeConstructor a(17, 321);
+  SupernodeConstructor b(17, 321);
+  const auto ra = a.run_until_stable(200'000'000);
+  const auto rb = b.run_until_stable(200'000'000);
+  EXPECT_EQ(ra.steps_executed, rb.steps_executed);
+  EXPECT_EQ(ra.line_lengths, rb.line_lengths);
+}
+
+}  // namespace
+}  // namespace netcons::generic

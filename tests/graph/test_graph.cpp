@@ -1,0 +1,115 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netcons {
+namespace {
+
+TEST(Graph, PairIndexIsTriangularAndSymmetric) {
+  EXPECT_EQ(Graph::pair_index(0, 1), 0u);
+  EXPECT_EQ(Graph::pair_index(1, 0), 0u);
+  EXPECT_EQ(Graph::pair_index(0, 2), 1u);
+  EXPECT_EQ(Graph::pair_index(1, 2), 2u);
+  EXPECT_EQ(Graph::pair_index(0, 3), 3u);
+  // Bijective over all pairs of a small n.
+  const int n = 12;
+  std::vector<bool> seen(Graph::pair_count(n), false);
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) {
+      const auto i = Graph::pair_index(u, v);
+      ASSERT_LT(i, seen.size());
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Graph, EdgeSetAndDegreeBookkeeping) {
+  Graph g(5);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_TRUE(g.set_edge(1, 3, true));
+  EXPECT_FALSE(g.set_edge(1, 3, true));  // no change
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_TRUE(g.set_edge(1, 3, false));
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(Graph, SelfLoopAndRangeChecks) {
+  Graph g(3);
+  EXPECT_FALSE(g.has_edge(1, 1));
+  EXPECT_THROW(g.set_edge(1, 1, true), std::out_of_range);
+  EXPECT_THROW(g.set_edge(0, 5, true), std::out_of_range);
+}
+
+TEST(Graph, NeighborsAndEdges) {
+  Graph g = Graph::star(5);
+  EXPECT_EQ(g.neighbors(0), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(g.neighbors(2), (std::vector<int>{0}));
+  EXPECT_EQ(g.edges().size(), 4u);
+}
+
+TEST(Graph, ComponentsOfDisjointShapes) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);  // line 0-1-2
+  g.add_edge(3, 4);  // edge 3-4
+  const auto comps = g.components();
+  ASSERT_EQ(comps.size(), 4u);  // line, edge, and isolated 5, 6
+  std::vector<std::size_t> sizes;
+  for (const auto& c : comps) sizes.push_back(c.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 1, 2, 3}));
+}
+
+TEST(Graph, InducedSubgraphRelabels) {
+  Graph g = Graph::ring(6);
+  const Graph sub = g.induced({0, 1, 2});
+  EXPECT_EQ(sub.order(), 3);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));  // ring edge 5-0 is not inside
+}
+
+TEST(Graph, AdjacencyBitsRoundTrip) {
+  Graph g = Graph::line(5);
+  const std::string bits = g.adjacency_bits();
+  EXPECT_EQ(bits.size(), 25u);
+  const auto back = Graph::from_adjacency_bits(bits);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, g);
+}
+
+TEST(Graph, FromAdjacencyBitsRejectsBadInput) {
+  EXPECT_FALSE(Graph::from_adjacency_bits("010").has_value());  // not square
+  // 2x2 "0110" => a(0,1) = a(1,0) = 1, zero diagonal: valid.
+  EXPECT_TRUE(Graph::from_adjacency_bits("0110").has_value());
+  EXPECT_FALSE(Graph::from_adjacency_bits("0100").has_value());  // asymmetric
+  EXPECT_FALSE(Graph::from_adjacency_bits("1001").has_value());  // self loop
+  EXPECT_FALSE(Graph::from_adjacency_bits("01x0").has_value());  // bad char
+}
+
+TEST(Graph, NamedConstructions) {
+  EXPECT_EQ(Graph::line(4).edge_count(), 3);
+  EXPECT_EQ(Graph::ring(4).edge_count(), 4);
+  EXPECT_EQ(Graph::star(4).edge_count(), 3);
+  EXPECT_EQ(Graph::clique(4).edge_count(), 6);
+  EXPECT_EQ(Graph::ring(2).edge_count(), 1);  // degenerate ring is one edge
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a = Graph::line(4);
+  Graph b = Graph::line(4);
+  EXPECT_EQ(a, b);
+  b.add_edge(0, 3);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,75 @@
+#include "graph/isomorphism.hpp"
+
+#include "graph/random_graphs.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace netcons {
+namespace {
+
+/// Relabel g by a random permutation.
+Graph shuffled(const Graph& g, Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(g.order()));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  Graph h(g.order());
+  for (const auto& [u, v] : g.edges()) {
+    h.add_edge(perm[static_cast<std::size_t>(u)], perm[static_cast<std::size_t>(v)]);
+  }
+  return h;
+}
+
+TEST(Isomorphism, BasicShapes) {
+  EXPECT_TRUE(are_isomorphic(Graph::line(5), Graph::line(5)));
+  EXPECT_TRUE(are_isomorphic(Graph::ring(6), Graph::ring(6)));
+  EXPECT_FALSE(are_isomorphic(Graph::line(5), Graph::ring(5)));
+  EXPECT_FALSE(are_isomorphic(Graph::star(5), Graph::line(5)));
+  EXPECT_FALSE(are_isomorphic(Graph::line(4), Graph::line(5)));
+}
+
+TEST(Isomorphism, EmptyAndSingle) {
+  EXPECT_TRUE(are_isomorphic(Graph(0), Graph(0)));
+  EXPECT_TRUE(are_isomorphic(Graph(1), Graph(1)));
+  EXPECT_FALSE(are_isomorphic(Graph(1), Graph(2)));
+}
+
+TEST(Isomorphism, DetectsRelabeledCopies) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = sample_gnp(10, 0.4, rng);
+    const Graph h = shuffled(g, rng);
+    EXPECT_TRUE(are_isomorphic(g, h));
+  }
+}
+
+TEST(Isomorphism, SameDegreeSequenceDifferentStructure) {
+  // C6 vs two disjoint C3: both 2-regular on 6 nodes.
+  Graph two_triangles(6);
+  for (auto [u, v] : {std::pair{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}) {
+    two_triangles.add_edge(u, v);
+  }
+  EXPECT_FALSE(are_isomorphic(Graph::ring(6), two_triangles));
+}
+
+TEST(Isomorphism, PerturbedCopyIsNotIsomorphic) {
+  Rng rng(7);
+  const Graph g = sample_gnp(9, 0.5, rng);
+  Graph h = shuffled(g, rng);
+  // Flip one edge; edge counts now differ.
+  bool flipped = false;
+  for (int u = 0; u < h.order() && !flipped; ++u) {
+    for (int v = u + 1; v < h.order() && !flipped; ++v) {
+      h.set_edge(u, v, !h.has_edge(u, v));
+      flipped = true;
+    }
+  }
+  EXPECT_FALSE(are_isomorphic(g, h));
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,56 @@
+#include "graph/random_graphs.hpp"
+
+#include "graph/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons {
+namespace {
+
+TEST(Gnp, ExtremeProbabilities) {
+  Rng rng(1);
+  EXPECT_EQ(sample_gnp(8, 0.0, rng).edge_count(), 0);
+  EXPECT_EQ(sample_gnp(8, 1.0, rng).edge_count(), 28);
+}
+
+TEST(Gnp, HalfProbabilityEdgeCountConcentrates) {
+  Rng rng(2);
+  const int n = 30;
+  const double pairs = n * (n - 1) / 2.0;
+  double total = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(sample_gnp(n, 0.5, rng).edge_count());
+  }
+  EXPECT_NEAR(total / trials, pairs / 2.0, pairs * 0.05);
+}
+
+TEST(Gnp, RejectsBadProbability) {
+  Rng rng(3);
+  EXPECT_THROW((void)sample_gnp(5, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_gnp(5, 1.1, rng), std::invalid_argument);
+}
+
+TEST(Gnp, DeterministicGivenSeed) {
+  Rng a(17), b(17);
+  EXPECT_EQ(sample_gnp(12, 0.3, a), sample_gnp(12, 0.3, b));
+}
+
+TEST(BoundedDegree, ConnectedAndCapped) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = sample_bounded_degree_connected(20, 3, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(has_max_degree(g, 3));
+  }
+}
+
+TEST(BoundedDegree, TinyOrders) {
+  Rng rng(5);
+  EXPECT_EQ(sample_bounded_degree_connected(1, 2, rng).order(), 1);
+  const Graph pair = sample_bounded_degree_connected(2, 2, rng);
+  EXPECT_TRUE(is_connected(pair));
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,53 @@
+#include "graph/render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons {
+namespace {
+
+TEST(Render, DotContainsNodesAndEdges) {
+  const Graph g = Graph::star(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph \"netcons\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n3"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(Render, DotLabelsAndColors) {
+  DotOptions options;
+  options.graph_name = "star";
+  options.node_labels = {"c", "p"};
+  options.node_colors = {"black", "red"};
+  const std::string dot = to_dot(Graph::line(2), options);
+  EXPECT_NE(dot.find("label=\"0:c\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"red\""), std::string::npos);
+}
+
+TEST(Render, DirectedUsesArrows) {
+  DotOptions options;
+  options.directed = true;
+  const std::string dot = to_dot(Graph::line(3), options);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Render, AsciiAdjacencyMarksUpperTriangle) {
+  Graph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const std::string art = ascii_adjacency(g);
+  // Row for node 0 ends with '#': edge (0,3); node 1 has '#' at column 2.
+  EXPECT_NE(art.find('#'), std::string::npos);
+  // There are exactly two active edges drawn.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '#'), 2);
+}
+
+TEST(Render, DegreeHistogram) {
+  EXPECT_EQ(degree_histogram(Graph::star(5)), "deg1:4 deg4:1");
+  EXPECT_EQ(degree_histogram(Graph::ring(4)), "deg2:4");
+  EXPECT_EQ(degree_histogram(Graph(3)), "deg0:3");
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,74 @@
+// Correctness is scheduler-independent: the paper's proofs only assume
+// fairness, so every constructor must stabilize to its target under fair
+// schedulers other than the uniform random one.
+#include "protocols/protocols.hpp"
+
+#include "graph/predicates.hpp"
+#include "sched/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace netcons {
+namespace {
+
+ConvergenceReport run_with(const ProtocolSpec& spec, int n, std::uint64_t seed,
+                           std::unique_ptr<Scheduler> sched, Simulator*& out,
+                           std::vector<std::unique_ptr<Simulator>>& keep) {
+  keep.push_back(std::make_unique<Simulator>(spec.protocol, n, seed, std::move(sched)));
+  Simulator& sim = *keep.back();
+  if (spec.initialize) spec.initialize(sim.mutable_world());
+  Simulator::StabilityOptions options;
+  options.max_steps = spec.max_steps ? spec.max_steps(n) : 0;
+  options.certificate = spec.certificate;
+  out = &sim;
+  return sim.run_until_stable(options);
+}
+
+class FairSchedulerMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FairSchedulerMatrix, ProtocolsStabilizeUnderFairSchedulers) {
+  const auto [which_protocol, which_sched] = GetParam();
+  ProtocolSpec spec;
+  int n = 10;
+  switch (which_protocol) {
+    case 0: spec = protocols::global_star(); break;
+    case 1: spec = protocols::cycle_cover(); break;
+    case 2: spec = protocols::simple_global_line(); n = 8; break;
+    case 3: spec = protocols::fast_global_line(); n = 8; break;
+    default: spec = protocols::spanning_net(); break;
+  }
+  std::unique_ptr<Scheduler> sched;
+  if (which_sched == 0) {
+    sched = std::make_unique<RandomPermutationScheduler>();
+  } else {
+    sched = std::make_unique<StaleBiasedScheduler>(0.3);
+  }
+  std::vector<std::unique_ptr<Simulator>> keep;
+  Simulator* sim = nullptr;
+  const auto report = run_with(spec, n, 4242, std::move(sched), sim, keep);
+  ASSERT_TRUE(report.stabilized) << spec.protocol.name();
+  EXPECT_TRUE(spec.target(sim->world().output_graph(spec.protocol))) << spec.protocol.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FairSchedulerMatrix,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(0, 1)));
+
+TEST(Fairness, AdversarialPrefixCannotPreventStarConvergence) {
+  // Feed a hostile scripted prefix (repeatedly the same pair), then hand
+  // control to the uniform scheduler: the protocol must still stabilize.
+  const auto spec = protocols::global_star();
+  std::vector<Encounter> hostile(5000, Encounter{0, 1});
+  auto sched = std::make_unique<ScriptedScheduler>(hostile, /*strict=*/false);
+  Simulator sim(spec.protocol, 8, 99, std::move(sched));
+  Simulator::StabilityOptions options;
+  options.max_steps = spec.max_steps(8) + 5000;
+  const auto report = sim.run_until_stable(options);
+  ASSERT_TRUE(report.stabilized);
+  EXPECT_TRUE(is_spanning_star(sim.world().output_graph(spec.protocol)));
+}
+
+}  // namespace
+}  // namespace netcons

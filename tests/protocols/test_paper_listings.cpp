@@ -1,0 +1,99 @@
+// Spec-conformance tests: every protocol's state count and effective rule
+// count must match the paper's listing, and every ProtocolSpec must carry
+// complete harness metadata (target, budget, notes). These are the tests
+// that catch accidental drift from the published protocols.
+#include "protocols/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons {
+namespace {
+
+struct Listing {
+  ProtocolSpec spec;
+  int states;
+  int effective_rules;
+};
+
+std::vector<Listing> listings() {
+  std::vector<Listing> out;
+  // Protocol 1: 5 rules listed.
+  out.push_back({protocols::simple_global_line(), 5, 5});
+  // Protocol 2: 8 rules listed.
+  out.push_back({protocols::fast_global_line(), 9, 8});
+  // Protocol 10: 6 rules listed.
+  out.push_back({protocols::faster_global_line(), 6, 6});
+  // Protocol 3: 3 rules.
+  out.push_back({protocols::cycle_cover(), 3, 3});
+  // Protocol 4: 3 rules.
+  out.push_back({protocols::global_star(), 2, 3});
+  // Theorem 1 upper bound: 2 rules.
+  out.push_back({protocols::spanning_net(), 2, 2});
+  // Theorem 15 partition: 4 rules.
+  out.push_back({protocols::partition_udm(), 6, 4});
+  // Section 7 pre-elected baseline: 1 rule.
+  out.push_back({protocols::preelected_line(), 3, 1});
+  return out;
+}
+
+TEST(PaperListings, StateAndRuleCountsMatch) {
+  for (const auto& listing : listings()) {
+    EXPECT_EQ(listing.spec.protocol.state_count(), listing.states)
+        << listing.spec.protocol.name();
+    EXPECT_EQ(listing.spec.protocol.effective_rule_count(), listing.effective_rules)
+        << listing.spec.protocol.name();
+  }
+}
+
+TEST(PaperListings, ParameterizedSizesMatchFormulas) {
+  for (int k : {2, 3, 4, 6}) {
+    EXPECT_EQ(protocols::krc(k).protocol.state_count(), 2 * (k + 1)) << "k=" << k;
+  }
+  for (int c : {3, 4, 5, 7}) {
+    EXPECT_EQ(protocols::c_cliques(c).protocol.state_count(), 5 * c - 3) << "c=" << c;
+  }
+  EXPECT_EQ(protocols::replication(Graph::line(3)).protocol.state_count(), 12);
+}
+
+TEST(PaperListings, EverySpecCarriesHarnessMetadata) {
+  std::vector<ProtocolSpec> all;
+  for (auto& listing : listings()) all.push_back(std::move(listing.spec));
+  all.push_back(protocols::global_ring());
+  all.push_back(protocols::two_rc());
+  all.push_back(protocols::krc(3));
+  all.push_back(protocols::c_cliques(3));
+  all.push_back(protocols::replication(Graph::ring(3)));
+  all.push_back(protocols::degree_doubling(2));
+  for (const auto& spec : all) {
+    EXPECT_TRUE(static_cast<bool>(spec.target)) << spec.protocol.name();
+    EXPECT_TRUE(static_cast<bool>(spec.max_steps)) << spec.protocol.name();
+    EXPECT_FALSE(spec.notes.empty()) << spec.protocol.name();
+    // Budgets must grow with n (sanity of the bound encodings).
+    EXPECT_LT(spec.max_steps(8), spec.max_steps(64)) << spec.protocol.name();
+  }
+}
+
+TEST(PaperListings, OnlyReplicationIsRandomized) {
+  EXPECT_TRUE(protocols::replication(Graph::ring(3)).protocol.randomized());
+  EXPECT_FALSE(protocols::simple_global_line().protocol.randomized());
+  EXPECT_FALSE(protocols::global_ring().protocol.randomized());
+  EXPECT_FALSE(protocols::krc(3).protocol.randomized());
+  EXPECT_FALSE(protocols::c_cliques(3).protocol.randomized());
+}
+
+TEST(PaperListings, DescribeRoundTripsEveryEffectiveRule) {
+  // describe() must list exactly effective_rule_count() transitions.
+  for (const auto& listing : listings()) {
+    const std::string text = listing.spec.protocol.describe();
+    std::size_t arrows = 0;
+    for (std::size_t pos = text.find("->"); pos != std::string::npos;
+         pos = text.find("->", pos + 2)) {
+      ++arrows;
+    }
+    EXPECT_EQ(static_cast<int>(arrows), listing.effective_rules)
+        << listing.spec.protocol.name();
+  }
+}
+
+}  // namespace
+}  // namespace netcons

@@ -1,0 +1,96 @@
+#include "tm/graph_language.hpp"
+
+#include "graph/predicates.hpp"
+#include "graph/random_graphs.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons::tm {
+namespace {
+
+TEST(GraphLanguage, ConnectedDecider) {
+  const auto lang = connected_language();
+  EXPECT_TRUE(lang.decide(Graph::line(5)));
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(lang.decide(g));
+  EXPECT_EQ(lang.space_class, "O(n)");
+}
+
+TEST(GraphLanguage, MaxDegreeDecider) {
+  const auto lang = max_degree_language(2);
+  EXPECT_TRUE(lang.decide(Graph::ring(5)));
+  EXPECT_FALSE(lang.decide(Graph::star(5)));
+}
+
+TEST(GraphLanguage, TriangleDeciders) {
+  const auto free_lang = triangle_free_language();
+  const auto has_lang = has_triangle_language();
+  EXPECT_TRUE(free_lang.decide(Graph::ring(5)));
+  EXPECT_FALSE(free_lang.decide(Graph::clique(3)));
+  EXPECT_TRUE(has_lang.decide(Graph::clique(4)));
+  EXPECT_FALSE(has_lang.decide(Graph::line(6)));
+}
+
+TEST(GraphLanguage, EvenEdgesDecider) {
+  const auto lang = even_edges_language();
+  EXPECT_TRUE(lang.decide(Graph(3)));           // 0 edges
+  EXPECT_FALSE(lang.decide(Graph::line(2)));    // 1 edge
+  EXPECT_TRUE(lang.decide(Graph::line(3)));     // 2 edges
+}
+
+TEST(GraphLanguage, BipartiteDecider) {
+  const auto lang = bipartite_language();
+  EXPECT_TRUE(lang.decide(Graph::line(6)));
+  EXPECT_TRUE(lang.decide(Graph::ring(6)));
+  EXPECT_FALSE(lang.decide(Graph::ring(5)));
+  EXPECT_FALSE(lang.decide(Graph::clique(3)));
+  EXPECT_TRUE(lang.decide(Graph::star(7)));
+}
+
+TEST(GraphLanguage, HamiltonianPathDecider) {
+  const auto lang = hamiltonian_path_language();
+  EXPECT_TRUE(lang.decide(Graph::line(6)));
+  EXPECT_TRUE(lang.decide(Graph::ring(6)));
+  EXPECT_TRUE(lang.decide(Graph::clique(5)));
+  EXPECT_FALSE(lang.decide(Graph::star(5)));  // star of 5 has no ham path
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  EXPECT_FALSE(lang.decide(disconnected));
+}
+
+TEST(GraphLanguage, WorkspaceBitsScaleWithClass) {
+  const auto logspace = even_edges_language();
+  const auto linear = connected_language();
+  // O(log n) workspace grows much slower than O(n).
+  EXPECT_LT(logspace.workspace_bits(1024), 100u);
+  EXPECT_GT(linear.workspace_bits(1024), 1024u);
+  EXPECT_LT(linear.workspace_bits(1024), 2048u + 100u);
+}
+
+TEST(GraphLanguage, AllLanguagesAgreeWithPredicatesOnRandomGraphs) {
+  netcons::Rng rng(31);
+  const auto conn = connected_language();
+  const auto tri_free = triangle_free_language();
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = netcons::sample_gnp(9, 0.3, rng);
+    EXPECT_EQ(conn.decide(g), netcons::is_connected(g));
+    bool has_tri = false;
+    for (int a = 0; a < 9 && !has_tri; ++a) {
+      for (int b = a + 1; b < 9 && !has_tri; ++b) {
+        for (int c = b + 1; c < 9 && !has_tri; ++c) {
+          has_tri = g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c);
+        }
+      }
+    }
+    EXPECT_EQ(tri_free.decide(g), !has_tri);
+  }
+}
+
+TEST(GraphLanguage, AllLanguagesListIsComplete) {
+  EXPECT_EQ(all_languages().size(), 7u);
+}
+
+}  // namespace
+}  // namespace netcons::tm

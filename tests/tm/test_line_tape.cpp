@@ -1,0 +1,119 @@
+#include "tm/line_tape.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcons::tm {
+namespace {
+
+/// Drive a LineTape with uniformly random encounters over `n` population
+/// nodes until it halts (or a step budget runs out); returns total steps.
+std::uint64_t drive_random(LineTape& tape, int n, std::uint64_t seed,
+                           std::uint64_t max_steps = 10'000'000) {
+  netcons::Rng rng(seed);
+  std::uint64_t steps = 0;
+  while (!tape.halted() && steps < max_steps) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    if (v >= u) ++v;
+    tape.on_interaction(u, v);
+    ++steps;
+  }
+  return steps;
+}
+
+TEST(LineTape, RunsBinaryIncrementViaRandomInteractions) {
+  // Cells are arbitrary population node ids, deliberately non-contiguous.
+  LineTape tape(binary_increment(), {7, 3, 11, 0, 5}, "0110");
+  drive_random(tape, 12, 42);
+  ASSERT_TRUE(tape.halted());
+  EXPECT_TRUE(tape.accepted());
+  EXPECT_EQ(tape.tape(), "0111");
+}
+
+TEST(LineTape, InitializationWalkPlacesDirectionMarks) {
+  LineTape tape(binary_increment(), {0, 1, 2, 3}, "001");
+  EXPECT_EQ(tape.phase(), LineTape::Phase::InitToRight);
+  // Feed exactly the pending encounters: walk right, then walk back left.
+  while (tape.phase() != LineTape::Phase::Working) {
+    const auto pending = tape.pending_encounter();
+    ASSERT_TRUE(pending.has_value());
+    ASSERT_TRUE(tape.on_interaction(pending->first, pending->second));
+  }
+  // After initialization the head is at the left endpoint with 'r' marks to
+  // its right (Figure 5's final panel).
+  EXPECT_EQ(tape.head_position(), 0);
+  for (int pos = 1; pos < 4; ++pos) {
+    EXPECT_EQ(tape.mark(pos), LineTape::Mark::Right) << pos;
+  }
+}
+
+TEST(LineTape, MarksTrackHeadDuringWork) {
+  LineTape tape(binary_increment(), {0, 1, 2}, "01");
+  while (!tape.halted()) {
+    const auto pending = tape.pending_encounter();
+    ASSERT_TRUE(pending.has_value());
+    tape.on_interaction(pending->first, pending->second);
+    if (tape.phase() == LineTape::Phase::Working && !tape.halted()) {
+      const int head = tape.head_position();
+      for (int pos = 0; pos < head; ++pos) {
+        EXPECT_EQ(tape.mark(pos), LineTape::Mark::Left);
+      }
+      for (int pos = head + 1; pos < 3; ++pos) {
+        EXPECT_EQ(tape.mark(pos), LineTape::Mark::Right);
+      }
+    }
+  }
+  EXPECT_TRUE(tape.accepted());
+  EXPECT_EQ(tape.tape(), "10");
+}
+
+TEST(LineTape, IgnoresIrrelevantInteractions) {
+  LineTape tape(binary_increment(), {0, 1, 2, 3}, "000");
+  const auto before = tape.interactions_used();
+  EXPECT_FALSE(tape.on_interaction(0, 2));   // not adjacent
+  EXPECT_FALSE(tape.on_interaction(1, 2));   // head is not here
+  EXPECT_FALSE(tape.on_interaction(9, 10));  // not even on the line
+  EXPECT_EQ(tape.interactions_used(), before);
+}
+
+TEST(LineTape, PalindromeOnLine) {
+  // The scanner needs a blank cell to the right of the input, so the line
+  // is one cell longer than the word.
+  LineTape tape(palindrome(), {4, 1, 9, 2, 6, 3}, "01010");
+  drive_random(tape, 10, 7);
+  ASSERT_TRUE(tape.halted());
+  EXPECT_TRUE(tape.accepted());
+
+  LineTape no(palindrome(), {4, 1, 9, 2, 6, 3}, "01001");
+  drive_random(no, 10, 7);
+  ASSERT_TRUE(no.halted());
+  EXPECT_FALSE(no.accepted());
+}
+
+TEST(LineTape, BoundedTapeRejectsOverflow) {
+  // Increment of all-ones walks off the left edge: bounded-tape reject.
+  LineTape tape(binary_increment(), {0, 1, 2}, "111");
+  drive_random(tape, 6, 9);
+  ASSERT_TRUE(tape.halted());
+  EXPECT_FALSE(tape.accepted());
+}
+
+TEST(LineTape, ValidatesConstruction) {
+  EXPECT_THROW(LineTape(binary_increment(), {0}, ""), std::invalid_argument);
+  EXPECT_THROW(LineTape(binary_increment(), {0, 1}, "00000"), std::invalid_argument);
+}
+
+TEST(LineTape, InteractionCountExceedsTmSteps) {
+  // Scheduling misses make the interaction count strictly dominate the
+  // TM's own step count (the whole point of the distributed execution).
+  LineTape tape(binary_increment(), {0, 1, 2, 3, 4, 5}, "00101");
+  const auto total = drive_random(tape, 12, 11);
+  ASSERT_TRUE(tape.halted());
+  EXPECT_GT(total, tape.tm_steps());
+  EXPECT_GE(tape.interactions_used(), tape.tm_steps());
+}
+
+}  // namespace
+}  // namespace netcons::tm

@@ -1,0 +1,108 @@
+#include "tm/turing_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bitset>
+
+namespace netcons::tm {
+namespace {
+
+TEST(TuringMachine, BinaryIncrementSimpleCases) {
+  const TuringMachine m = binary_increment();
+  struct Case {
+    std::string in, out;
+  };
+  for (const auto& c : {Case{"0", "1"}, Case{"01", "10"}, Case{"011", "100"},
+                        Case{"0111", "1000"}, Case{"0101", "0110"}}) {
+    const RunResult r = run(m, c.in, 16, 10000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.tape, c.out) << c.in;
+  }
+}
+
+TEST(TuringMachine, BinaryIncrementSweep) {
+  const TuringMachine m = binary_increment();
+  for (unsigned v = 0; v < 64; ++v) {
+    std::string in = "0" + std::bitset<6>(v).to_string();  // leading 0 guard
+    const RunResult r = run(m, in, 16, 10000);
+    ASSERT_TRUE(r.accepted) << in;
+    std::string expect = std::bitset<7>(v + 1).to_string();
+    // Normalize: strip leading zeros from both before comparing values.
+    const auto strip = [](std::string s) {
+      const auto pos = s.find('1');
+      return pos == std::string::npos ? std::string("0") : s.substr(pos);
+    };
+    EXPECT_EQ(strip(r.tape), strip(expect)) << in;
+  }
+}
+
+TEST(TuringMachine, PalindromeAgainstReference) {
+  const TuringMachine m = palindrome();
+  for (unsigned bits = 0; bits < 256; ++bits) {
+    for (std::size_t len : {0u, 1u, 3u, 5u, 8u}) {
+      std::string s;
+      for (std::size_t i = 0; i < len; ++i) s.push_back((bits >> i) & 1 ? '1' : '0');
+      std::string rev = s;
+      std::reverse(rev.begin(), rev.end());
+      const bool expect = (s == rev);
+      const RunResult r = run(m, s, 32, 100000);
+      ASSERT_TRUE(r.halted) << s;
+      EXPECT_EQ(r.accepted, expect) << s;
+    }
+  }
+}
+
+TEST(TuringMachine, ZerosThenOnesAgainstReference) {
+  const TuringMachine m = zeros_then_ones();
+  for (unsigned bits = 0; bits < 128; ++bits) {
+    for (std::size_t len : {0u, 1u, 2u, 4u, 6u}) {
+      std::string s;
+      for (std::size_t i = 0; i < len; ++i) s.push_back((bits >> i) & 1 ? '1' : '0');
+      const std::size_t zeros = static_cast<std::size_t>(
+          std::count(s.begin(), s.end(), '0'));
+      const bool sorted = std::is_sorted(s.begin(), s.end());
+      const bool expect = sorted && zeros * 2 == s.size();
+      const RunResult r = run(m, s, 32, 100000);
+      ASSERT_TRUE(r.halted) << s;
+      EXPECT_EQ(r.accepted, expect) << s;
+    }
+  }
+}
+
+TEST(TuringMachine, SpaceBudgetRejectsOverflow) {
+  const TuringMachine m = binary_increment();
+  // All-ones input overflows past the left edge: bounded-tape reject.
+  const RunResult r = run(m, "111", 8, 10000);
+  EXPECT_TRUE(r.halted);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(TuringMachine, StepBudgetStopsRunaways) {
+  TuringMachine loop;
+  loop.name = "loop";
+  loop.initial_state = 0;
+  loop.accept_state = 9;
+  loop.delta[{0, TuringMachine::kBlank}] = {1, TuringMachine::kBlank, Move::Right};
+  loop.delta[{1, TuringMachine::kBlank}] = {0, TuringMachine::kBlank, Move::Left};
+  const RunResult r = run(loop, "", 4, 100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(TuringMachine, InputBudgetValidation) {
+  const TuringMachine m = binary_increment();
+  EXPECT_THROW((void)run(m, "0101", 2, 100), std::invalid_argument);
+  EXPECT_THROW((void)run(m, "", 0, 100), std::invalid_argument);
+}
+
+TEST(TuringMachine, CellsUsedHighWaterMark) {
+  const TuringMachine m = binary_increment();
+  const RunResult r = run(m, "01", 16, 1000);
+  // Scans to the blank after the input: 3 cells touched.
+  EXPECT_EQ(r.cells_used, 3u);
+}
+
+}  // namespace
+}  // namespace netcons::tm

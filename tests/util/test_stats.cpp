@@ -1,0 +1,153 @@
+#include "util/stats.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace netcons {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, PercentilesInterpolate) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.median(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.25), 2.0);
+  EXPECT_NEAR(stats.percentile(0.1), 1.4, 1e-12);
+  RunningStats empty;
+  EXPECT_EQ(empty.median(), 0.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(7.0);
+  EXPECT_EQ(stats.mean(), 7.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sem(), 0.0);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RejectsDegenerateInput) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_linear(one, one), std::invalid_argument);
+  std::vector<double> same_x{2.0, 2.0};
+  std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW((void)fit_linear(same_x, ys), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> xs{10, 20, 40, 80, 160};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * std::pow(x, 2.0));
+  const LinearFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-6);
+}
+
+TEST(FitPowerLaw, NoisyExponentWithinTolerance) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (double x : {16, 32, 64, 128, 256, 512}) {
+    xs.push_back(x);
+    ys.push_back(std::pow(x, 1.5) * (0.9 + 0.2 * rng.uniform()));
+  }
+  const LinearFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  std::vector<double> xs{1.0, 0.0};
+  std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)fit_power_law(xs, ys), std::invalid_argument);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_NEAR(harmonic(2), 1.5, 1e-12);
+  EXPECT_NEAR(harmonic(100), std::log(100.0) + 0.5772156649, 0.01);
+}
+
+TEST(Theory, EpidemicMatchesHarmonicForm) {
+  // (n-1) H_{n-1}: Proposition 1.
+  EXPECT_NEAR(theory::one_way_epidemic(2), 1.0, 1e-12);
+  EXPECT_NEAR(theory::one_way_epidemic(3), 2.0 * 1.5, 1e-12);
+  EXPECT_NEAR(theory::one_way_epidemic(100), 99.0 * harmonic(99), 1e-9);
+}
+
+TEST(Theory, OneToOneEliminationIsThetaOfNSquared) {
+  // The proof shows n(n-1)/2 <= E[X] < 2n^2.
+  for (std::uint64_t n : {4ULL, 16ULL, 64ULL, 256ULL}) {
+    const double e = theory::one_to_one_elimination(n);
+    EXPECT_GE(e, static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+    EXPECT_LT(e, 2.0 * static_cast<double>(n) * static_cast<double>(n));
+  }
+}
+
+TEST(Theory, OneToAllBetweenProvenBounds) {
+  // Proposition 4: roughly n ln(2n); check the Theta(n log n) window.
+  for (std::uint64_t n : {8ULL, 32ULL, 128ULL}) {
+    const double e = theory::one_to_all_elimination(n);
+    const double nlogn = static_cast<double>(n) * std::log(static_cast<double>(n));
+    EXPECT_GT(e, 0.4 * nlogn);
+    EXPECT_LT(e, 4.0 * nlogn);
+  }
+}
+
+TEST(Theory, EdgeCoverIsCouponCollectorOverPairs) {
+  const std::uint64_t n = 10;
+  const std::uint64_t m = n * (n - 1) / 2;
+  EXPECT_NEAR(theory::edge_cover(n), static_cast<double>(m) * harmonic(m), 1e-9);
+}
+
+TEST(Theory, MeetEverybodyDominatesEpidemic) {
+  for (std::uint64_t n : {8ULL, 64ULL, 256ULL}) {
+    EXPECT_GT(theory::meet_everybody(n), theory::one_way_epidemic(n));
+  }
+}
+
+TEST(EvalOver, AppliesFunction) {
+  const std::vector<std::uint64_t> ns{2, 4, 8};
+  const auto values = eval_over(ns, theory::n_squared);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+  EXPECT_DOUBLE_EQ(values[2], 64.0);
+}
+
+}  // namespace
+}  // namespace netcons
