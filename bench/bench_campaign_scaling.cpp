@@ -1,0 +1,93 @@
+// bench_campaign_scaling: the campaign engine's two contracts, measured.
+//
+//  1. Determinism — the same 500-trial sweep at 1 thread and at N threads
+//     produces bit-identical aggregate statistics (mean/variance/min/max/
+//     median compared with exact equality).
+//  2. Scaling — on a machine with >= 4 cores the parallel run must be
+//     >= 3x faster than the serial path (the acceptance bar for the
+//     engine; on smaller machines the speedup is reported but not judged).
+//
+// Exit status: nonzero if determinism fails, or if the machine has >= 4
+// cores and the speedup is < 3x. With --advisory the speedup is reported
+// but never failed on (used by the ctest registration, where shared CI
+// runners make wall-clock gates flaky); determinism is always enforced.
+//
+// Usage: bench_campaign_scaling [trials_per_point] [--advisory]
+#include "campaign/campaign.hpp"
+#include "campaign/registry.hpp"
+#include "campaign/result_sink.hpp"
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace netcons;
+
+int main(int argc, char** argv) {
+  int trials = 100;  // per grid point; 5 points => 500-trial sweep
+  bool advisory = false;  // report the speedup but never fail on it
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--advisory") == 0) {
+      advisory = true;
+    } else {
+      trials = std::atoi(argv[i]);
+    }
+  }
+
+  campaign::CampaignSpec spec;
+  spec.units.push_back(
+      campaign::Unit::protocol("cycle-cover", *campaign::make_protocol("cycle-cover")));
+  spec.ns = {16, 24, 32, 48, 64};
+  spec.trials = trials;
+  spec.base_seed = 0xCA3Dull;
+
+  const int hw_threads = campaign::resolve_threads(0);
+  std::cout << "campaign: cycle-cover x ns{16,24,32,48,64} x " << trials
+            << " trials = " << spec.ns.size() * static_cast<std::size_t>(trials)
+            << " trials total; hardware threads: " << hw_threads << "\n\n";
+
+  campaign::RunOptions serial;
+  serial.threads = 1;
+  const campaign::CampaignResult serial_result = campaign::run(spec, serial);
+
+  campaign::RunOptions parallel;
+  parallel.threads = hw_threads;
+  const campaign::CampaignResult parallel_result = campaign::run(spec, parallel);
+
+  // --- contract 1: bit-identical aggregates -------------------------------
+  bool identical = serial_result.points.size() == parallel_result.points.size();
+  if (identical) {
+    for (std::size_t i = 0; i < serial_result.points.size(); ++i) {
+      identical = identical && campaign::summarize(serial_result.points[i]) ==
+                                   campaign::summarize(parallel_result.points[i]);
+    }
+  }
+
+  TextTable table({"threads", "jobs", "wall s", "mean(n=64)"});
+  for (const auto* r : {&serial_result, &parallel_result}) {
+    table.add_row({TextTable::integer(static_cast<std::uint64_t>(r->threads)),
+                   TextTable::integer(static_cast<std::uint64_t>(r->jobs)),
+                   TextTable::num(r->wall_seconds),
+                   TextTable::num(r->points.back().convergence_steps.mean())});
+  }
+  std::cout << table;
+
+  const double speedup = parallel_result.wall_seconds > 0.0
+                             ? serial_result.wall_seconds / parallel_result.wall_seconds
+                             : 0.0;
+  std::cout << "\naggregates bit-identical across thread counts: "
+            << (identical ? "yes" : "NO") << '\n'
+            << "speedup (" << hw_threads << " threads vs serial): " << speedup << "x\n";
+
+  bool ok = identical;
+  if (hw_threads >= 4) {
+    const bool fast_enough = speedup >= 3.0;
+    std::cout << ">= 3x on >= 4 cores: " << (fast_enough ? "PASS" : "FAIL")
+              << (advisory ? " (advisory: not enforced)" : "") << '\n';
+    if (!advisory) ok = ok && fast_enough;
+  } else {
+    std::cout << "(fewer than 4 hardware threads: speedup reported, not judged)\n";
+  }
+  return ok ? 0 : 1;
+}

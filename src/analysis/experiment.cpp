@@ -1,53 +1,64 @@
 #include "analysis/experiment.hpp"
 
-#include "util/rng.hpp"
+#include "campaign/campaign.hpp"
 
 namespace netcons::analysis {
 
+namespace {
+
+/// Shared wrapper: a one-unit campaign over `ns`, converted back to the
+/// harness's MeasurePoint view. The campaign engine guarantees that the
+/// aggregates are bit-identical for any thread count.
+std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector<int>& ns,
+                                          int trials, std::uint64_t base_seed, int threads) {
+  campaign::CampaignSpec spec;
+  spec.units.push_back(std::move(unit));
+  spec.ns = ns;
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+
+  campaign::RunOptions options;
+  options.threads = threads;
+  const campaign::CampaignResult result = campaign::run(spec, options);
+
+  std::vector<MeasurePoint> out;
+  out.reserve(result.points.size());
+  for (const campaign::PointResult& point : result.points) {
+    MeasurePoint mp;
+    mp.n = point.n;
+    mp.trials = point.trials;
+    mp.failures = point.failures;
+    mp.first_error = point.first_error;
+    mp.convergence_steps = point.convergence_steps;
+    out.push_back(std::move(mp));
+  }
+  return out;
+}
+
+}  // namespace
+
 TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed) {
-  Simulator sim(spec.protocol, n, seed);
-  if (spec.initialize) spec.initialize(sim.mutable_world());
-
-  Simulator::StabilityOptions options;
-  if (spec.max_steps) options.max_steps = spec.max_steps(n);
-  options.certificate = spec.certificate;
-  const ConvergenceReport report = sim.run_until_stable(options);
-
+  // One canonical trial-driving sequence for single runs and campaigns.
+  const campaign::ProtocolTrialReport report = campaign::run_protocol_trial_report(spec, n, seed);
   TrialResult result;
   result.stabilized = report.stabilized;
+  result.target_ok = report.target_ok;
   result.convergence_step = report.convergence_step;
   result.steps_executed = report.steps_executed;
-  if (report.stabilized && spec.target) {
-    result.target_ok = spec.target(sim.world().output_graph(spec.protocol));
-  } else {
-    result.target_ok = report.stabilized;
-  }
   return result;
 }
 
-MeasurePoint measure(const ProtocolSpec& spec, int n, int trials, std::uint64_t base_seed) {
-  MeasurePoint point;
-  point.n = n;
-  point.trials = trials;
-  for (int t = 0; t < trials; ++t) {
-    const TrialResult r = run_trial(spec, n, trial_seed(base_seed, static_cast<std::uint64_t>(t)));
-    if (r.stabilized && r.target_ok) {
-      point.convergence_steps.add(static_cast<double>(r.convergence_step));
-    } else {
-      ++point.failures;
-    }
-  }
-  return point;
+MeasurePoint measure(const ProtocolSpec& spec, int n, int trials, std::uint64_t base_seed,
+                     int threads) {
+  return run_as_campaign(campaign::Unit::protocol("protocol", spec), {n}, trials, base_seed,
+                         threads)
+      .front();
 }
 
 std::vector<MeasurePoint> sweep(const ProtocolSpec& spec, const std::vector<int>& ns, int trials,
-                                std::uint64_t base_seed) {
-  std::vector<MeasurePoint> out;
-  out.reserve(ns.size());
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    out.push_back(measure(spec, ns[i], trials, base_seed + 0x1000 * (i + 1)));
-  }
-  return out;
+                                std::uint64_t base_seed, int threads) {
+  return run_as_campaign(campaign::Unit::protocol("protocol", spec), ns, trials, base_seed,
+                         threads);
 }
 
 LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {
@@ -62,26 +73,14 @@ LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {
 }
 
 MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
-                             std::uint64_t base_seed) {
-  MeasurePoint point;
-  point.n = n;
-  point.trials = trials;
-  for (int t = 0; t < trials; ++t) {
-    const std::uint64_t steps =
-        run_process(spec, n, trial_seed(base_seed, static_cast<std::uint64_t>(t)));
-    point.convergence_steps.add(static_cast<double>(steps));
-  }
-  return point;
+                             std::uint64_t base_seed, int threads) {
+  return run_as_campaign(campaign::Unit::process(spec), {n}, trials, base_seed, threads)
+      .front();
 }
 
 std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec, const std::vector<int>& ns,
-                                        int trials, std::uint64_t base_seed) {
-  std::vector<MeasurePoint> out;
-  out.reserve(ns.size());
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    out.push_back(measure_process(spec, ns[i], trials, base_seed + 0x1000 * (i + 1)));
-  }
-  return out;
+                                        int trials, std::uint64_t base_seed, int threads) {
+  return run_as_campaign(campaign::Unit::process(spec), ns, trials, base_seed, threads);
 }
 
 }  // namespace netcons::analysis

@@ -1,6 +1,12 @@
 // The experiment harness: repeated-trial convergence measurement, n-sweeps,
 // and empirical exponent fits. Used by every bench binary and by the
 // integration tests.
+//
+// Since the campaign engine landed, `measure`/`sweep` (and the process
+// variants) are thin wrappers over campaign::run: trials execute on a
+// thread pool (all cores by default) with deterministic per-trial
+// SplitMix64 seed streams, so results are bit-identical regardless of
+// thread count. Pass `threads = 1` to force serial execution.
 #pragma once
 
 #include "core/spec.hpp"
@@ -28,27 +34,30 @@ struct MeasurePoint {
   int n = 0;
   RunningStats convergence_steps;  ///< Over successful trials.
   int trials = 0;
-  int failures = 0;  ///< Timeouts or target mismatches (should be 0).
+  int failures = 0;  ///< Timeouts, target mismatches, or throws (should be 0).
+  std::string first_error;  ///< Message of the first throwing trial, if any.
 };
 
-/// `trials` independent trials at size n (seeds derived from `base_seed`).
+/// `trials` independent trials at size n (per-trial seeds are a pure
+/// function of `base_seed`; see campaign/seeds.hpp). `threads` 0: all cores.
 [[nodiscard]] MeasurePoint measure(const ProtocolSpec& spec, int n, int trials,
-                                   std::uint64_t base_seed);
+                                   std::uint64_t base_seed, int threads = 0);
 
-/// A full n-sweep.
+/// A full n-sweep, parallelized across the whole (n, trial) grid.
 [[nodiscard]] std::vector<MeasurePoint> sweep(const ProtocolSpec& spec,
                                               const std::vector<int>& ns, int trials,
-                                              std::uint64_t base_seed);
+                                              std::uint64_t base_seed, int threads = 0);
 
 /// Fit mean convergence steps ~ C * n^alpha over the sweep.
 [[nodiscard]] LinearFit fit_exponent(const std::vector<MeasurePoint>& points);
 
 /// Same trial machinery for the Section 3.3 processes (completion time of a
-/// census condition rather than stabilization).
+/// census condition rather than stabilization). A process timeout is
+/// counted in `failures` rather than thrown.
 [[nodiscard]] MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
-                                           std::uint64_t base_seed);
+                                           std::uint64_t base_seed, int threads = 0);
 [[nodiscard]] std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec,
                                                       const std::vector<int>& ns, int trials,
-                                                      std::uint64_t base_seed);
+                                                      std::uint64_t base_seed, int threads = 0);
 
 }  // namespace netcons::analysis

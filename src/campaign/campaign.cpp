@@ -1,0 +1,219 @@
+#include "campaign/campaign.hpp"
+
+#include "campaign/job_queue.hpp"
+#include "campaign/seeds.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <new>
+#include <thread>
+
+namespace netcons::campaign {
+
+namespace {
+
+struct Point {
+  const Unit* unit = nullptr;
+  const SchedulerOption* scheduler = nullptr;
+  int n = 0;
+  std::uint64_t seed = 0;  ///< Base of this point's per-trial seed stream.
+};
+
+struct Shard {
+  std::size_t point = 0;
+  int trial_begin = 0;
+  int trial_end = 0;
+};
+
+TrialOutcome run_unit_trial(const Unit& unit, int n, std::uint64_t seed,
+                            const SchedulerFactory& make_scheduler) {
+  if (const auto* protocol = std::get_if<ProtocolSpec>(&unit.spec)) {
+    return run_protocol_trial(*protocol, n, seed, make_scheduler);
+  }
+  return run_process_trial(std::get<ProcessSpec>(unit.spec), n, seed, make_scheduler);
+}
+
+/// Shared trial-failure policy: trial-level throws become a failed outcome
+/// with the message captured; std::bad_alloc propagates (infrastructure
+/// failure, not a property of the trial).
+template <typename Body>
+TrialOutcome guarded_trial(Body&& body) {
+  TrialOutcome outcome;
+  try {
+    body(outcome);
+  } catch (const std::bad_alloc&) {
+    throw;
+  } catch (const std::exception& e) {
+    outcome.success = false;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.success = false;
+    outcome.error = "unknown exception";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int resolve_threads(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
+                                              std::uint64_t seed,
+                                              const SchedulerFactory& make_scheduler) {
+  Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
+  if (spec.initialize) spec.initialize(sim.mutable_world());
+
+  Simulator::StabilityOptions options;
+  if (spec.max_steps) options.max_steps = spec.max_steps(n);
+  options.certificate = spec.certificate;
+  const ConvergenceReport report = sim.run_until_stable(options);
+
+  ProtocolTrialReport out;
+  out.stabilized = report.stabilized;
+  out.convergence_step = report.convergence_step;
+  out.steps_executed = report.steps_executed;
+  if (report.stabilized && spec.target) {
+    out.target_ok = spec.target(sim.world().output_graph(spec.protocol));
+  } else {
+    out.target_ok = report.stabilized;
+  }
+  return out;
+}
+
+TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
+                                const SchedulerFactory& make_scheduler) {
+  return guarded_trial([&](TrialOutcome& outcome) {
+    const ProtocolTrialReport report = run_protocol_trial_report(spec, n, seed, make_scheduler);
+    outcome.value = report.convergence_step;
+    outcome.steps_executed = report.steps_executed;
+    outcome.success = report.stabilized && report.target_ok;
+  });
+}
+
+TrialOutcome run_process_trial(const ProcessSpec& spec, int n, std::uint64_t seed,
+                               const SchedulerFactory& make_scheduler) {
+  return guarded_trial([&](TrialOutcome& outcome) {
+    Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
+    if (spec.initialize) spec.initialize(sim.mutable_world());
+    const auto finished = sim.run_until(spec.done, process_step_budget(spec, n));
+    outcome.steps_executed = sim.steps();
+    if (finished) {
+      outcome.success = true;
+      outcome.value = *finished;
+    }
+  });
+}
+
+CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  static const SchedulerOption kUniform{};
+  std::vector<const SchedulerOption*> schedulers;
+  if (spec.schedulers.empty()) {
+    schedulers.push_back(&kUniform);
+  } else {
+    for (const auto& option : spec.schedulers) schedulers.push_back(&option);
+  }
+
+  // Grid expansion: unit-major, then scheduler, then n. The point index
+  // alone determines the point's seed stream.
+  std::vector<Point> points;
+  points.reserve(spec.units.size() * schedulers.size() * spec.ns.size());
+  for (const auto& unit : spec.units) {
+    for (const auto* scheduler : schedulers) {
+      for (const int n : spec.ns) {
+        Point point;
+        point.unit = &unit;
+        point.scheduler = scheduler;
+        point.n = n;
+        point.seed = point_seed(spec.base_seed, points.size());
+        points.push_back(point);
+      }
+    }
+  }
+
+  const int trials = std::max(spec.trials, 0);
+  const int threads = resolve_threads(options.threads);
+
+  // Shard trials into jobs. The default targets ~8 jobs per worker per
+  // point-set so the pool stays balanced even when per-trial cost varies
+  // wildly across the grid, while keeping per-job overhead negligible.
+  int shard_size = options.shard_size;
+  if (shard_size <= 0) {
+    const std::uint64_t total = static_cast<std::uint64_t>(trials) *
+                                std::max<std::size_t>(points.size(), 1);
+    shard_size = static_cast<int>(
+        std::clamp<std::uint64_t>(total / (static_cast<std::uint64_t>(threads) * 8), 1, 64));
+  }
+
+  std::vector<Shard> shards;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int begin = 0; begin < trials; begin += shard_size) {
+      shards.push_back(Shard{p, begin, std::min(begin + shard_size, trials)});
+    }
+  }
+
+  // One pre-assigned slot per trial: workers never contend on output.
+  std::vector<std::vector<TrialOutcome>> outcomes(points.size());
+  for (auto& slots : outcomes) slots.resize(static_cast<std::size_t>(trials));
+
+  const std::uint64_t total_trials =
+      static_cast<std::uint64_t>(trials) * static_cast<std::uint64_t>(points.size());
+  std::atomic<std::uint64_t> completed{0};
+
+  run_jobs(shards.size(), threads, [&](std::size_t job) {
+    const Shard& shard = shards[job];
+    const Point& point = points[shard.point];
+    const SeedStream stream(point.seed);
+    for (int t = shard.trial_begin; t < shard.trial_end; ++t) {
+      outcomes[shard.point][static_cast<std::size_t>(t)] = run_unit_trial(
+          *point.unit, point.n, stream.at(static_cast<std::uint64_t>(t)),
+          point.scheduler->make);
+    }
+    if (options.progress) {
+      const auto done = completed.fetch_add(
+                            static_cast<std::uint64_t>(shard.trial_end - shard.trial_begin),
+                            std::memory_order_relaxed) +
+                        static_cast<std::uint64_t>(shard.trial_end - shard.trial_begin);
+      options.progress(done, total_trials);
+    }
+  });
+
+  // Sequential reduction in (point, trial) order: this is what makes the
+  // aggregates independent of thread count and shard size.
+  CampaignResult result;
+  result.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    PointResult point_result;
+    point_result.unit = points[p].unit->name;
+    point_result.scheduler = points[p].scheduler->name;
+    point_result.n = points[p].n;
+    point_result.trials = trials;
+    point_result.seed = points[p].seed;
+    for (const TrialOutcome& outcome : outcomes[p]) {
+      point_result.steps_executed.add(static_cast<double>(outcome.steps_executed));
+      if (outcome.success) {
+        point_result.convergence_steps.add(static_cast<double>(outcome.value));
+      } else {
+        ++point_result.failures;
+        if (point_result.first_error.empty()) point_result.first_error = outcome.error;
+      }
+    }
+    result.total_failures += static_cast<std::uint64_t>(point_result.failures);
+    result.points.push_back(std::move(point_result));
+  }
+  result.total_trials = total_trials;
+  result.jobs = shards.size();
+  result.threads = threads;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace netcons::campaign

@@ -1,0 +1,140 @@
+// The Monte-Carlo campaign engine: executes an arbitrary grid of
+// (protocol | process) x n x scheduler, `trials` independent trials per
+// point, as sharded jobs on a thread pool.
+//
+// Determinism contract: the seed of trial t of grid point p is a pure
+// function of (spec.base_seed, p, t) — see seeds.hpp — and every trial
+// writes its outcome into a pre-assigned slot, with aggregation performed
+// sequentially in (point, trial) order after the pool drains. Aggregate
+// statistics are therefore bit-identical regardless of thread count, shard
+// size, or the order in which the OS schedules the workers.
+//
+// The grid is expanded unit-major, then scheduler, then n:
+//   point_index = (unit_index * |schedulers| + scheduler_index) * |ns| + n_index
+#pragma once
+
+#include "core/spec.hpp"
+#include "processes/processes.hpp"
+#include "util/stats.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace netcons::campaign {
+
+/// Creates a fresh scheduler per trial; a null factory means the
+/// simulator's default (the uniform random scheduler of the paper's model).
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+struct SchedulerOption {
+  std::string name = "uniform";
+  SchedulerFactory make;  ///< Null: uniform random.
+};
+
+/// One row of the campaign grid: a named constructor protocol or a named
+/// Section 3.3 process.
+struct Unit {
+  std::string name;
+  std::variant<ProtocolSpec, ProcessSpec> spec;
+
+  [[nodiscard]] static Unit protocol(std::string name, ProtocolSpec spec) {
+    return Unit{std::move(name), std::move(spec)};
+  }
+  [[nodiscard]] static Unit process(ProcessSpec spec) {
+    std::string name = spec.name;
+    return Unit{std::move(name), std::move(spec)};
+  }
+};
+
+struct CampaignSpec {
+  std::vector<Unit> units;
+  std::vector<int> ns;
+  int trials = 1;
+  /// Empty: one implicit {"uniform", null} option.
+  std::vector<SchedulerOption> schedulers;
+  std::uint64_t base_seed = 1;
+};
+
+/// Outcome of a single trial (slot written by exactly one worker).
+struct TrialOutcome {
+  bool success = false;
+  /// Convergence step (protocols) or completion step (processes).
+  std::uint64_t value = 0;
+  std::uint64_t steps_executed = 0;
+  /// what() of an exception thrown by this trial, if any (empty otherwise).
+  std::string error;
+};
+
+struct PointResult {
+  std::string unit;
+  std::string scheduler;
+  int n = 0;
+  int trials = 0;
+  int failures = 0;  ///< Timeouts, target mismatches, or per-trial throws.
+  std::uint64_t seed = 0;           ///< The point's seed-stream base.
+  RunningStats convergence_steps;   ///< Over successful trials only.
+  RunningStats steps_executed;      ///< Over all trials (certification cost).
+  /// First exception message among this point's failed trials (empty when
+  /// failures are plain timeouts/target mismatches) — the diagnostic handle
+  /// for "why did this point fail".
+  std::string first_error;
+};
+
+struct RunOptions {
+  int threads = 0;     ///< 0: hardware concurrency (min 1).
+  int shard_size = 0;  ///< Trials per job; 0: derived from trials/threads.
+  /// Optional progress callback, invoked from worker threads after each
+  /// completed shard with (completed_trials, total_trials). Must be
+  /// thread-safe.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+struct CampaignResult {
+  std::vector<PointResult> points;  ///< Deterministic grid order.
+  std::uint64_t total_trials = 0;
+  std::uint64_t total_failures = 0;
+  std::size_t jobs = 0;
+  int threads = 0;
+  double wall_seconds = 0.0;  ///< Execution time (not part of determinism).
+};
+
+/// Execute the campaign. Trial-level throws (timeouts, protocol predicates)
+/// are counted as failures and their first message is recorded on the
+/// point; std::bad_alloc propagates (an out-of-memory campaign must abort,
+/// not masquerade as protocol non-convergence).
+[[nodiscard]] CampaignResult run(const CampaignSpec& spec, const RunOptions& options = {});
+
+/// Full report of one protocol trial: simulate to certified stability under
+/// the given scheduler, then validate the output graph. This is THE
+/// canonical trial-driving sequence — analysis::run_trial and the campaign
+/// engine both delegate here. Exceptions propagate.
+struct ProtocolTrialReport {
+  bool stabilized = false;
+  bool target_ok = false;
+  std::uint64_t convergence_step = 0;
+  std::uint64_t steps_executed = 0;
+};
+[[nodiscard]] ProtocolTrialReport run_protocol_trial_report(
+    const ProtocolSpec& spec, int n, std::uint64_t seed,
+    const SchedulerFactory& make_scheduler = {});
+
+/// Run one protocol trial as the engine's inner loop: the report collapsed
+/// to a TrialOutcome, with trial-level throws captured instead of raised.
+[[nodiscard]] TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n,
+                                              std::uint64_t seed,
+                                              const SchedulerFactory& make_scheduler = {});
+
+/// Run one process trial (completion of the census condition) with an
+/// explicit scheduler factory. A timeout is reported as failure, not thrown.
+[[nodiscard]] TrialOutcome run_process_trial(const ProcessSpec& spec, int n,
+                                             std::uint64_t seed,
+                                             const SchedulerFactory& make_scheduler = {});
+
+/// Effective thread count for `requested` (0 resolves to hardware).
+[[nodiscard]] int resolve_threads(int requested) noexcept;
+
+}  // namespace netcons::campaign

@@ -1,0 +1,86 @@
+// A minimal work-stealing-free job queue: jobs are indices into a
+// caller-owned vector, handed out by an atomic cursor. Because every job
+// writes only to its own pre-assigned output slots, workers need no further
+// synchronization, and the final (sequential) reduction over the slots is
+// independent of which thread ran which job — the keystone of the campaign
+// engine's bit-identical-results guarantee.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace netcons::campaign {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t job_count) noexcept : job_count_(job_count) {}
+
+  /// Next unclaimed job index, or nullopt when the queue is drained.
+  [[nodiscard]] std::optional<std::size_t> pop() noexcept {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_count_) return std::nullopt;
+    return i;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return job_count_; }
+
+ private:
+  std::size_t job_count_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Run `body(job_index)` for every job in [0, job_count) on `threads`
+/// workers (the calling thread participates, so threads == 1 never spawns).
+/// The first exception escaping `body` is rethrown on the caller after all
+/// workers finish; remaining jobs are abandoned once it is raised.
+inline void run_jobs(std::size_t job_count, int threads,
+                     const std::function<void(std::size_t)>& body) {
+  if (job_count == 0) return;
+  if (threads < 1) threads = 1;
+  // Never spawn workers that would only pop an empty queue.
+  threads = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads), job_count));
+
+  JobQueue queue(job_count);
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const auto job = queue.pop();
+      if (!job) return;
+      try {
+        body(*job);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  try {
+    for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread exhaustion mid-spawn: stop handing out jobs, join what
+    // started (never destroy a joinable std::thread), then surface it.
+    failed.store(true, std::memory_order_relaxed);
+    for (auto& thread : pool) thread.join();
+    throw;
+  }
+  worker();
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace netcons::campaign

@@ -1,0 +1,102 @@
+#include "campaign/registry.hpp"
+
+#include "protocols/protocols.hpp"
+#include "sched/schedulers.hpp"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace netcons::campaign {
+
+namespace {
+
+using ProtocolFactory = std::function<ProtocolSpec(const ProtocolParams&)>;
+
+const std::map<std::string, ProtocolFactory>& protocol_map() {
+  static const std::map<std::string, ProtocolFactory> map = {
+      {"simple-global-line", [](const ProtocolParams&) { return protocols::simple_global_line(); }},
+      {"fast-global-line", [](const ProtocolParams&) { return protocols::fast_global_line(); }},
+      {"faster-global-line", [](const ProtocolParams&) { return protocols::faster_global_line(); }},
+      {"preelected-line", [](const ProtocolParams&) { return protocols::preelected_line(); }},
+      {"cycle-cover", [](const ProtocolParams&) { return protocols::cycle_cover(); }},
+      {"global-star", [](const ProtocolParams&) { return protocols::global_star(); }},
+      {"global-ring", [](const ProtocolParams&) { return protocols::global_ring(); }},
+      {"2rc", [](const ProtocolParams&) { return protocols::two_rc(); }},
+      {"krc", [](const ProtocolParams& p) { return protocols::krc(p.k); }},
+      {"c-cliques", [](const ProtocolParams& p) { return protocols::c_cliques(p.c); }},
+      {"spanning-net", [](const ProtocolParams&) { return protocols::spanning_net(); }},
+      {"degree-doubling", [](const ProtocolParams& p) { return protocols::degree_doubling(p.d); }},
+      {"partition-udm", [](const ProtocolParams&) { return protocols::partition_udm(); }},
+  };
+  return map;
+}
+
+const std::vector<ProcessSpec>& process_list() {
+  static const std::vector<ProcessSpec> list = all_processes();
+  return list;
+}
+
+/// CLI-friendly name: "One-way epidemic" -> "one-way-epidemic".
+std::string slugify(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += (c == ' ') ? '-' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, factory] : protocol_map()) out.push_back(name);
+    return out;
+  }();
+  return names;
+}
+
+std::optional<ProtocolSpec> make_protocol(const std::string& name,
+                                          const ProtocolParams& params) {
+  const auto it = protocol_map().find(name);
+  if (it == protocol_map().end()) return std::nullopt;
+  return it->second(params);
+}
+
+const std::vector<std::string>& process_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& spec : process_list()) out.push_back(slugify(spec.name));
+    return out;
+  }();
+  return names;
+}
+
+std::optional<ProcessSpec> make_process(const std::string& name) {
+  for (const auto& spec : process_list()) {
+    if (spec.name == name || slugify(spec.name) == name) return spec;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> names = {"uniform", "permutation", "stale-biased"};
+  return names;
+}
+
+std::optional<SchedulerOption> make_scheduler(const std::string& name) {
+  if (name == "uniform") return SchedulerOption{"uniform", nullptr};
+  if (name == "permutation") {
+    return SchedulerOption{"permutation",
+                           [] { return std::make_unique<RandomPermutationScheduler>(); }};
+  }
+  if (name == "stale-biased") {
+    return SchedulerOption{"stale-biased",
+                           [] { return std::make_unique<StaleBiasedScheduler>(); }};
+  }
+  return std::nullopt;
+}
+
+}  // namespace netcons::campaign

@@ -1,0 +1,43 @@
+// Name -> spec registries shared by the CLI tools (netcons_run,
+// netcons_campaign) and by campaign declarations in benches/tests. One
+// place to register a new protocol, process, or scheduler and every
+// workload surface picks it up.
+#pragma once
+
+#include "campaign/campaign.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons::campaign {
+
+/// Parameters for the parameterized protocol families.
+struct ProtocolParams {
+  int k = 2;  ///< kRC replica count (>= 2).
+  int c = 3;  ///< c-Cliques clique order (>= 3).
+  int d = 3;  ///< Degree-doubling target degree.
+};
+
+/// Registered protocol names, in listing order. Excludes Graph-Replication,
+/// whose spec depends on the population size (see netcons_run's
+/// `replication-ring`).
+[[nodiscard]] const std::vector<std::string>& protocol_names();
+
+/// Spec for a registered protocol name; nullopt if unknown.
+[[nodiscard]] std::optional<ProtocolSpec> make_protocol(const std::string& name,
+                                                        const ProtocolParams& params = {});
+
+/// Registered Section 3.3 process names (Table 1 order).
+[[nodiscard]] const std::vector<std::string>& process_names();
+
+[[nodiscard]] std::optional<ProcessSpec> make_process(const std::string& name);
+
+/// Registered scheduler names ("uniform", "permutation", "stale-biased").
+[[nodiscard]] const std::vector<std::string>& scheduler_names();
+
+/// Scheduler option (name + factory) for a registered name; nullopt if
+/// unknown. "uniform" yields a null factory (the simulator default).
+[[nodiscard]] std::optional<SchedulerOption> make_scheduler(const std::string& name);
+
+}  // namespace netcons::campaign

@@ -1,0 +1,49 @@
+// Structured export of campaign results.
+//
+// JSON is the machine-readable archive format (one object per grid point,
+// doubles printed with max_digits10 so values round-trip bit-exactly); CSV
+// is the flat form for spreadsheets/plotting. parse_json reads back what
+// to_json wrote, so a campaign summary can be archived and reloaded without
+// re-running (tested as a bit-exact round trip).
+#pragma once
+
+#include "campaign/campaign.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace netcons::campaign {
+
+/// The exported (summary) view of one grid point.
+struct PointSummary {
+  std::string unit;
+  std::string scheduler;
+  int n = 0;
+  int trials = 0;
+  int failures = 0;
+  std::uint64_t seed = 0;
+  std::size_t count = 0;  ///< Successful trials aggregated below.
+  double mean = 0.0;
+  double variance = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double mean_steps_executed = 0.0;
+
+  [[nodiscard]] bool operator==(const PointSummary&) const = default;
+};
+
+[[nodiscard]] PointSummary summarize(const PointResult& point);
+
+/// Whole-campaign JSON document: metadata + "points" array.
+[[nodiscard]] std::string to_json(const CampaignResult& result);
+
+/// Header + one row per point.
+[[nodiscard]] std::string to_csv(const CampaignResult& result);
+
+/// Parse a document produced by to_json back into point summaries.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<PointSummary> parse_json(const std::string& json);
+
+}  // namespace netcons::campaign

@@ -162,14 +162,16 @@ std::vector<ProcessSpec> all_processes() {
   return out;
 }
 
+std::uint64_t process_step_budget(const ProcessSpec& spec, int n) {
+  const double expected = spec.expected_steps ? spec.expected_steps(static_cast<std::uint64_t>(n))
+                                              : static_cast<double>(n) * n * n;
+  return static_cast<std::uint64_t>(64.0 * expected) + 100'000;
+}
+
 std::uint64_t run_process(const ProcessSpec& spec, int n, std::uint64_t seed) {
   Simulator sim(spec.protocol, n, seed);
   if (spec.initialize) spec.initialize(sim.mutable_world());
-  // Budget: 64x the expected time (or a generous cube fallback), so a
-  // timeout signals a real defect rather than unlucky scheduling.
-  const double expected = spec.expected_steps ? spec.expected_steps(static_cast<std::uint64_t>(n))
-                                              : static_cast<double>(n) * n * n;
-  const auto budget = static_cast<std::uint64_t>(64.0 * expected) + 100'000;
+  const auto budget = process_step_budget(spec, n);
   const auto finished = sim.run_until(spec.done, budget);
   if (!finished) {
     throw std::runtime_error("run_process: '" + spec.name + "' did not complete on n=" +

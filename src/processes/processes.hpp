@@ -60,6 +60,11 @@ struct ProcessSpec {
 /// All seven, in Table 1 order.
 [[nodiscard]] std::vector<ProcessSpec> all_processes();
 
+/// Step budget for one trial of `spec` on n nodes: 64x the expected time
+/// (or a generous cube fallback), so a timeout signals a real defect rather
+/// than unlucky scheduling. Shared by run_process and the campaign engine.
+[[nodiscard]] std::uint64_t process_step_budget(const ProcessSpec& spec, int n);
+
 /// Run the process on n nodes under the uniform random scheduler and return
 /// the completion step. Throws on timeout (budget is generous w.r.t. the
 /// proposition's bound).

@@ -100,10 +100,16 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
-/// Derive the seed for trial `trial` of an experiment with base seed `base`.
-/// Pure function so that sweeps can be trivially parallelized or resumed.
+/// Derive the seed for trial `trial` of an experiment with base seed `base`:
+/// element `trial` of the SplitMix64 stream whose initial state is `base`
+/// (i.e. finalize(base + (trial+1) * gamma), exactly what a sequential
+/// splitmix64 generator started at `base` would emit). A pure function of
+/// (base, trial), so sweeps can be sharded across threads, resumed, or
+/// replayed trial-by-trial; and a genuine SplitMix64 stream, so the streams
+/// of nearby trials are statistically unrelated (the previous XOR-mixing
+/// construction correlated them through shared high bits).
 [[nodiscard]] constexpr std::uint64_t trial_seed(std::uint64_t base, std::uint64_t trial) noexcept {
-  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+  std::uint64_t s = base + trial * 0x9e3779b97f4a7c15ULL;
   return splitmix64(s);
 }
 

@@ -1,0 +1,192 @@
+#include "campaign/campaign.hpp"
+
+#include "campaign/job_queue.hpp"
+#include "campaign/registry.hpp"
+#include "campaign/result_sink.hpp"
+#include "campaign/seeds.hpp"
+#include "protocols/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace netcons::campaign {
+namespace {
+
+CampaignSpec small_mixed_campaign() {
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  spec.units.push_back(Unit::process(one_way_epidemic()));
+  spec.ns = {8, 12};
+  spec.trials = 10;
+  spec.base_seed = 42;
+  return spec;
+}
+
+std::vector<PointSummary> summaries(const CampaignResult& result) {
+  std::vector<PointSummary> out;
+  for (const auto& point : result.points) out.push_back(summarize(point));
+  return out;
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeAggregates) {
+  const CampaignSpec spec = small_mixed_campaign();
+  RunOptions one_thread;
+  one_thread.threads = 1;
+  RunOptions eight_threads;
+  eight_threads.threads = 8;
+
+  const CampaignResult serial = run(spec, one_thread);
+  const CampaignResult parallel = run(spec, eight_threads);
+
+  ASSERT_EQ(serial.points.size(), 4u);  // 2 units x 2 ns
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 8);
+  // Bit-identical aggregates: PointSummary compares doubles with ==.
+  EXPECT_EQ(summaries(serial), summaries(parallel));
+}
+
+TEST(Campaign, ShardSizeDoesNotChangeAggregates) {
+  const CampaignSpec spec = small_mixed_campaign();
+  RunOptions tiny_shards;
+  tiny_shards.threads = 3;
+  tiny_shards.shard_size = 1;
+  RunOptions one_big_shard;
+  one_big_shard.threads = 2;
+  one_big_shard.shard_size = 1000;
+
+  EXPECT_EQ(summaries(run(spec, tiny_shards)), summaries(run(spec, one_big_shard)));
+}
+
+TEST(Campaign, EmptyGridsProduceNoPoints) {
+  CampaignSpec no_units;
+  no_units.ns = {8};
+  no_units.trials = 5;
+  EXPECT_TRUE(run(no_units).points.empty());
+
+  CampaignSpec no_ns;
+  no_ns.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  no_ns.trials = 5;
+  EXPECT_TRUE(run(no_ns).points.empty());
+
+  CampaignSpec no_trials = small_mixed_campaign();
+  no_trials.trials = 0;
+  const CampaignResult result = run(no_trials);
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_EQ(result.total_trials, 0u);
+  for (const auto& point : result.points) {
+    EXPECT_EQ(point.convergence_steps.count(), 0u);
+    EXPECT_EQ(point.failures, 0);
+  }
+}
+
+TEST(Campaign, TimeoutsAreCountedAsFailures) {
+  ProtocolSpec starved = protocols::global_star();
+  // A 2-step budget cannot stabilize n = 8, so every trial must fail.
+  starved.max_steps = [](int) { return std::uint64_t{2}; };
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("starved-star", starved));
+  spec.ns = {8};
+  spec.trials = 6;
+
+  const CampaignResult result = run(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points.front().failures, 6);
+  EXPECT_EQ(result.points.front().convergence_steps.count(), 0u);
+  EXPECT_EQ(result.total_failures, 6u);
+}
+
+TEST(Campaign, ThrowingTargetCountsAsFailureWithoutAborting) {
+  ProtocolSpec hostile = protocols::cycle_cover();
+  hostile.target = [](const Graph&) -> bool { throw std::runtime_error("boom"); };
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("hostile", hostile));
+  spec.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  spec.ns = {8};
+  spec.trials = 4;
+
+  const CampaignResult result = run(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].failures, 4);
+  EXPECT_EQ(result.points[0].first_error, "boom");
+  EXPECT_EQ(result.points[1].failures, 0);
+  EXPECT_TRUE(result.points[1].first_error.empty());
+}
+
+TEST(Campaign, SchedulerAxisExpandsTheGrid) {
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  spec.ns = {8};
+  spec.trials = 4;
+  spec.schedulers.push_back(*make_scheduler("uniform"));
+  spec.schedulers.push_back(*make_scheduler("permutation"));
+
+  const CampaignResult result = run(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].scheduler, "uniform");
+  EXPECT_EQ(result.points[1].scheduler, "permutation");
+  for (const auto& point : result.points) EXPECT_EQ(point.failures, 0);
+}
+
+TEST(Campaign, JsonRoundTripsBitExactly) {
+  const CampaignResult result = run(small_mixed_campaign());
+  const std::string json = to_json(result);
+  const std::vector<PointSummary> parsed = parse_json(json);
+  EXPECT_EQ(parsed, summaries(result));
+}
+
+TEST(Campaign, CsvHasHeaderAndOneRowPerPoint) {
+  const CampaignResult result = run(small_mixed_campaign());
+  const std::string csv = to_csv(result);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, result.points.size() + 1);
+  EXPECT_EQ(csv.rfind("unit,scheduler,n,", 0), 0u);
+}
+
+TEST(Campaign, ParseJsonRejectsGarbage) {
+  EXPECT_THROW((void)parse_json("not json"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"schema\": \"x\"}"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"points\": [{}]}"), std::runtime_error);
+}
+
+TEST(Seeds, StreamMatchesTrialSeedAndChildStreamsDiffer) {
+  EXPECT_EQ(stream_seed(99, 7), trial_seed(99, 7));
+  const SeedStream campaign_stream(1);
+  const SeedStream point0 = campaign_stream.child(0);
+  const SeedStream point1 = campaign_stream.child(1);
+  EXPECT_NE(point0.at(0), point1.at(0));
+  EXPECT_NE(point0.at(0), point0.at(1));
+}
+
+TEST(Registry, ResolvesKnownNamesAndRejectsUnknown) {
+  EXPECT_TRUE(make_protocol("global-star").has_value());
+  EXPECT_FALSE(make_protocol("no-such-protocol").has_value());
+  ASSERT_FALSE(process_names().empty());
+  EXPECT_TRUE(make_process(process_names().front()).has_value());
+  EXPECT_FALSE(make_process("no-such-process").has_value());
+  EXPECT_TRUE(make_scheduler("stale-biased").has_value());
+  EXPECT_FALSE(make_scheduler("no-such-scheduler").has_value());
+  // Parameterized families honour their parameters.
+  const auto krc3 = make_protocol("krc", ProtocolParams{3, 3, 3});
+  ASSERT_TRUE(krc3.has_value());
+  EXPECT_EQ(krc3->protocol.state_count(), 2 * (3 + 1));
+}
+
+TEST(JobQueue, RunsEveryJobExactlyOnceAndPropagatesErrors) {
+  std::vector<std::atomic<int>> hits(64);
+  run_jobs(hits.size(), 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+
+  EXPECT_THROW(
+      run_jobs(8, 4,
+               [](std::size_t i) {
+                 if (i == 3) throw std::logic_error("job failure");
+               }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace netcons::campaign

@@ -11,15 +11,14 @@
 // as Graphviz DOT or ASCII art. With --trials > 1, reports mean/median/CI
 // of the convergence time instead.
 #include "analysis/experiment.hpp"
+#include "campaign/registry.hpp"
 #include "graph/render.hpp"
 #include "protocols/protocols.hpp"
 #include "util/table.hpp"
 
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <iostream>
-#include <map>
 #include <optional>
 
 namespace {
@@ -40,27 +39,18 @@ struct Options {
   bool describe = false;
 };
 
-using Factory = std::function<ProtocolSpec(const Options&)>;
+// The shared campaign registry covers every protocol whose spec is
+// independent of the population size; Graph-Replication needs n (its input
+// graph scales with the population), so it stays a local special case.
+std::optional<ProtocolSpec> make_spec(const std::string& name, const Options& opt) {
+  if (name == "replication-ring") return protocols::replication(Graph::ring(opt.n / 2));
+  return campaign::make_protocol(name, campaign::ProtocolParams{opt.k, opt.c, opt.d});
+}
 
-const std::map<std::string, Factory>& registry() {
-  static const std::map<std::string, Factory> map = {
-      {"simple-global-line", [](const Options&) { return protocols::simple_global_line(); }},
-      {"fast-global-line", [](const Options&) { return protocols::fast_global_line(); }},
-      {"faster-global-line", [](const Options&) { return protocols::faster_global_line(); }},
-      {"preelected-line", [](const Options&) { return protocols::preelected_line(); }},
-      {"cycle-cover", [](const Options&) { return protocols::cycle_cover(); }},
-      {"global-star", [](const Options&) { return protocols::global_star(); }},
-      {"global-ring", [](const Options&) { return protocols::global_ring(); }},
-      {"2rc", [](const Options&) { return protocols::two_rc(); }},
-      {"krc", [](const Options& opt) { return protocols::krc(opt.k); }},
-      {"c-cliques", [](const Options& opt) { return protocols::c_cliques(opt.c); }},
-      {"spanning-net", [](const Options&) { return protocols::spanning_net(); }},
-      {"degree-doubling", [](const Options& opt) { return protocols::degree_doubling(opt.d); }},
-      {"partition-udm", [](const Options&) { return protocols::partition_udm(); }},
-      {"replication-ring",
-       [](const Options& opt) { return protocols::replication(Graph::ring(opt.n / 2)); }},
-  };
-  return map;
+std::vector<std::string> spec_names() {
+  std::vector<std::string> names = campaign::protocol_names();
+  names.push_back("replication-ring");
+  return names;
 }
 
 int usage(const char* argv0) {
@@ -118,20 +108,20 @@ int main(int argc, char** argv) {
 
   if (opt.list) {
     std::cout << "available protocols:\n";
-    for (const auto& [name, factory] : registry()) {
-      const ProtocolSpec spec = factory(opt);
+    for (const auto& name : spec_names()) {
+      const ProtocolSpec spec = *make_spec(name, opt);
       std::cout << "  " << name << "  (|Q| = " << spec.protocol.state_count() << ")  "
                 << spec.notes << '\n';
     }
     return 0;
   }
-  const auto it = registry().find(opt.protocol);
-  if (it == registry().end()) {
+  const auto maybe_spec = make_spec(opt.protocol, opt);
+  if (!maybe_spec) {
     std::cerr << "unknown protocol '" << opt.protocol << "' (try --list)\n";
     return 2;
   }
 
-  const ProtocolSpec spec = it->second(opt);
+  const ProtocolSpec& spec = *maybe_spec;
   if (opt.describe) std::cout << spec.protocol.describe() << '\n';
 
   if (opt.trials > 1) {
