@@ -10,12 +10,14 @@ namespace {
 /// harness's MeasurePoint view. The campaign engine guarantees that the
 /// aggregates are bit-identical for any thread count.
 std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector<int>& ns,
-                                          int trials, std::uint64_t base_seed, int threads) {
+                                          int trials, std::uint64_t base_seed, int threads,
+                                          const faults::FaultPlan& fault_plan = {}) {
   campaign::CampaignSpec spec;
   spec.units.push_back(std::move(unit));
   spec.ns = ns;
   spec.trials = trials;
   spec.base_seed = base_seed;
+  if (!fault_plan.empty()) spec.faults.push_back(fault_plan);
 
   campaign::RunOptions options;
   options.threads = threads;
@@ -28,8 +30,10 @@ std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector
     mp.n = point.n;
     mp.trials = point.trials;
     mp.failures = point.failures;
+    mp.damaged = point.damaged;
     mp.first_error = point.first_error;
     mp.convergence_steps = point.convergence_steps;
+    mp.recovery_steps = point.recovery_steps;
     out.push_back(std::move(mp));
   }
   return out;
@@ -37,28 +41,36 @@ std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector
 
 }  // namespace
 
-TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed) {
+TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
+                      const faults::FaultPlan& fault_plan) {
   // One canonical trial-driving sequence for single runs and campaigns.
-  const campaign::ProtocolTrialReport report = campaign::run_protocol_trial_report(spec, n, seed);
+  const campaign::ProtocolTrialReport report =
+      campaign::run_protocol_trial_report(spec, n, seed, {}, fault_plan);
   TrialResult result;
   result.stabilized = report.stabilized;
   result.target_ok = report.target_ok;
   result.convergence_step = report.convergence_step;
   result.steps_executed = report.steps_executed;
+  result.faults_injected = report.faults_injected;
+  result.recovery_steps = report.recovery_steps;
+  result.output_edges_deleted = report.output_edges_deleted;
+  result.output_edges_repaired = report.output_edges_repaired;
+  result.output_edges_residual = report.output_edges_residual;
   return result;
 }
 
 MeasurePoint measure(const ProtocolSpec& spec, int n, int trials, std::uint64_t base_seed,
-                     int threads) {
+                     int threads, const faults::FaultPlan& fault_plan) {
   return run_as_campaign(campaign::Unit::protocol("protocol", spec), {n}, trials, base_seed,
-                         threads)
+                         threads, fault_plan)
       .front();
 }
 
 std::vector<MeasurePoint> sweep(const ProtocolSpec& spec, const std::vector<int>& ns, int trials,
-                                std::uint64_t base_seed, int threads) {
+                                std::uint64_t base_seed, int threads,
+                                const faults::FaultPlan& fault_plan) {
   return run_as_campaign(campaign::Unit::protocol("protocol", spec), ns, trials, base_seed,
-                         threads);
+                         threads, fault_plan);
 }
 
 LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/spec.hpp"
+#include "faults/fault_plan.hpp"
 #include "processes/processes.hpp"
 #include "util/stats.hpp"
 
@@ -24,29 +25,43 @@ struct TrialResult {
   bool target_ok = false;
   std::uint64_t convergence_step = 0;  ///< Paper's running time (last output change).
   std::uint64_t steps_executed = 0;    ///< Steps run until stability was certified.
+  // Recovery metrics (zero for fault-free trials); see ConvergenceReport.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recovery_steps = 0;
+  std::uint64_t output_edges_deleted = 0;
+  std::uint64_t output_edges_repaired = 0;
+  std::uint64_t output_edges_residual = 0;
 };
 
 /// Run one trial of a protocol on n nodes with the given seed: simulate to
-/// certified stability, then validate the output graph against the target.
-[[nodiscard]] TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed);
+/// certified stability -- under fault injection when `fault_plan` is
+/// non-empty -- then validate the output graph against the target.
+[[nodiscard]] TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
+                                    const faults::FaultPlan& fault_plan = {});
 
 struct MeasurePoint {
   int n = 0;
   RunningStats convergence_steps;  ///< Over successful trials.
+  RunningStats recovery_steps;     ///< Over successful faulted trials.
   int trials = 0;
   int failures = 0;  ///< Timeouts, target mismatches, or throws (should be 0).
+  int damaged = 0;   ///< Re-stabilized faulted trials that missed the target.
   std::string first_error;  ///< Message of the first throwing trial, if any.
 };
 
 /// `trials` independent trials at size n (per-trial seeds are a pure
-/// function of `base_seed`; see campaign/seeds.hpp). `threads` 0: all cores.
+/// function of `base_seed`; see campaign/seeds.hpp). `threads` 0: all
+/// cores. A non-empty `fault_plan` runs every trial under fault injection
+/// (success then means re-stabilization; see campaign::run_protocol_trial).
 [[nodiscard]] MeasurePoint measure(const ProtocolSpec& spec, int n, int trials,
-                                   std::uint64_t base_seed, int threads = 0);
+                                   std::uint64_t base_seed, int threads = 0,
+                                   const faults::FaultPlan& fault_plan = {});
 
 /// A full n-sweep, parallelized across the whole (n, trial) grid.
 [[nodiscard]] std::vector<MeasurePoint> sweep(const ProtocolSpec& spec,
                                               const std::vector<int>& ns, int trials,
-                                              std::uint64_t base_seed, int threads = 0);
+                                              std::uint64_t base_seed, int threads = 0,
+                                              const faults::FaultPlan& fault_plan = {});
 
 /// Fit mean convergence steps ~ C * n^alpha over the sweep.
 [[nodiscard]] LinearFit fit_exponent(const std::vector<MeasurePoint>& points);

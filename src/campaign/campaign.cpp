@@ -2,6 +2,7 @@
 
 #include "campaign/job_queue.hpp"
 #include "campaign/seeds.hpp"
+#include "faults/fault_session.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -17,6 +18,7 @@ namespace {
 struct Point {
   const Unit* unit = nullptr;
   const SchedulerOption* scheduler = nullptr;
+  const faults::FaultPlan* fault_plan = nullptr;
   int n = 0;
   std::uint64_t seed = 0;  ///< Base of this point's per-trial seed stream.
 };
@@ -28,11 +30,13 @@ struct Shard {
 };
 
 TrialOutcome run_unit_trial(const Unit& unit, int n, std::uint64_t seed,
-                            const SchedulerFactory& make_scheduler) {
+                            const SchedulerFactory& make_scheduler,
+                            const faults::FaultPlan& fault_plan) {
   if (const auto* protocol = std::get_if<ProtocolSpec>(&unit.spec)) {
-    return run_protocol_trial(*protocol, n, seed, make_scheduler);
+    return run_protocol_trial(*protocol, n, seed, make_scheduler, fault_plan);
   }
-  return run_process_trial(std::get<ProcessSpec>(unit.spec), n, seed, make_scheduler);
+  return run_process_trial(std::get<ProcessSpec>(unit.spec), n, seed, make_scheduler,
+                           fault_plan);
 }
 
 /// Shared trial-failure policy: trial-level throws become a failed outcome
@@ -65,19 +69,28 @@ int resolve_threads(int requested) noexcept {
 
 ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
                                               std::uint64_t seed,
-                                              const SchedulerFactory& make_scheduler) {
+                                              const SchedulerFactory& make_scheduler,
+                                              const faults::FaultPlan& fault_plan) {
   Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
   if (spec.initialize) spec.initialize(sim.mutable_world());
 
   Simulator::StabilityOptions options;
   if (spec.max_steps) options.max_steps = spec.max_steps(n);
   options.certificate = spec.certificate;
-  const ConvergenceReport report = sim.run_until_stable(options);
+
+  faults::FaultSession session(fault_plan, seed);
+  const ConvergenceReport report =
+      faults::run_until_stable_with_faults(sim, session, options);
 
   ProtocolTrialReport out;
   out.stabilized = report.stabilized;
   out.convergence_step = report.convergence_step;
   out.steps_executed = report.steps_executed;
+  out.faults_injected = report.faults_injected;
+  out.recovery_steps = report.recovery_steps;
+  out.output_edges_deleted = report.output_edges_deleted;
+  out.output_edges_repaired = report.output_edges_repaired;
+  out.output_edges_residual = report.output_edges_residual;
   if (report.stabilized && spec.target) {
     out.target_ok = spec.target(sim.world().output_graph(spec.protocol));
   } else {
@@ -87,25 +100,60 @@ ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
 }
 
 TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
-                                const SchedulerFactory& make_scheduler) {
+                                const SchedulerFactory& make_scheduler,
+                                const faults::FaultPlan& fault_plan) {
   return guarded_trial([&](TrialOutcome& outcome) {
-    const ProtocolTrialReport report = run_protocol_trial_report(spec, n, seed, make_scheduler);
+    const ProtocolTrialReport report =
+        run_protocol_trial_report(spec, n, seed, make_scheduler, fault_plan);
     outcome.value = report.convergence_step;
     outcome.steps_executed = report.steps_executed;
-    outcome.success = report.stabilized && report.target_ok;
+    outcome.target_ok = report.target_ok;
+    outcome.faults_injected = report.faults_injected;
+    outcome.recovery_steps = report.recovery_steps;
+    outcome.edges_deleted = report.output_edges_deleted;
+    outcome.edges_repaired = report.output_edges_repaired;
+    outcome.edges_residual = report.output_edges_residual;
+    // Under faults the trial succeeds by re-stabilizing; a missed target is
+    // residual damage (aggregated as `damaged`), not a failed trial.
+    outcome.success = fault_plan.empty() ? report.stabilized && report.target_ok
+                                         : report.stabilized;
   });
 }
 
 TrialOutcome run_process_trial(const ProcessSpec& spec, int n, std::uint64_t seed,
-                               const SchedulerFactory& make_scheduler) {
+                               const SchedulerFactory& make_scheduler,
+                               const faults::FaultPlan& fault_plan) {
   return guarded_trial([&](TrialOutcome& outcome) {
     Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
     if (spec.initialize) spec.initialize(sim.mutable_world());
+    faults::FaultSession session(fault_plan, seed);
+    if (!fault_plan.empty()) {
+      // No stabilization phase to wait for: fire those events up front.
+      (void)session.fire_on_stabilization(sim);
+      sim.set_interceptor(&session);
+    }
     const auto finished = sim.run_until(spec.done, process_step_budget(spec, n));
+    sim.set_interceptor(nullptr);
     outcome.steps_executed = sim.steps();
+    outcome.faults_injected = session.faults_injected();
+    if (outcome.faults_injected > 0) {
+      // Same damage ledger as the protocol driver, against the completion
+      // configuration instead of the stable one.
+      const std::uint64_t final_edges =
+          faults::output_edge_count(sim.protocol(), sim.world());
+      const std::uint64_t after = session.output_edges_after_damage();
+      const std::uint64_t rebuilt = final_edges > after ? final_edges - after : 0;
+      outcome.edges_deleted = session.output_edges_deleted();
+      outcome.edges_repaired = std::min(rebuilt, outcome.edges_deleted);
+      outcome.edges_residual = outcome.edges_deleted - outcome.edges_repaired;
+    }
     if (finished) {
       outcome.success = true;
+      outcome.target_ok = true;  // completion IS the process's target
       outcome.value = *finished;
+      if (outcome.faults_injected > 0 && *finished > session.last_fault_step()) {
+        outcome.recovery_steps = *finished - session.last_fault_step();
+      }
     }
   });
 }
@@ -121,19 +169,30 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
     for (const auto& option : spec.schedulers) schedulers.push_back(&option);
   }
 
-  // Grid expansion: unit-major, then scheduler, then n. The point index
-  // alone determines the point's seed stream.
+  static const faults::FaultPlan kNoFaults{};
+  std::vector<const faults::FaultPlan*> fault_plans;
+  if (spec.faults.empty()) {
+    fault_plans.push_back(&kNoFaults);
+  } else {
+    for (const auto& plan : spec.faults) fault_plans.push_back(&plan);
+  }
+
+  // Grid expansion: unit-major, then scheduler, then fault plan, then n.
+  // The point index alone determines the point's seed stream.
   std::vector<Point> points;
-  points.reserve(spec.units.size() * schedulers.size() * spec.ns.size());
+  points.reserve(spec.units.size() * schedulers.size() * fault_plans.size() * spec.ns.size());
   for (const auto& unit : spec.units) {
     for (const auto* scheduler : schedulers) {
-      for (const int n : spec.ns) {
-        Point point;
-        point.unit = &unit;
-        point.scheduler = scheduler;
-        point.n = n;
-        point.seed = point_seed(spec.base_seed, points.size());
-        points.push_back(point);
+      for (const auto* fault_plan : fault_plans) {
+        for (const int n : spec.ns) {
+          Point point;
+          point.unit = &unit;
+          point.scheduler = scheduler;
+          point.fault_plan = fault_plan;
+          point.n = n;
+          point.seed = point_seed(spec.base_seed, points.size());
+          points.push_back(point);
+        }
       }
     }
   }
@@ -174,7 +233,7 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
     for (int t = shard.trial_begin; t < shard.trial_end; ++t) {
       outcomes[shard.point][static_cast<std::size_t>(t)] = run_unit_trial(
           *point.unit, point.n, stream.at(static_cast<std::uint64_t>(t)),
-          point.scheduler->make);
+          point.scheduler->make, *point.fault_plan);
     }
     if (options.progress) {
       const auto done = completed.fetch_add(
@@ -193,13 +252,25 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
     PointResult point_result;
     point_result.unit = points[p].unit->name;
     point_result.scheduler = points[p].scheduler->name;
+    point_result.faults = points[p].fault_plan->name;
     point_result.n = points[p].n;
     point_result.trials = trials;
     point_result.seed = points[p].seed;
+    const bool faulted = !points[p].fault_plan->empty();
     for (const TrialOutcome& outcome : outcomes[p]) {
       point_result.steps_executed.add(static_cast<double>(outcome.steps_executed));
+      if (faulted) {
+        point_result.faults_injected.add(static_cast<double>(outcome.faults_injected));
+        point_result.edges_deleted.add(static_cast<double>(outcome.edges_deleted));
+        point_result.edges_repaired.add(static_cast<double>(outcome.edges_repaired));
+        point_result.edges_residual.add(static_cast<double>(outcome.edges_residual));
+      }
       if (outcome.success) {
         point_result.convergence_steps.add(static_cast<double>(outcome.value));
+        if (faulted) {
+          point_result.recovery_steps.add(static_cast<double>(outcome.recovery_steps));
+          if (!outcome.target_ok) ++point_result.damaged;
+        }
       } else {
         ++point_result.failures;
         if (point_result.first_error.empty()) point_result.first_error = outcome.error;

@@ -9,11 +9,16 @@
 // statistics are therefore bit-identical regardless of thread count, shard
 // size, or the order in which the OS schedules the workers.
 //
-// The grid is expanded unit-major, then scheduler, then n:
-//   point_index = (unit_index * |schedulers| + scheduler_index) * |ns| + n_index
+// The grid is expanded unit-major, then scheduler, then fault plan, then n:
+//   point_index = ((unit_index * |schedulers| + scheduler_index) * |faults|
+//                  + fault_index) * |ns| + n_index
+// With no fault axis declared, |faults| == 1 (the implicit "none" plan) and
+// the indexing -- hence every per-trial seed -- is identical to the
+// pre-fault-axis engine.
 #pragma once
 
 #include "core/spec.hpp"
+#include "faults/fault_plan.hpp"
 #include "processes/processes.hpp"
 #include "util/stats.hpp"
 
@@ -44,6 +49,11 @@ struct Unit {
   [[nodiscard]] static Unit protocol(std::string name, ProtocolSpec spec) {
     return Unit{std::move(name), std::move(spec)};
   }
+  /// Grid-point name under the caller's control (e.g. the CLI passes the
+  /// registry slug the user typed, so exports match the input).
+  [[nodiscard]] static Unit process(std::string name, ProcessSpec spec) {
+    return Unit{std::move(name), std::move(spec)};
+  }
   [[nodiscard]] static Unit process(ProcessSpec spec) {
     std::string name = spec.name;
     return Unit{std::move(name), std::move(spec)};
@@ -56,6 +66,9 @@ struct CampaignSpec {
   int trials = 1;
   /// Empty: one implicit {"uniform", null} option.
   std::vector<SchedulerOption> schedulers;
+  /// Fault-plan axis (see faults/fault_plan.hpp). Empty: one implicit
+  /// "none" plan, i.e. the classic fault-free campaign.
+  std::vector<faults::FaultPlan> faults;
   std::uint64_t base_seed = 1;
 };
 
@@ -67,17 +80,38 @@ struct TrialOutcome {
   std::uint64_t steps_executed = 0;
   /// what() of an exception thrown by this trial, if any (empty otherwise).
   std::string error;
+  /// Protocols: the stabilized output graph matched the target. Under a
+  /// fault plan, success means re-stabilization and target_ok is tracked
+  /// separately (a re-stabilized but damaged topology is the interesting
+  /// residual-fault outcome, not a trial failure).
+  bool target_ok = false;
+  // Recovery metrics (zero for fault-free trials); see ConvergenceReport.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recovery_steps = 0;
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t edges_repaired = 0;
+  std::uint64_t edges_residual = 0;
 };
 
 struct PointResult {
   std::string unit;
   std::string scheduler;
+  std::string faults = "none";  ///< Fault-plan name of this grid point.
   int n = 0;
   int trials = 0;
   int failures = 0;  ///< Timeouts, target mismatches, or per-trial throws.
+  /// Re-stabilized faulted trials whose final output graph missed the
+  /// target: the damage the protocol could not repair.
+  int damaged = 0;
   std::uint64_t seed = 0;           ///< The point's seed-stream base.
   RunningStats convergence_steps;   ///< Over successful trials only.
   RunningStats steps_executed;      ///< Over all trials (certification cost).
+  RunningStats recovery_steps;      ///< Re-stabilization time after the last
+                                    ///< fault, over successful faulted trials.
+  RunningStats faults_injected;     ///< Fault events per trial (all trials).
+  RunningStats edges_deleted;       ///< Output edges destroyed by faults.
+  RunningStats edges_repaired;      ///< Of those, rebuilt by count.
+  RunningStats edges_residual;      ///< Damage never repaired.
   /// First exception message among this point's failed trials (empty when
   /// failures are plain timeouts/target mismatches) — the diagnostic handle
   /// for "why did this point fail".
@@ -109,30 +143,45 @@ struct CampaignResult {
 [[nodiscard]] CampaignResult run(const CampaignSpec& spec, const RunOptions& options = {});
 
 /// Full report of one protocol trial: simulate to certified stability under
-/// the given scheduler, then validate the output graph. This is THE
-/// canonical trial-driving sequence — analysis::run_trial and the campaign
-/// engine both delegate here. Exceptions propagate.
+/// the given scheduler and fault plan (empty plan: fault-free), then
+/// validate the output graph. This is THE canonical trial-driving sequence
+/// — analysis::run_trial and the campaign engine both delegate here.
+/// Exceptions propagate.
 struct ProtocolTrialReport {
   bool stabilized = false;
   bool target_ok = false;
   std::uint64_t convergence_step = 0;
   std::uint64_t steps_executed = 0;
+  // Recovery metrics, copied from ConvergenceReport (zero when fault-free).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recovery_steps = 0;
+  std::uint64_t output_edges_deleted = 0;
+  std::uint64_t output_edges_repaired = 0;
+  std::uint64_t output_edges_residual = 0;
 };
 [[nodiscard]] ProtocolTrialReport run_protocol_trial_report(
     const ProtocolSpec& spec, int n, std::uint64_t seed,
-    const SchedulerFactory& make_scheduler = {});
+    const SchedulerFactory& make_scheduler = {},
+    const faults::FaultPlan& fault_plan = {});
 
 /// Run one protocol trial as the engine's inner loop: the report collapsed
 /// to a TrialOutcome, with trial-level throws captured instead of raised.
+/// Fault-free: success = stabilized && target matched. Under a fault plan:
+/// success = re-stabilized after the plan ran, with target_ok recorded
+/// separately (see TrialOutcome).
 [[nodiscard]] TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n,
                                               std::uint64_t seed,
-                                              const SchedulerFactory& make_scheduler = {});
+                                              const SchedulerFactory& make_scheduler = {},
+                                              const faults::FaultPlan& fault_plan = {});
 
 /// Run one process trial (completion of the census condition) with an
 /// explicit scheduler factory. A timeout is reported as failure, not thrown.
+/// Processes have no stabilization phase, so stabilization-triggered fault
+/// events fire before the first step instead.
 [[nodiscard]] TrialOutcome run_process_trial(const ProcessSpec& spec, int n,
                                              std::uint64_t seed,
-                                             const SchedulerFactory& make_scheduler = {});
+                                             const SchedulerFactory& make_scheduler = {},
+                                             const faults::FaultPlan& fault_plan = {});
 
 /// Effective thread count for `requested` (0 resolves to hardware).
 [[nodiscard]] int resolve_threads(int requested) noexcept;

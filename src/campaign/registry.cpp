@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 namespace netcons::campaign {
 
@@ -84,6 +85,21 @@ std::optional<ProcessSpec> make_process(const std::string& name) {
 const std::vector<std::string>& scheduler_names() {
   static const std::vector<std::string> names = {"uniform", "permutation", "stale-biased"};
   return names;
+}
+
+const std::vector<std::string>& fault_plan_examples() {
+  static const std::vector<std::string> examples = {
+      "none", "crash:k=1", "crash:k=2", "edge-burst:f=0.1", "edge-rate:p=1e-4", "reset:k=1"};
+  return examples;
+}
+
+std::optional<faults::FaultPlan> make_fault_plan(const std::string& spec, std::string* error) {
+  try {
+    return faults::parse_fault_plan(spec);
+  } catch (const std::invalid_argument& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
 }
 
 std::optional<SchedulerOption> make_scheduler(const std::string& name) {

@@ -40,4 +40,15 @@ struct ProtocolParams {
 /// unknown. "uniform" yields a null factory (the simulator default).
 [[nodiscard]] std::optional<SchedulerOption> make_scheduler(const std::string& name);
 
+/// Canonical example fault-plan specs for --list. Unlike the other axes the
+/// fault axis is open-ended: any spec matching the grammar of
+/// faults/fault_plan.hpp is a valid value.
+[[nodiscard]] const std::vector<std::string>& fault_plan_examples();
+
+/// Parse a fault-plan axis value ("none", "crash:k=2", ...). On bad grammar
+/// returns nullopt and, when `error` is non-null, stores the parser's
+/// message (which quotes the grammar) there.
+[[nodiscard]] std::optional<faults::FaultPlan> make_fault_plan(const std::string& spec,
+                                                               std::string* error = nullptr);
+
 }  // namespace netcons::campaign

@@ -54,9 +54,12 @@ void append_point(std::string& out, const PointSummary& p) {
   append_escaped(out, p.unit);
   out += ", \"scheduler\": ";
   append_escaped(out, p.scheduler);
+  out += ", \"faults\": ";
+  append_escaped(out, p.faults);
   out += ", \"n\": " + std::to_string(p.n);
   out += ", \"trials\": " + std::to_string(p.trials);
   out += ", \"failures\": " + std::to_string(p.failures);
+  out += ", \"damaged\": " + std::to_string(p.damaged);
   out += ", \"seed\": " + std::to_string(p.seed);
   out += ", \"count\": " + std::to_string(p.count);
   out += ", \"mean\": ";
@@ -71,6 +74,18 @@ void append_point(std::string& out, const PointSummary& p) {
   append_double(out, p.median);
   out += ", \"mean_steps_executed\": ";
   append_double(out, p.mean_steps_executed);
+  out += ", \"recovery_mean\": ";
+  append_double(out, p.recovery_mean);
+  out += ", \"recovery_median\": ";
+  append_double(out, p.recovery_median);
+  out += ", \"mean_faults_injected\": ";
+  append_double(out, p.mean_faults_injected);
+  out += ", \"mean_edges_deleted\": ";
+  append_double(out, p.mean_edges_deleted);
+  out += ", \"mean_edges_repaired\": ";
+  append_double(out, p.mean_edges_repaired);
+  out += ", \"mean_edges_residual\": ";
+  append_double(out, p.mean_edges_residual);
   out += "}";
 }
 
@@ -281,9 +296,11 @@ PointSummary summarize(const PointResult& point) {
   PointSummary s;
   s.unit = point.unit;
   s.scheduler = point.scheduler;
+  s.faults = point.faults;
   s.n = point.n;
   s.trials = point.trials;
   s.failures = point.failures;
+  s.damaged = point.damaged;
   s.seed = point.seed;
   s.count = point.convergence_steps.count();
   s.mean = point.convergence_steps.mean();
@@ -292,20 +309,22 @@ PointSummary summarize(const PointResult& point) {
   s.max = point.convergence_steps.max();
   s.median = point.convergence_steps.median();
   s.mean_steps_executed = point.steps_executed.mean();
+  s.recovery_mean = point.recovery_steps.mean();
+  s.recovery_median = point.recovery_steps.median();
+  s.mean_faults_injected = point.faults_injected.mean();
+  s.mean_edges_deleted = point.edges_deleted.mean();
+  s.mean_edges_repaired = point.edges_repaired.mean();
+  s.mean_edges_residual = point.edges_residual.mean();
   return s;
 }
 
 std::string to_json(const CampaignResult& result) {
   std::string out;
   out += "{\n";
-  out += "  \"schema\": \"netcons-campaign-v1\",\n";
-  out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
-  out += "  \"jobs\": " + std::to_string(result.jobs) + ",\n";
+  out += "  \"schema\": \"netcons-campaign-v2\",\n";
   out += "  \"total_trials\": " + std::to_string(result.total_trials) + ",\n";
   out += "  \"total_failures\": " + std::to_string(result.total_failures) + ",\n";
-  out += "  \"wall_seconds\": ";
-  append_double(out, result.wall_seconds);
-  out += ",\n  \"points\": [\n";
+  out += "  \"points\": [\n";
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     append_point(out, summarize(result.points[i]));
     out += (i + 1 < result.points.size()) ? ",\n" : "\n";
@@ -332,24 +351,31 @@ std::string csv_field(const std::string& s) {
 
 std::string to_csv(const CampaignResult& result) {
   std::string out =
-      "unit,scheduler,n,trials,failures,seed,count,mean,variance,min,max,median,"
-      "mean_steps_executed\n";
+      "unit,scheduler,faults,n,trials,failures,damaged,seed,count,mean,variance,min,max,"
+      "median,mean_steps_executed,recovery_mean,recovery_median,mean_faults_injected,"
+      "mean_edges_deleted,mean_edges_repaired,mean_edges_residual\n";
   for (const PointResult& point : result.points) {
     const PointSummary s = summarize(point);
-    out += csv_field(s.unit) + ',' + csv_field(s.scheduler) + ',' + std::to_string(s.n) + ',' +
-           std::to_string(s.trials) + ',' + std::to_string(s.failures) + ',' +
+    out += csv_field(s.unit) + ',' + csv_field(s.scheduler) + ',' + csv_field(s.faults) + ',' +
+           std::to_string(s.n) + ',' + std::to_string(s.trials) + ',' +
+           std::to_string(s.failures) + ',' + std::to_string(s.damaged) + ',' +
            std::to_string(s.seed) + ',' + std::to_string(s.count) + ',';
-    append_double(out, s.mean);
-    out += ',';
-    append_double(out, s.variance);
-    out += ',';
-    append_double(out, s.min);
-    out += ',';
-    append_double(out, s.max);
-    out += ',';
-    append_double(out, s.median);
-    out += ',';
-    append_double(out, s.mean_steps_executed);
+    const double columns[] = {s.mean,
+                              s.variance,
+                              s.min,
+                              s.max,
+                              s.median,
+                              s.mean_steps_executed,
+                              s.recovery_mean,
+                              s.recovery_median,
+                              s.mean_faults_injected,
+                              s.mean_edges_deleted,
+                              s.mean_edges_repaired,
+                              s.mean_edges_residual};
+    for (std::size_t i = 0; i < std::size(columns); ++i) {
+      if (i != 0) out += ',';
+      append_double(out, columns[i]);
+    }
     out += '\n';
   }
   return out;
@@ -367,9 +393,11 @@ std::vector<PointSummary> parse_json(const std::string& json) {
     PointSummary s;
     s.unit = field(object, "unit").as_string();
     s.scheduler = field(object, "scheduler").as_string();
+    s.faults = field(object, "faults").as_string();
     s.n = static_cast<int>(field(object, "n").as_u64());
     s.trials = static_cast<int>(field(object, "trials").as_u64());
     s.failures = static_cast<int>(field(object, "failures").as_u64());
+    s.damaged = static_cast<int>(field(object, "damaged").as_u64());
     s.seed = field(object, "seed").as_u64();
     s.count = static_cast<std::size_t>(field(object, "count").as_u64());
     s.mean = field(object, "mean").as_double();
@@ -378,6 +406,12 @@ std::vector<PointSummary> parse_json(const std::string& json) {
     s.max = field(object, "max").as_double();
     s.median = field(object, "median").as_double();
     s.mean_steps_executed = field(object, "mean_steps_executed").as_double();
+    s.recovery_mean = field(object, "recovery_mean").as_double();
+    s.recovery_median = field(object, "recovery_median").as_double();
+    s.mean_faults_injected = field(object, "mean_faults_injected").as_double();
+    s.mean_edges_deleted = field(object, "mean_edges_deleted").as_double();
+    s.mean_edges_repaired = field(object, "mean_edges_repaired").as_double();
+    s.mean_edges_residual = field(object, "mean_edges_residual").as_double();
     out.push_back(std::move(s));
   }
   return out;

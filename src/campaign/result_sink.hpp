@@ -5,6 +5,11 @@
 // is the flat form for spreadsheets/plotting. parse_json reads back what
 // to_json wrote, so a campaign summary can be archived and reloaded without
 // re-running (tested as a bit-exact round trip).
+//
+// Both documents contain only the campaign's deterministic content -- the
+// grid points and their aggregates -- never execution details (thread
+// count, job count, wall time). Two runs of the same spec therefore emit
+// byte-identical files regardless of --threads, which CI enforces with cmp.
 #pragma once
 
 #include "campaign/campaign.hpp"
@@ -19,9 +24,11 @@ namespace netcons::campaign {
 struct PointSummary {
   std::string unit;
   std::string scheduler;
+  std::string faults = "none";
   int n = 0;
   int trials = 0;
   int failures = 0;
+  int damaged = 0;        ///< Re-stabilized faulted trials that missed the target.
   std::uint64_t seed = 0;
   std::size_t count = 0;  ///< Successful trials aggregated below.
   double mean = 0.0;
@@ -30,6 +37,13 @@ struct PointSummary {
   double max = 0.0;
   double median = 0.0;
   double mean_steps_executed = 0.0;
+  // Recovery aggregates (all zero for fault-free points).
+  double recovery_mean = 0.0;
+  double recovery_median = 0.0;
+  double mean_faults_injected = 0.0;
+  double mean_edges_deleted = 0.0;
+  double mean_edges_repaired = 0.0;
+  double mean_edges_residual = 0.0;
 
   [[nodiscard]] bool operator==(const PointSummary&) const = default;
 };

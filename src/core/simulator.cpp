@@ -14,8 +14,15 @@ Simulator::Simulator(Protocol protocol, int n, std::uint64_t seed,
 }
 
 bool Simulator::step() {
+  if (interceptor_ != nullptr) interceptor_->before_step(*this);
   const Encounter e = scheduler_->next(rng_, world_.size());
   ++steps_;
+  // Crashed nodes no longer interact; the scheduled encounter is wasted
+  // (time still passes, matching the model where removed nodes simply do
+  // not exist to meet).
+  if (world_.dead_count() != 0 && (!world_.alive(e.first) || !world_.alive(e.second))) {
+    return false;
+  }
   const StateId a = world_.state(e.first);
   const StateId b = world_.state(e.second);
   const bool c = world_.edge(e.first, e.second);
@@ -115,8 +122,10 @@ ConvergenceReport Simulator::run_until_stable(const StabilityOptions& options) {
 bool Simulator::is_quiescent() const {
   const int n = world_.size();
   for (int v = 1; v < n; ++v) {
+    if (!world_.alive(v)) continue;
     const StateId sv = world_.state(v);
     for (int u = 0; u < v; ++u) {
+      if (!world_.alive(u)) continue;
       if (!protocol_.ineffective(world_.state(u), sv, world_.edge(u, v))) return false;
     }
   }
@@ -126,8 +135,10 @@ bool Simulator::is_quiescent() const {
 bool Simulator::is_edge_quiescent() const {
   const int n = world_.size();
   for (int v = 1; v < n; ++v) {
+    if (!world_.alive(v)) continue;
     const StateId sv = world_.state(v);
     for (int u = 0; u < v; ++u) {
+      if (!world_.alive(u)) continue;
       if (protocol_.can_modify_edge(world_.state(u), sv, world_.edge(u, v))) return false;
     }
   }

@@ -27,12 +27,36 @@ namespace netcons {
 /// Sound recognizer of output-stable configurations (beyond quiescence).
 using StabilityCertificate = std::function<bool(const Protocol&, const World&)>;
 
+class Simulator;
+
+/// Hook invoked before every scheduled encounter. The one user today is the
+/// fault-injection layer (src/faults/), which mutates the world between
+/// steps; the simulator itself pays only a null-pointer check when no
+/// interceptor is installed, keeping the fault-free hot path untouched.
+class StepInterceptor {
+ public:
+  virtual ~StepInterceptor() = default;
+  virtual void before_step(Simulator& sim) = 0;
+};
+
 struct ConvergenceReport {
   bool stabilized = false;       ///< A sound stability condition was reached.
   bool quiescent = false;        ///< Stability was full quiescence.
   bool certified = false;        ///< Stability came from the certificate.
   std::uint64_t steps_executed = 0;   ///< Total steps run in this call.
   std::uint64_t convergence_step = 0; ///< Last step the output graph changed.
+
+  // --- fault/recovery extension -------------------------------------------
+  // Populated by faults::run_until_stable_with_faults; all zero on fault-free
+  // runs. Edge accounting is exact when faults fire at stabilization (the
+  // default) and approximate when they interleave with initial construction.
+  std::uint64_t faults_injected = 0;  ///< Fault events applied during the run.
+  std::uint64_t last_fault_step = 0;  ///< Step at which the last fault fired.
+  /// Re-stabilization time: convergence_step - last_fault_step.
+  std::uint64_t recovery_steps = 0;
+  std::uint64_t output_edges_deleted = 0;   ///< G(C) edges destroyed by faults.
+  std::uint64_t output_edges_repaired = 0;  ///< Of those, rebuilt (by count) at the end.
+  std::uint64_t output_edges_residual = 0;  ///< Damage still missing at the end.
 };
 
 class Simulator {
@@ -53,6 +77,14 @@ class Simulator {
   [[nodiscard]] std::uint64_t last_output_change() const noexcept {
     return last_output_change_;
   }
+
+  /// Install (or clear, with nullptr) the pre-step hook. Not owned.
+  void set_interceptor(StepInterceptor* interceptor) noexcept { interceptor_ = interceptor; }
+
+  /// Record that the output graph was changed externally (a fault deleted an
+  /// output edge or removed an output node), so convergence_step accounting
+  /// stays sound under injection.
+  void note_output_change() noexcept { last_output_change_ = steps_; }
 
   /// Execute one interaction. Returns true if it was effective.
   bool step();
@@ -91,6 +123,7 @@ class Simulator {
   World world_;
   Rng rng_;
   std::unique_ptr<Scheduler> scheduler_;
+  StepInterceptor* interceptor_ = nullptr;
   std::uint64_t steps_ = 0;
   std::uint64_t effective_steps_ = 0;
   std::uint64_t last_output_change_ = 0;

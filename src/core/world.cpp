@@ -14,11 +14,23 @@ World::World(const Protocol& protocol, int n) : n_(n) {
 }
 
 void World::set_state(int u, StateId s) {
+  if (!alive(u)) throw std::logic_error("World::set_state: node is crashed");
   StateId& cur = states_[static_cast<std::size_t>(u)];
   if (cur == s) return;
   --census_[static_cast<std::size_t>(cur)];
   ++census_[static_cast<std::size_t>(s)];
   cur = s;
+}
+
+void World::kill(int u) {
+  if (!alive(u)) throw std::logic_error("World::kill: node already crashed");
+  for (int v = 0; v < n_; ++v) {
+    if (v != u && edge(u, v)) set_edge(u, v, false);
+  }
+  --census_[static_cast<std::size_t>(states_[static_cast<std::size_t>(u)])];
+  if (dead_.empty()) dead_.assign(static_cast<std::size_t>(n_), 0);
+  dead_[static_cast<std::size_t>(u)] = 1;
+  ++dead_count_;
 }
 
 bool World::set_edge(int u, int v, bool active) {
@@ -51,7 +63,8 @@ Graph World::output_graph(const Protocol& protocol) const {
   std::vector<int> out_nodes;
   out_nodes.reserve(static_cast<std::size_t>(n_));
   for (int u = 0; u < n_; ++u) {
-    if (protocol.is_output_state(state(u))) out_nodes.push_back(u);
+    // Crashed nodes are gone from the population, hence from G(C).
+    if (alive(u) && protocol.is_output_state(state(u))) out_nodes.push_back(u);
   }
   Graph g(static_cast<int>(out_nodes.size()));
   for (std::size_t a = 0; a < out_nodes.size(); ++a) {

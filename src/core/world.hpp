@@ -19,6 +19,19 @@ class World {
 
   [[nodiscard]] int size() const noexcept { return n_; }
 
+  /// Nodes still participating (size() minus crashed nodes).
+  [[nodiscard]] int alive_count() const noexcept { return n_ - dead_count_; }
+  [[nodiscard]] int dead_count() const noexcept { return dead_count_; }
+  [[nodiscard]] bool alive(int u) const noexcept {
+    return dead_count_ == 0 || !dead_[static_cast<std::size_t>(u)];
+  }
+
+  /// Crash fault: remove `u` from the population. All incident active edges
+  /// are deleted, the node leaves the census, and it no longer participates
+  /// in encounters, quiescence scans, or the output graph. Irreversible.
+  /// Throws std::logic_error if `u` is already dead.
+  void kill(int u);
+
   [[nodiscard]] StateId state(int u) const noexcept {
     return states_[static_cast<std::size_t>(u)];
   }
@@ -50,12 +63,12 @@ class World {
   /// state is in Qout.
   [[nodiscard]] Graph output_graph(const Protocol& protocol) const;
 
-  /// Nodes whose state satisfies `pred`.
+  /// Alive nodes whose state satisfies `pred`.
   template <typename Pred>
   [[nodiscard]] std::vector<int> nodes_where(Pred pred) const {
     std::vector<int> out;
     for (int u = 0; u < n_; ++u) {
-      if (pred(state(u))) out.push_back(u);
+      if (alive(u) && pred(state(u))) out.push_back(u);
     }
     return out;
   }
@@ -65,11 +78,13 @@ class World {
 
  private:
   int n_ = 0;
+  int dead_count_ = 0;
   std::int64_t active_edges_ = 0;
   std::vector<StateId> states_;
   std::vector<std::uint64_t> edge_bits_;
   std::vector<int> degree_;
   std::vector<int> census_;
+  std::vector<char> dead_;  ///< Allocated on first kill(); empty when all alive.
 };
 
 }  // namespace netcons

@@ -1,0 +1,68 @@
+// Declarative fault plans for adversarial perturbation of a running
+// simulation (the fault axis of the campaign engine; cf. Fault Tolerant
+// Network Constructors, Michail-Spirakis-Theofilatos 2019).
+//
+// A plan is a list of fault events parsed from a compact spec string:
+//
+//   none                           no faults (the implicit default)
+//   crash:k=2                      crash 2 random nodes at first stabilization
+//   crash:k=1:at=5000              crash 1 node at step 5000
+//   edge-burst:f=0.1               delete 10% of active edges at stabilization
+//   edge-burst:f=0.05:at=100:every=1000:times=5   periodic bursts
+//   edge-rate:p=1e-4               each step w.p. p delete one active edge,
+//                                  for a 16*n^2-step window (override: for=W)
+//   reset:k=3                      reset 3 random nodes to q0 at stabilization
+//   crash:k=1+edge-burst:f=0.2     '+' composes events into one plan
+//
+// Trigger semantics: burst kinds (crash, edge-burst, reset) with neither
+// `at` nor `every` fire once at the first certified stabilization -- the
+// regime the recovery metrics are defined for. With `at`/`every` they are
+// step-scheduled (first firing at `at`, or at `every` when only `every` is
+// given, then every `every` steps, `times` firings total). `edge-rate` is
+// always step-driven, active in [at, at + window).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcons::faults {
+
+enum class FaultKind { Crash, EdgeBurst, EdgeRate, Reset };
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::Crash;
+  int count = 1;          ///< Crash/reset victims per firing (k=).
+  double fraction = 0.1;  ///< Edge-burst: fraction of active edges (f=).
+  double rate = 1e-4;     ///< Edge-rate: per-step deletion probability (p=).
+  std::uint64_t at = 0;     ///< First firing step; 0 = at stabilization (burst
+                            ///< kinds) / from the first step (edge-rate).
+  std::uint64_t every = 0;  ///< Repeat period in steps (burst kinds).
+  int times = 1;            ///< Total firings (burst kinds).
+  std::uint64_t window = 0; ///< Edge-rate active window in steps (for=);
+                            ///< 0 derives 16*n^2 at arm time.
+
+  /// Burst event that fires at certified stabilization (no step schedule).
+  [[nodiscard]] bool stabilization_triggered() const noexcept {
+    return kind != FaultKind::EdgeRate && at == 0 && every == 0;
+  }
+};
+
+struct FaultPlan {
+  std::string name = "none";  ///< The spec string the plan was parsed from.
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+/// Parse a plan spec ("none", "crash:k=2", "crash:k=1+edge-burst:f=0.2", ...).
+/// Throws std::invalid_argument with a message quoting the grammar on any
+/// unknown kind, unknown parameter, or out-of-range value.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// One-line-per-form grammar summary for CLI help and error messages.
+[[nodiscard]] const std::string& fault_plan_grammar();
+
+}  // namespace netcons::faults

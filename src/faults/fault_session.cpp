@@ -1,0 +1,303 @@
+#include "faults/fault_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace netcons::faults {
+
+namespace {
+
+/// Active edges with both endpoints alive (the kill() invariant guarantees
+/// dead nodes are edge-free, so aliveness needs no re-check here).
+std::vector<std::pair<int, int>> active_edge_list(const World& world) {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(world.active_edge_count()));
+  const int n = world.size();
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (world.edge(u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool is_output_edge(const Protocol& protocol, const World& world, int u, int v) {
+  return protocol.is_output_state(world.state(u)) && protocol.is_output_state(world.state(v));
+}
+
+std::vector<int> alive_nodes(const World& world) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(world.alive_count()));
+  for (int u = 0; u < world.size(); ++u) {
+    if (world.alive(u)) out.push_back(u);
+  }
+  return out;
+}
+
+/// First `count` elements of a partial Fisher-Yates shuffle of `pool`.
+template <typename T>
+void select_prefix(std::vector<T>& pool, std::size_t count, Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+}
+
+}  // namespace
+
+std::uint64_t output_edge_count(const Protocol& protocol, const World& world) {
+  std::uint64_t count = 0;
+  const int n = world.size();
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (world.edge(u, v) && is_output_edge(protocol, world, u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+FaultSession::FaultSession(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(trial_seed(seed, kFaultSeedStream)) {}
+
+void FaultSession::ensure_armed(const Simulator& sim) {
+  if (armed_) return;
+  armed_ = true;
+  const auto n = static_cast<std::uint64_t>(sim.world().size());
+  armed_events_.reserve(plan_.events.size());
+  for (const FaultEvent& event : plan_.events) {
+    Armed armed;
+    armed.event = event;
+    if (event.kind == FaultKind::EdgeRate) {
+      const std::uint64_t start = event.at ? event.at : 1;
+      const std::uint64_t window = event.window ? event.window : 16 * n * n;
+      armed.next_at = start;
+      armed.window_end = start + window - 1;
+    } else if (!event.stabilization_triggered()) {
+      armed.next_at = event.at ? event.at : event.every;
+    }
+    armed_events_.push_back(armed);
+  }
+}
+
+bool FaultSession::armed_exhausted(const Armed& armed) const noexcept {
+  if (armed.event.kind == FaultKind::EdgeRate) return false;  // window-checked by caller
+  return armed.fired >= armed.event.times;
+}
+
+void FaultSession::before_step(Simulator& sim) {
+  ensure_armed(sim);
+  const std::uint64_t upcoming = sim.steps() + 1;
+  for (Armed& armed : armed_events_) {
+    if (armed.event.kind == FaultKind::EdgeRate) {
+      if (upcoming >= armed.next_at && upcoming <= armed.window_end &&
+          rng_.bernoulli(armed.event.rate)) {
+        delete_one_random_edge(sim);
+      }
+    } else if (!armed.event.stabilization_triggered()) {
+      while (!armed_exhausted(armed) && armed.next_at <= upcoming) {
+        fire_burst(sim, armed);
+        ++armed.fired;
+        if (armed.event.every == 0) break;
+        armed.next_at += armed.event.every;
+      }
+    }
+  }
+}
+
+bool FaultSession::fire_on_stabilization(Simulator& sim) {
+  ensure_armed(sim);
+  bool fired = false;
+  for (Armed& armed : armed_events_) {
+    if (armed.event.stabilization_triggered() && armed.fired == 0) {
+      fire_burst(sim, armed);
+      armed.fired = 1;
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+bool FaultSession::stabilization_pending() const noexcept {
+  if (!armed_) {
+    for (const FaultEvent& event : plan_.events) {
+      if (event.stabilization_triggered()) return true;
+    }
+    return false;
+  }
+  for (const Armed& armed : armed_events_) {
+    if (armed.event.stabilization_triggered() && armed.fired == 0) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> FaultSession::next_scheduled(const Simulator& sim) {
+  ensure_armed(sim);
+  const std::uint64_t upcoming = sim.steps() + 1;
+  std::optional<std::uint64_t> next;
+  for (const Armed& armed : armed_events_) {
+    std::uint64_t candidate = 0;
+    if (armed.event.kind == FaultKind::EdgeRate) {
+      if (upcoming > armed.window_end) continue;
+      // Run through the whole window: deletions inside it are stochastic.
+      candidate = armed.window_end;
+    } else {
+      if (armed.event.stabilization_triggered() || armed_exhausted(armed)) continue;
+      candidate = std::max(armed.next_at, upcoming);
+    }
+    if (!next || candidate < *next) next = candidate;
+  }
+  return next;
+}
+
+bool FaultSession::exhausted(const Simulator& sim) {
+  return !stabilization_pending() && !next_scheduled(sim).has_value();
+}
+
+std::uint64_t FaultSession::episode_bound() const noexcept {
+  std::uint64_t episodes = 0;
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind == FaultKind::EdgeRate) {
+      episodes += 2;  // the window itself plus one recovery phase
+    } else {
+      episodes += static_cast<std::uint64_t>(event.times);
+    }
+  }
+  return std::min<std::uint64_t>(episodes, 64);
+}
+
+void FaultSession::fire_burst(Simulator& sim, Armed& armed) {
+  World& world = sim.mutable_world();
+  const Protocol& protocol = sim.protocol();
+  std::uint64_t deleted_output = 0;
+  bool membership_changed = false;
+
+  std::size_t victims = 0;
+  switch (armed.event.kind) {
+    case FaultKind::Crash: {
+      std::vector<int> alive = alive_nodes(world);
+      // Always leave at least one survivor so the population stays a system.
+      victims = std::min<std::size_t>(static_cast<std::size_t>(armed.event.count),
+                                      alive.empty() ? 0 : alive.size() - 1);
+      select_prefix(alive, victims, rng_);
+      for (std::size_t i = 0; i < victims; ++i) {
+        const int u = alive[i];
+        membership_changed = membership_changed || protocol.is_output_state(world.state(u));
+        for (const int v : world.active_neighbors(u)) {
+          if (is_output_edge(protocol, world, u, v)) ++deleted_output;
+        }
+        world.kill(u);
+      }
+      break;
+    }
+    case FaultKind::EdgeBurst: {
+      std::vector<std::pair<int, int>> edges = active_edge_list(world);
+      victims = std::min<std::size_t>(
+          static_cast<std::size_t>(
+              std::ceil(armed.event.fraction * static_cast<double>(edges.size()))),
+          edges.size());
+      select_prefix(edges, victims, rng_);
+      for (std::size_t i = 0; i < victims; ++i) {
+        const auto [u, v] = edges[i];
+        if (is_output_edge(protocol, world, u, v)) ++deleted_output;
+        world.set_edge(u, v, false);
+      }
+      break;
+    }
+    case FaultKind::Reset: {
+      std::vector<int> alive = alive_nodes(world);
+      victims = std::min<std::size_t>(static_cast<std::size_t>(armed.event.count), alive.size());
+      select_prefix(alive, victims, rng_);
+      const StateId q0 = protocol.initial_state();
+      for (std::size_t i = 0; i < victims; ++i) {
+        const int u = alive[i];
+        membership_changed = membership_changed ||
+                             protocol.is_output_state(world.state(u)) !=
+                                 protocol.is_output_state(q0);
+        world.set_state(u, q0);
+      }
+      break;
+    }
+    case FaultKind::EdgeRate:
+      break;  // rate events never fire as bursts
+  }
+
+  // A firing that perturbed nothing (no victims left, no edges to delete)
+  // is not a fault event: it must not inflate faults_injected or move
+  // last_fault_step, which recovery_steps is measured from.
+  if (victims > 0) record_firing(sim, deleted_output, membership_changed);
+}
+
+void FaultSession::delete_one_random_edge(Simulator& sim) {
+  World& world = sim.mutable_world();
+  const std::vector<std::pair<int, int>> edges = active_edge_list(world);
+  if (edges.empty()) return;  // nothing to delete; not a firing
+  const auto [u, v] = edges[static_cast<std::size_t>(rng_.below(edges.size()))];
+  const bool output = is_output_edge(sim.protocol(), world, u, v);
+  world.set_edge(u, v, false);
+  record_firing(sim, output ? 1 : 0, false);
+}
+
+void FaultSession::record_firing(Simulator& sim, std::uint64_t deleted_output,
+                                 bool membership_changed) {
+  ++faults_injected_;
+  last_fault_step_ = sim.steps();
+  output_edges_deleted_ += deleted_output;
+  output_edges_after_damage_ = output_edge_count(sim.protocol(), sim.world());
+  if (deleted_output > 0 || membership_changed) sim.note_output_change();
+}
+
+ConvergenceReport run_until_stable_with_faults(Simulator& sim, FaultSession& session,
+                                               const Simulator::StabilityOptions& options) {
+  if (session.plan().empty()) return sim.run_until_stable(options);
+
+  const auto n = static_cast<std::uint64_t>(sim.world().size());
+  const std::uint64_t phase_budget =
+      options.max_steps ? options.max_steps : std::max<std::uint64_t>(1'000'000, n * n * n * 64);
+  const std::uint64_t total_cap = phase_budget * (session.episode_bound() + 1);
+
+  sim.set_interceptor(&session);
+  ConvergenceReport report;
+  while (true) {
+    Simulator::StabilityOptions phase = options;
+    phase.max_steps = std::min(total_cap, sim.steps() + phase_budget);
+    report = sim.run_until_stable(phase);
+    if (!report.stabilized) break;
+    if (session.stabilization_pending()) {
+      session.fire_on_stabilization(sim);
+      continue;
+    }
+    if (const auto next = session.next_scheduled(sim)) {
+      if (*next >= total_cap) {
+        // The remaining schedule lies beyond the budget; report the timeout
+        // honestly rather than pretending the plan completed.
+        report.stabilized = false;
+        break;
+      }
+      sim.run(std::max<std::uint64_t>(1, *next - sim.steps()));
+      continue;
+    }
+    break;  // stable and the plan is exhausted
+  }
+  sim.set_interceptor(nullptr);
+
+  report.steps_executed = sim.steps();
+  report.convergence_step = sim.last_output_change();
+  report.faults_injected = session.faults_injected();
+  if (report.faults_injected > 0) {
+    report.last_fault_step = session.last_fault_step();
+    report.recovery_steps = report.convergence_step > report.last_fault_step
+                                ? report.convergence_step - report.last_fault_step
+                                : 0;
+    const std::uint64_t final_edges = output_edge_count(sim.protocol(), sim.world());
+    const std::uint64_t after = session.output_edges_after_damage();
+    const std::uint64_t rebuilt = final_edges > after ? final_edges - after : 0;
+    report.output_edges_deleted = session.output_edges_deleted();
+    report.output_edges_repaired = std::min(rebuilt, report.output_edges_deleted);
+    report.output_edges_residual = report.output_edges_deleted - report.output_edges_repaired;
+  }
+  return report;
+}
+
+}  // namespace netcons::faults

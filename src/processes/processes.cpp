@@ -40,7 +40,7 @@ ProcessSpec one_way_epidemic() {
   ProcessSpec spec;
   spec.protocol = b.build();
   spec.initialize = [sa](World& w) { w.set_state(0, sa); };
-  spec.done = [sa](const World& w) { return w.census(sa) == w.size(); };
+  spec.done = [sa](const World& w) { return w.census(sa) == w.alive_count(); };
   spec.expected_steps = [](std::uint64_t n) { return theory::one_way_epidemic(n); };
   spec.expectation_exact = true;
   spec.name = "One-way epidemic";
@@ -107,7 +107,7 @@ ProcessSpec meet_everybody() {
   ProcessSpec spec;
   spec.protocol = b.build();
   spec.initialize = [sa](World& w) { w.set_state(0, sa); };
-  spec.done = [sm](const World& w) { return w.census(sm) == w.size() - 1; };
+  spec.done = [sm](const World& w) { return w.census(sm) == w.alive_count() - 1; };
   spec.expected_steps = [](std::uint64_t n) { return theory::meet_everybody(n); };
   spec.expectation_exact = true;
   spec.name = "Meet everybody";
@@ -124,7 +124,7 @@ ProcessSpec node_cover() {
   add_edge_oblivious_rule(b, sa, sb, sb, sb);
   ProcessSpec spec;
   spec.protocol = b.build();
-  spec.done = [sb](const World& w) { return w.census(sb) == w.size(); };
+  spec.done = [sb](const World& w) { return w.census(sb) == w.alive_count(); };
   spec.expected_steps = node_cover_shape;
   spec.expectation_exact = false;
   spec.name = "Node cover";
@@ -140,7 +140,9 @@ ProcessSpec edge_cover() {
   ProcessSpec spec;
   spec.protocol = b.build();
   spec.done = [](const World& w) {
-    const auto n = static_cast<std::int64_t>(w.size());
+    // Over the alive population, so the process stays completable under
+    // crash faults (dead nodes cannot carry edges).
+    const auto n = static_cast<std::int64_t>(w.alive_count());
     return w.active_edge_count() == n * (n - 1) / 2;
   };
   spec.expected_steps = [](std::uint64_t n) { return theory::edge_cover(n); };

@@ -2,11 +2,94 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace netcons {
 
-void RunningStats::add(double x) noexcept {
+namespace {
+
+/// Linear interpolation between order statistics; sorts its argument.
+double interpolated_percentile(std::vector<double>& samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const double position = p * static_cast<double>(samples.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= samples.size()) return samples.back();
+  return samples[lower] * (1.0 - fraction) + samples[lower + 1] * fraction;
+}
+
+}  // namespace
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * p;
+  desired_[2] = 1 + 4 * p;
+  desired_[3] = 3 + 2 * p;
+  desired_[4] = 5;
+  desired_increment_[0] = 0;
+  desired_increment_[1] = p / 2;
+  desired_increment_[2] = p;
+  desired_increment_[3] = (1 + p) / 2;
+  desired_increment_[4] = 1;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  ++n_;
+
+  // Locate the cell and stretch the extreme markers.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_increment_[i];
+
+  // Nudge the interior markers towards their desired positions; parabolic
+  // (P^2) height prediction, falling back to linear when it would break
+  // marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double offset = desired_[i] - positions_[i];
+    const bool right = offset >= 1 && positions_[i + 1] - positions_[i] > 1;
+    const bool left = offset <= -1 && positions_[i - 1] - positions_[i] < -1;
+    if (!right && !left) continue;
+    const double d = right ? 1.0 : -1.0;
+    const double qim1 = heights_[i - 1], qi = heights_[i], qip1 = heights_[i + 1];
+    const double nim1 = positions_[i - 1], ni = positions_[i], nip1 = positions_[i + 1];
+    double candidate = qi + d / (nip1 - nim1) *
+                                ((ni - nim1 + d) * (qip1 - qi) / (nip1 - ni) +
+                                 (nip1 - ni - d) * (qi - qim1) / (ni - nim1));
+    if (candidate <= qim1 || candidate >= qip1) {
+      candidate = d > 0 ? qi + (qip1 - qi) / (nip1 - ni) : qi - (qim1 - qi) / (nim1 - ni);
+    }
+    heights_[i] = candidate;
+    positions_[i] += d;
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ >= 5) return heights_[2];
+  // Fewer than 5 samples: exact interpolated order statistic.
+  std::vector<double> samples(heights_, heights_ + n_);
+  return interpolated_percentile(samples, p_);
+}
+
+void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -17,20 +100,55 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+
+  if (sketching()) {
+    for (P2Quantile& sketch : sketches_) sketch.add(x);
+    return;
+  }
   samples_.push_back(x);
+  if (samples_.size() > exact_limit_) {
+    // Convert to bounded memory: replay the retained samples (in insertion
+    // order, keeping the result deterministic) into the sketch grid.
+    sketches_.reserve(std::size(kSketchGrid));
+    for (const double p : kSketchGrid) sketches_.emplace_back(p);
+    for (const double sample : samples_) {
+      for (P2Quantile& sketch : sketches_) sketch.add(sample);
+    }
+    samples_.clear();
+    samples_.shrink_to_fit();
+  }
 }
 
 double RunningStats::percentile(double p) const {
-  if (samples_.empty()) return 0.0;
+  if (n_ == 0) return 0.0;
   if (p <= 0.0) return min_;
   if (p >= 1.0) return max_;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const double position = p * static_cast<double>(sorted.size() - 1);
-  const auto lower = static_cast<std::size_t>(position);
-  const double fraction = position - static_cast<double>(lower);
-  if (lower + 1 >= sorted.size()) return sorted.back();
-  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+  if (!sketching()) {
+    std::vector<double> samples = samples_;
+    return interpolated_percentile(samples, p);
+  }
+
+  // Sketch mode: linear interpolation in p over the anchors
+  // {0: min, kSketchGrid..., 1: max}, with heights clamped monotone so the
+  // independently-run sketches cannot produce a decreasing quantile curve.
+  constexpr std::size_t grid_size = std::size(kSketchGrid);
+  double anchor_p[grid_size + 2];
+  double anchor_q[grid_size + 2];
+  anchor_p[0] = 0.0;
+  anchor_q[0] = min_;
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    anchor_p[i + 1] = kSketchGrid[i];
+    anchor_q[i + 1] = std::clamp(sketches_[i].value(), min_, max_);
+    anchor_q[i + 1] = std::max(anchor_q[i + 1], anchor_q[i]);
+  }
+  anchor_p[grid_size + 1] = 1.0;
+  anchor_q[grid_size + 1] = max_;
+
+  std::size_t hi = 1;
+  while (anchor_p[hi] < p) ++hi;
+  const double span = anchor_p[hi] - anchor_p[hi - 1];
+  const double fraction = span > 0 ? (p - anchor_p[hi - 1]) / span : 0.0;
+  return anchor_q[hi - 1] * (1.0 - fraction) + anchor_q[hi] * fraction;
 }
 
 double RunningStats::variance() const noexcept {

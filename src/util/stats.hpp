@@ -13,12 +13,47 @@
 
 namespace netcons {
 
-/// Welford's online mean/variance accumulator. Samples are additionally
-/// retained so percentiles can be reported (sample counts in this library
-/// are experiment-sized, never streaming-scale).
+/// Single-quantile P^2 estimator (Jain & Chlamtac, CACM 1985): five markers
+/// track {min, p/2, p, (1+p)/2, max} with parabolic height adjustment, so a
+/// running p-quantile estimate costs O(1) memory regardless of stream
+/// length. Deterministic in the insertion order.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Current estimate (exact order statistic while fewer than 5 samples).
+  [[nodiscard]] double value() const;
+
+ private:
+  double p_;
+  std::size_t n_ = 0;
+  double heights_[5] = {};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {};
+  double desired_increment_[5] = {};
+};
+
+/// Welford's online mean/variance accumulator with percentile support.
+///
+/// Percentiles are exact (retained samples, interpolated order statistics)
+/// up to `exact_limit` samples; beyond that the storage is converted into a
+/// fixed grid of P^2 sketches and memory stays bounded no matter how many
+/// trials a campaign adds (the ROADMAP's millions-of-trials regime).
+/// Sketch-mode percentile(p) interpolates between grid quantiles, anchored
+/// at the exact min/max. Everything stays deterministic in insertion order.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  static constexpr std::size_t kDefaultExactLimit = 4096;
+  /// Quantile grid maintained in sketch mode.
+  static constexpr double kSketchGrid[] = {0.01, 0.05, 0.10, 0.25, 0.50,
+                                           0.75, 0.90, 0.95, 0.99};
+
+  RunningStats() = default;
+  explicit RunningStats(std::size_t exact_limit) : exact_limit_(exact_limit) {}
+
+  void add(double x);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
@@ -31,17 +66,22 @@ class RunningStats {
   [[nodiscard]] double ci95_halfwidth() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
-  /// p in [0, 1]; linear interpolation between order statistics.
+  /// p in [0, 1]; exact mode interpolates order statistics, sketch mode
+  /// interpolates the P^2 grid.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
+  /// True once sample retention has been replaced by the bounded sketch.
+  [[nodiscard]] bool sketching() const noexcept { return !sketches_.empty(); }
 
  private:
   std::size_t n_ = 0;
+  std::size_t exact_limit_ = kDefaultExactLimit;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
   std::vector<double> samples_;
+  std::vector<P2Quantile> sketches_;  ///< One per kSketchGrid entry.
 };
 
 /// Result of an ordinary least-squares fit y = slope * x + intercept.

@@ -57,5 +57,27 @@ TEST(Experiment, TrialsAreReproducible) {
   EXPECT_EQ(a.steps_executed, b.steps_executed);
 }
 
+TEST(Experiment, FaultedTrialAndMeasureReportRecovery) {
+  const auto spec = protocols::global_star();
+  const auto plan = faults::parse_fault_plan("edge-burst:f=0.5");
+
+  const TrialResult trial = run_trial(spec, 16, 7, plan);
+  EXPECT_TRUE(trial.stabilized);
+  EXPECT_EQ(trial.faults_injected, 1u);
+  EXPECT_GT(trial.output_edges_deleted, 0u);
+  EXPECT_EQ(trial.output_edges_repaired, trial.output_edges_deleted);  // star repairs
+
+  const MeasurePoint point = measure(spec, 16, 12, 5, 0, plan);
+  EXPECT_EQ(point.failures, 0);
+  EXPECT_EQ(point.damaged, 0);
+  EXPECT_EQ(point.recovery_steps.count(), 12u);
+  EXPECT_GT(point.recovery_steps.mean(), 0.0);
+
+  // Fault-free measure is unchanged by the new parameter's default.
+  const MeasurePoint plain = measure(spec, 16, 12, 5);
+  EXPECT_EQ(plain.recovery_steps.count(), 0u);
+  EXPECT_EQ(plain.damaged, 0);
+}
+
 }  // namespace
 }  // namespace netcons::analysis

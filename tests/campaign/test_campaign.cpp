@@ -143,7 +143,7 @@ TEST(Campaign, CsvHasHeaderAndOneRowPerPoint) {
   std::size_t lines = 0;
   for (const char c : csv) lines += (c == '\n');
   EXPECT_EQ(lines, result.points.size() + 1);
-  EXPECT_EQ(csv.rfind("unit,scheduler,n,", 0), 0u);
+  EXPECT_EQ(csv.rfind("unit,scheduler,faults,n,", 0), 0u);
 }
 
 TEST(Campaign, ParseJsonRejectsGarbage) {

@@ -96,5 +96,40 @@ TEST(World, RejectsEmptyPopulation) {
   EXPECT_THROW(World(p, 0), std::invalid_argument);
 }
 
+TEST(World, KillRemovesNodeEdgesCensusAndOutput) {
+  const Protocol p = two_state();
+  World w(p, 4);
+  w.set_edge(0, 1, true);
+  w.set_edge(0, 2, true);
+  w.set_edge(2, 3, true);
+  ASSERT_EQ(w.alive_count(), 4);
+
+  w.kill(0);
+  EXPECT_EQ(w.alive_count(), 3);
+  EXPECT_EQ(w.dead_count(), 1);
+  EXPECT_FALSE(w.alive(0));
+  EXPECT_TRUE(w.alive(1));
+  // All incident edges deleted; the unrelated edge survives.
+  EXPECT_FALSE(w.edge(0, 1));
+  EXPECT_FALSE(w.edge(0, 2));
+  EXPECT_TRUE(w.edge(2, 3));
+  EXPECT_EQ(w.active_degree(0), 0);
+  EXPECT_EQ(w.active_degree(1), 0);
+  EXPECT_EQ(w.active_edge_count(), 1);
+  // The crashed node leaves the census and the output graph.
+  EXPECT_EQ(w.census(0), 3);
+  EXPECT_EQ(w.output_graph(p).order(), 3);
+  // And nodes_where no longer reports it.
+  const auto initial = w.nodes_where([&](StateId s) { return s == p.initial_state(); });
+  EXPECT_EQ(initial, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(World, KillTwiceOrMutateDeadNodeThrows) {
+  World w(two_state(), 3);
+  w.kill(1);
+  EXPECT_THROW(w.kill(1), std::logic_error);
+  EXPECT_THROW(w.set_state(1, 1), std::logic_error);
+}
+
 }  // namespace
 }  // namespace netcons

@@ -1,0 +1,74 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netcons::faults {
+namespace {
+
+TEST(FaultPlan, NoneAndEmptyAreEmptyPlans) {
+  EXPECT_TRUE(parse_fault_plan("none").empty());
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_EQ(parse_fault_plan("").name, "none");
+}
+
+TEST(FaultPlan, ParsesCrashWithDefaults) {
+  const FaultPlan plan = parse_fault_plan("crash:k=2");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.name, "crash:k=2");
+  EXPECT_EQ(plan.events[0].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.events[0].count, 2);
+  EXPECT_TRUE(plan.events[0].stabilization_triggered());
+}
+
+TEST(FaultPlan, ParsesScheduledAndPeriodicEvents) {
+  const FaultPlan scheduled = parse_fault_plan("edge-burst:f=0.25:at=500");
+  ASSERT_EQ(scheduled.events.size(), 1u);
+  EXPECT_EQ(scheduled.events[0].kind, FaultKind::EdgeBurst);
+  EXPECT_DOUBLE_EQ(scheduled.events[0].fraction, 0.25);
+  EXPECT_EQ(scheduled.events[0].at, 500u);
+  EXPECT_FALSE(scheduled.events[0].stabilization_triggered());
+
+  const FaultPlan periodic = parse_fault_plan("reset:k=3:every=100:times=4");
+  ASSERT_EQ(periodic.events.size(), 1u);
+  EXPECT_EQ(periodic.events[0].kind, FaultKind::Reset);
+  EXPECT_EQ(periodic.events[0].every, 100u);
+  EXPECT_EQ(periodic.events[0].times, 4);
+  EXPECT_FALSE(periodic.events[0].stabilization_triggered());
+}
+
+TEST(FaultPlan, ParsesRateWithWindow) {
+  const FaultPlan plan = parse_fault_plan("edge-rate:p=1e-4:for=5000");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::EdgeRate);
+  EXPECT_DOUBLE_EQ(plan.events[0].rate, 1e-4);
+  EXPECT_EQ(plan.events[0].window, 5000u);
+  EXPECT_FALSE(plan.events[0].stabilization_triggered());
+}
+
+TEST(FaultPlan, ComposesEventsWithPlus) {
+  const FaultPlan plan = parse_fault_plan("crash:k=1+edge-burst:f=0.2");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::EdgeBurst);
+}
+
+TEST(FaultPlan, RejectsBadSpecsWithGrammarInMessage) {
+  EXPECT_THROW((void)parse_fault_plan("meteor:k=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("crash:q=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("crash:k=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("edge-burst:f=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("edge-rate:p=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("crash:k=x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("reset:k=1:times=3"), std::invalid_argument);
+  try {
+    (void)parse_fault_plan("crash:k=");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("grammar"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace netcons::faults

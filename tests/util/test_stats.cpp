@@ -51,6 +51,82 @@ TEST(RunningStats, EmptyAndSingle) {
   EXPECT_EQ(stats.sem(), 0.0);
 }
 
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  for (double x : {3.0, 1.0, 2.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, TracksUniformQuantiles) {
+  Rng rng(1234);
+  P2Quantile p50(0.5);
+  P2Quantile p90(0.9);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.uniform();
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.50, 0.02);
+  EXPECT_NEAR(p90.value(), 0.90, 0.02);
+  EXPECT_NEAR(p99.value(), 0.99, 0.01);
+}
+
+TEST(RunningStats, SwitchesToSketchBeyondExactLimit) {
+  RunningStats stats(64);
+  for (int i = 0; i < 64; ++i) stats.add(static_cast<double>(i));
+  EXPECT_FALSE(stats.sketching());
+  stats.add(64.0);
+  EXPECT_TRUE(stats.sketching());
+  EXPECT_EQ(stats.count(), 65u);
+  // Moments and extremes are unaffected by the switch.
+  EXPECT_DOUBLE_EQ(stats.mean(), 32.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 64.0);
+}
+
+TEST(RunningStats, SketchAgreesWithExactPercentiles) {
+  // Same heavy-tailed stream into an effectively-exact instance and a
+  // bounded-memory one; the sketch must track the exact order statistics.
+  Rng rng(99);
+  RunningStats exact(1u << 20);
+  RunningStats sketch(256);
+  for (int i = 0; i < 50'000; ++i) {
+    const double u = rng.uniform();
+    const double x = u * u * 1000.0;  // skewed towards 0, long right tail
+    exact.add(x);
+    sketch.add(x);
+  }
+  ASSERT_FALSE(exact.sketching());
+  ASSERT_TRUE(sketch.sketching());
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double truth = exact.percentile(p);
+    EXPECT_NEAR(sketch.percentile(p), truth, 0.05 * truth + 1.0) << "p = " << p;
+  }
+  // Off-grid queries interpolate sanely and stay monotone.
+  double previous = sketch.percentile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double value = sketch.percentile(p);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(sketch.percentile(0.0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.percentile(1.0), sketch.max());
+}
+
+TEST(RunningStats, SketchIsDeterministicInInsertionOrder) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i) xs.push_back(rng.uniform() * 100.0);
+  RunningStats a(128);
+  RunningStats b(128);
+  for (const double x : xs) a.add(x);
+  for (const double x : xs) b.add(x);
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+  EXPECT_DOUBLE_EQ(a.percentile(0.9), b.percentile(0.9));
+}
+
 TEST(FitLinear, RecoversExactLine) {
   std::vector<double> xs{1, 2, 3, 4, 5};
   std::vector<double> ys;

@@ -5,9 +5,11 @@
 //   netcons_campaign --processes one-way-epidemic --ns 50,100 --trials 500 \
 //       --schedulers uniform,permutation --csv out.csv
 //   netcons_campaign --protocols all --ns 16 --trials 20
+//   netcons_campaign --protocols simple-global-line --ns 32 --trials 100
+//       --faults none,crash:k=1,edge-burst:f=0.1 --threads 8 --json out.json
 //   netcons_campaign --list
 //
-// Every (unit, scheduler, n) grid point runs `--trials` independent trials
+// Every (unit, scheduler, faults, n) grid point runs `--trials` independent trials
 // as sharded jobs on a thread pool. Per-trial seeds are pure functions of
 // (--seed, grid position), so the aggregates are bit-identical for any
 // --threads value. Results print as a table and optionally export to
@@ -15,10 +17,13 @@
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/result_sink.hpp"
+#include "faults/fault_plan.hpp"
 #include "util/table.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -34,6 +39,7 @@ struct Options {
   std::vector<std::string> processes;
   std::vector<int> ns;
   std::vector<std::string> schedulers;
+  std::vector<std::string> faults;
   int trials = 20;
   int threads = 0;  // all cores
   std::uint64_t seed = 1;
@@ -43,6 +49,25 @@ struct Options {
   bool list = false;
   bool quiet = false;
 };
+
+/// Strict integer parse: the whole token must be a base-10 number that
+/// fits the range (no silent truncation or saturation).
+std::optional<long long> parse_int(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_bounded_int(const std::string& text) {
+  const auto value = parse_int(text);
+  if (!value || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*value);
+}
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -58,7 +83,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--protocols a,b|all] [--processes a,b|all] --ns N1,N2,...\n"
                "       [--trials T] [--threads K] [--seed S] [--schedulers s1,s2]\n"
-               "       [--k K] [--c C] [--d D] [--json FILE] [--csv FILE] [--quiet]\n"
+               "       [--faults none,crash:k=1,...] [--k K] [--c C] [--d D]\n"
+               "       [--json FILE] [--csv FILE] [--quiet]\n"
                "       "
             << argv0 << " --list\n";
   return 2;
@@ -74,35 +100,51 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
-               arg == "--ns" || arg == "--json" || arg == "--csv") {
+               arg == "--faults" || arg == "--ns" || arg == "--json" || arg == "--csv") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--protocols") opt.protocols = split_list(v);
       if (arg == "--processes") opt.processes = split_list(v);
       if (arg == "--schedulers") opt.schedulers = split_list(v);
+      if (arg == "--faults") opt.faults = split_list(v);
       if (arg == "--json") opt.json_path = v;
       if (arg == "--csv") opt.csv_path = v;
       if (arg == "--ns") {
         for (const std::string& item : split_list(v)) {
-          const int n = std::atoi(item.c_str());
-          if (n <= 0) {
+          const auto n = parse_bounded_int(item);
+          if (!n || *n <= 0) {
             std::cerr << "--ns expects positive integers, got '" << item << "'\n";
             return std::nullopt;
           }
-          opt.ns.push_back(n);
+          opt.ns.push_back(*n);
         }
       }
     } else if (arg == "--trials" || arg == "--threads" || arg == "--seed" || arg == "--k" ||
                arg == "--c" || arg == "--d") {
       const char* v = next();
       if (!v) return std::nullopt;
-      const long long value = std::atoll(v);
-      if (arg == "--trials") opt.trials = static_cast<int>(value);
-      if (arg == "--threads") opt.threads = static_cast<int>(value);
-      if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(value);
-      if (arg == "--k") opt.params.k = static_cast<int>(value);
-      if (arg == "--c") opt.params.c = static_cast<int>(value);
-      if (arg == "--d") opt.params.d = static_cast<int>(value);
+      if (arg == "--seed") {
+        // Full 64-bit range (strtoll would reject seeds above 2^63 - 1).
+        char* end = nullptr;
+        errno = 0;
+        const std::uint64_t seed = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0' || errno == ERANGE) {
+          std::cerr << "--seed expects an unsigned 64-bit integer, got '" << v << "'\n";
+          return std::nullopt;
+        }
+        opt.seed = seed;
+        continue;
+      }
+      const auto value = parse_bounded_int(v);
+      if (!value) {
+        std::cerr << arg << " expects an int-range integer, got '" << v << "'\n";
+        return std::nullopt;
+      }
+      if (arg == "--trials") opt.trials = *value;
+      if (arg == "--threads") opt.threads = *value;
+      if (arg == "--k") opt.params.k = *value;
+      if (arg == "--c") opt.params.c = *value;
+      if (arg == "--d") opt.params.d = *value;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return std::nullopt;
@@ -118,7 +160,20 @@ int list_registry() {
   for (const auto& name : campaign::process_names()) std::cout << "  " << name << '\n';
   std::cout << "schedulers:\n";
   for (const auto& name : campaign::scheduler_names()) std::cout << "  " << name << '\n';
+  std::cout << "fault plans (examples; see the grammar for the full space):\n";
+  for (const auto& name : campaign::fault_plan_examples()) std::cout << "  " << name << '\n';
+  std::cout << faults::fault_plan_grammar() << '\n';
   return 0;
+}
+
+/// "a, b, c" -- so an unknown-name error can show what IS registered.
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
 }
 
 }  // namespace
@@ -140,7 +195,8 @@ int main(int argc, char** argv) {
   for (const std::string& name : protocol_list) {
     auto protocol = campaign::make_protocol(name, opt.params);
     if (!protocol) {
-      std::cerr << "unknown protocol '" << name << "' (try --list)\n";
+      std::cerr << "unknown protocol '" << name
+                << "'; registered protocols: " << joined(campaign::protocol_names()) << "\n";
       return 2;
     }
     spec.units.push_back(campaign::Unit::protocol(name, std::move(*protocol)));
@@ -151,18 +207,31 @@ int main(int argc, char** argv) {
   for (const std::string& name : process_list) {
     auto process = campaign::make_process(name);
     if (!process) {
-      std::cerr << "unknown process '" << name << "' (try --list)\n";
+      std::cerr << "unknown process '" << name
+                << "'; registered processes: " << joined(campaign::process_names()) << "\n";
       return 2;
     }
-    spec.units.push_back(campaign::Unit::process(std::move(*process)));
+    // Name the grid point by the slug the user typed (and --list prints),
+    // so the exported `unit` column matches the input.
+    spec.units.push_back(campaign::Unit::process(name, std::move(*process)));
   }
   for (const std::string& name : opt.schedulers) {
     auto scheduler = campaign::make_scheduler(name);
     if (!scheduler) {
-      std::cerr << "unknown scheduler '" << name << "' (try --list)\n";
+      std::cerr << "unknown scheduler '" << name
+                << "'; registered schedulers: " << joined(campaign::scheduler_names()) << "\n";
       return 2;
     }
     spec.schedulers.push_back(std::move(*scheduler));
+  }
+  for (const std::string& name : opt.faults) {
+    std::string error;
+    auto plan = campaign::make_fault_plan(name, &error);
+    if (!plan) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    spec.faults.push_back(std::move(*plan));
   }
 
   if (spec.units.empty() || spec.ns.empty()) {
@@ -176,15 +245,18 @@ int main(int argc, char** argv) {
   const campaign::CampaignResult result = campaign::run(spec, run_options);
 
   if (!opt.quiet) {
-    TextTable table({"unit", "scheduler", "n", "trials", "failures", "mean", "median", "ci95"});
+    TextTable table({"unit", "scheduler", "faults", "n", "trials", "failures", "damaged",
+                     "mean", "median", "recovery", "residual"});
     for (const auto& point : result.points) {
-      table.add_row({point.unit, point.scheduler,
+      table.add_row({point.unit, point.scheduler, point.faults,
                      TextTable::integer(static_cast<std::uint64_t>(point.n)),
                      TextTable::integer(static_cast<std::uint64_t>(point.trials)),
                      TextTable::integer(static_cast<std::uint64_t>(point.failures)),
+                     TextTable::integer(static_cast<std::uint64_t>(point.damaged)),
                      TextTable::num(point.convergence_steps.mean()),
                      TextTable::num(point.convergence_steps.median()),
-                     TextTable::num(point.convergence_steps.ci95_halfwidth())});
+                     TextTable::num(point.recovery_steps.mean()),
+                     TextTable::num(point.edges_residual.mean())});
     }
     std::cout << table;
     for (const auto& point : result.points) {
