@@ -12,7 +12,11 @@
 // but never failed on (used by the ctest registration, where shared CI
 // runners make wall-clock gates flaky); determinism is always enforced.
 //
-// Usage: bench_campaign_scaling [trials_per_point] [--advisory]
+// Usage: bench_campaign_scaling [trials_per_point] [--advisory] [--json FILE]
+//
+// --json FILE writes the machine-readable throughput metrics consumed by
+// the nightly bench workflow's regression gate (tools/compare_bench.py):
+// every value under "throughput" is higher-is-better.
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/result_sink.hpp"
@@ -20,16 +24,21 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 using namespace netcons;
 
 int main(int argc, char** argv) {
   int trials = 100;  // per grid point; 5 points => 500-trial sweep
   bool advisory = false;  // report the speedup but never fail on it
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--advisory") == 0) {
       advisory = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       trials = std::atoi(argv[i]);
     }
@@ -79,6 +88,28 @@ int main(int argc, char** argv) {
   std::cout << "\naggregates bit-identical across thread counts: "
             << (identical ? "yes" : "NO") << '\n'
             << "speedup (" << hw_threads << " threads vs serial): " << speedup << "x\n";
+
+  if (!json_path.empty()) {
+    const double total = static_cast<double>(serial_result.total_trials);
+    std::ofstream file(json_path);
+    file << "{\n  \"bench\": \"campaign_scaling\",\n"
+         << "  \"threads\": " << hw_threads << ",\n"
+         << "  \"trials\": " << serial_result.total_trials << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"throughput\": {\n"
+         << "    \"serial_trials_per_second\": "
+         << (serial_result.wall_seconds > 0 ? total / serial_result.wall_seconds : 0.0)
+         << ",\n"
+         << "    \"parallel_trials_per_second\": "
+         << (parallel_result.wall_seconds > 0 ? total / parallel_result.wall_seconds : 0.0)
+         << "\n  }\n}\n";
+    file.flush();
+    if (!file) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
 
   bool ok = identical;
   if (hw_threads >= 4) {

@@ -16,6 +16,9 @@
 // Exit status enforces the recovery claim: at least two protocols must
 // re-stabilize >= 90% of crash:k=1 trials (run under ctest with
 // --trials 10 --n 16).
+// --json FILE writes throughput metrics for the nightly bench workflow's
+// regression gate (tools/compare_bench.py): "throughput" values are
+// higher-is-better.
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
 #include "faults/fault_plan.hpp"
@@ -23,6 +26,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -33,9 +37,11 @@ int main(int argc, char** argv) {
 
   int trials = 20;
   int n = 24;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) trials = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) n = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
 
   const std::vector<std::string> protocol_names = {"simple-global-line", "cycle-cover",
@@ -84,6 +90,25 @@ int main(int argc, char** argv) {
   std::cout << "\nrecovery = mean steps from last fault to last output-graph change "
                "(re-stabilized trials)\ndeleted/repaired/residual = mean output-graph "
                "edges destroyed by faults / rebuilt / never rebuilt\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"bench\": \"fault_recovery\",\n"
+         << "  \"trials\": " << result.total_trials << ",\n"
+         << "  \"wall_seconds\": " << result.wall_seconds << ",\n"
+         << "  \"throughput\": {\n"
+         << "    \"faulted_trials_per_second\": "
+         << (result.wall_seconds > 0
+                 ? static_cast<double>(result.total_trials) / result.wall_seconds
+                 : 0.0)
+         << "\n  }\n}\n";
+    file.flush();
+    if (!file) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
 
   int recovering = 0;
   for (const auto& [unit, rate] : crash_restabilized) {

@@ -68,10 +68,11 @@ int main() {
         tape.on_interaction(u, v);
         ++steps;
       }
+      const double tm_steps =
+          static_cast<double>(std::max<std::uint64_t>(1, tape.tm_steps()));
       table.add_row({machine.name, input, TextTable::integer(tape.tm_steps()),
                      TextTable::integer(steps),
-                     TextTable::num(static_cast<double>(steps) /
-                                    static_cast<double>(std::max<std::uint64_t>(1, tape.tm_steps()))),
+                     TextTable::num(static_cast<double>(steps) / tm_steps),
                      tape.accepted() ? "yes" : "no"});
     }
     std::cout << table << '\n';

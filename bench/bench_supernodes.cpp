@@ -25,7 +25,8 @@ int main() {
     bool names_ok = true;
     int used = 0;
     for (int seed = 0; seed < 5; ++seed) {
-      generic::SupernodeConstructor ctor(n, trial_seed(0x54E0ull, static_cast<std::uint64_t>(seed)));
+      generic::SupernodeConstructor ctor(
+          n, trial_seed(0x54E0ull, static_cast<std::uint64_t>(seed)));
       const auto report = ctor.run_until_stable(2'000'000'000ULL);
       if (!report.stabilized) continue;
       steps.add(static_cast<double>(report.steps_executed));

@@ -21,8 +21,12 @@ std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector
 
   campaign::RunOptions options;
   options.threads = threads;
-  const campaign::CampaignResult result = campaign::run(spec, options);
+  return points_from_campaign(campaign::run(spec, options));
+}
 
+}  // namespace
+
+std::vector<MeasurePoint> points_from_campaign(const campaign::CampaignResult& result) {
   std::vector<MeasurePoint> out;
   out.reserve(result.points.size());
   for (const campaign::PointResult& point : result.points) {
@@ -38,8 +42,6 @@ std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector
   }
   return out;
 }
-
-}  // namespace
 
 TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
                       const faults::FaultPlan& fault_plan) {

@@ -9,6 +9,7 @@
 // thread count. Pass `threads = 1` to force serial execution.
 #pragma once
 
+#include "campaign/campaign.hpp"
 #include "core/spec.hpp"
 #include "faults/fault_plan.hpp"
 #include "processes/processes.hpp"
@@ -62,6 +63,15 @@ struct MeasurePoint {
                                               const std::vector<int>& ns, int trials,
                                               std::uint64_t base_seed, int threads = 0,
                                               const faults::FaultPlan& fault_plan = {});
+
+/// The harness view of an arbitrary campaign result, one MeasurePoint per
+/// grid point in grid order. This is how distributed measurements re-enter
+/// the analysis pipeline: run sharded campaigns on a fleet with --records,
+/// fold the record streams with netcons_merge (or campaign::reduce_outcomes
+/// over load_records), and hand the reduced result to fit_exponent — the
+/// statistics are byte-identical to a local single-process sweep.
+[[nodiscard]] std::vector<MeasurePoint> points_from_campaign(
+    const campaign::CampaignResult& result);
 
 /// Fit mean convergence steps ~ C * n^alpha over the sweep.
 [[nodiscard]] LinearFit fit_exponent(const std::vector<MeasurePoint>& points);

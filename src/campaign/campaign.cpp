@@ -23,10 +23,58 @@ struct Point {
   std::uint64_t seed = 0;  ///< Base of this point's per-trial seed stream.
 };
 
-struct Shard {
+/// The canonical grid expansion (unit-major, then scheduler, then fault
+/// plan, then n) with live spec pointers. expand_grid() derives the public
+/// GridPoint descriptors from this, so the two can never disagree on order.
+std::vector<Point> expand_points(const CampaignSpec& spec) {
+  static const SchedulerOption kUniform{};
+  std::vector<const SchedulerOption*> schedulers;
+  if (spec.schedulers.empty()) {
+    schedulers.push_back(&kUniform);
+  } else {
+    for (const auto& option : spec.schedulers) schedulers.push_back(&option);
+  }
+
+  static const faults::FaultPlan kNoFaults{};
+  std::vector<const faults::FaultPlan*> fault_plans;
+  if (spec.faults.empty()) {
+    fault_plans.push_back(&kNoFaults);
+  } else {
+    for (const auto& plan : spec.faults) fault_plans.push_back(&plan);
+  }
+
+  std::vector<Point> points;
+  points.reserve(spec.units.size() * schedulers.size() * fault_plans.size() *
+                 spec.ns.size());
+  for (const auto& unit : spec.units) {
+    for (const auto* scheduler : schedulers) {
+      for (const auto* fault_plan : fault_plans) {
+        for (const int n : spec.ns) {
+          Point point;
+          point.unit = &unit;
+          point.scheduler = scheduler;
+          point.fault_plan = fault_plan;
+          point.n = n;
+          point.seed = point_seed(spec.base_seed, points.size());
+          points.push_back(point);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+/// One pool job: a run of consecutive entries of the (point, trial) task
+/// list this invocation will execute (after shard filtering and resume
+/// skips, trials of a point need not be contiguous).
+struct Task {
   std::size_t point = 0;
-  int trial_begin = 0;
-  int trial_end = 0;
+  int trial = 0;
+};
+
+struct Chunk {
+  std::size_t task_begin = 0;
+  std::size_t task_end = 0;
 };
 
 TrialOutcome run_unit_trial(const Unit& unit, int n, std::uint64_t seed,
@@ -158,105 +206,36 @@ TrialOutcome run_process_trial(const ProcessSpec& spec, int n, std::uint64_t see
   });
 }
 
-CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-
-  static const SchedulerOption kUniform{};
-  std::vector<const SchedulerOption*> schedulers;
-  if (spec.schedulers.empty()) {
-    schedulers.push_back(&kUniform);
-  } else {
-    for (const auto& option : spec.schedulers) schedulers.push_back(&option);
+std::vector<GridPoint> expand_grid(const CampaignSpec& spec) {
+  std::vector<GridPoint> grid;
+  const std::vector<Point> points = expand_points(spec);
+  grid.reserve(points.size());
+  for (const Point& point : points) {
+    GridPoint g;
+    g.unit = point.unit->name;
+    g.scheduler = point.scheduler->name;
+    g.faults = point.fault_plan->name;
+    g.faulted = !point.fault_plan->empty();
+    g.n = point.n;
+    g.seed = point.seed;
+    grid.push_back(std::move(g));
   }
+  return grid;
+}
 
-  static const faults::FaultPlan kNoFaults{};
-  std::vector<const faults::FaultPlan*> fault_plans;
-  if (spec.faults.empty()) {
-    fault_plans.push_back(&kNoFaults);
-  } else {
-    for (const auto& plan : spec.faults) fault_plans.push_back(&plan);
-  }
-
-  // Grid expansion: unit-major, then scheduler, then fault plan, then n.
-  // The point index alone determines the point's seed stream.
-  std::vector<Point> points;
-  points.reserve(spec.units.size() * schedulers.size() * fault_plans.size() * spec.ns.size());
-  for (const auto& unit : spec.units) {
-    for (const auto* scheduler : schedulers) {
-      for (const auto* fault_plan : fault_plans) {
-        for (const int n : spec.ns) {
-          Point point;
-          point.unit = &unit;
-          point.scheduler = scheduler;
-          point.fault_plan = fault_plan;
-          point.n = n;
-          point.seed = point_seed(spec.base_seed, points.size());
-          points.push_back(point);
-        }
-      }
-    }
-  }
-
-  const int trials = std::max(spec.trials, 0);
-  const int threads = resolve_threads(options.threads);
-
-  // Shard trials into jobs. The default targets ~8 jobs per worker per
-  // point-set so the pool stays balanced even when per-trial cost varies
-  // wildly across the grid, while keeping per-job overhead negligible.
-  int shard_size = options.shard_size;
-  if (shard_size <= 0) {
-    const std::uint64_t total = static_cast<std::uint64_t>(trials) *
-                                std::max<std::size_t>(points.size(), 1);
-    shard_size = static_cast<int>(
-        std::clamp<std::uint64_t>(total / (static_cast<std::uint64_t>(threads) * 8), 1, 64));
-  }
-
-  std::vector<Shard> shards;
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    for (int begin = 0; begin < trials; begin += shard_size) {
-      shards.push_back(Shard{p, begin, std::min(begin + shard_size, trials)});
-    }
-  }
-
-  // One pre-assigned slot per trial: workers never contend on output.
-  std::vector<std::vector<TrialOutcome>> outcomes(points.size());
-  for (auto& slots : outcomes) slots.resize(static_cast<std::size_t>(trials));
-
-  const std::uint64_t total_trials =
-      static_cast<std::uint64_t>(trials) * static_cast<std::uint64_t>(points.size());
-  std::atomic<std::uint64_t> completed{0};
-
-  run_jobs(shards.size(), threads, [&](std::size_t job) {
-    const Shard& shard = shards[job];
-    const Point& point = points[shard.point];
-    const SeedStream stream(point.seed);
-    for (int t = shard.trial_begin; t < shard.trial_end; ++t) {
-      outcomes[shard.point][static_cast<std::size_t>(t)] = run_unit_trial(
-          *point.unit, point.n, stream.at(static_cast<std::uint64_t>(t)),
-          point.scheduler->make, *point.fault_plan);
-    }
-    if (options.progress) {
-      const auto done = completed.fetch_add(
-                            static_cast<std::uint64_t>(shard.trial_end - shard.trial_begin),
-                            std::memory_order_relaxed) +
-                        static_cast<std::uint64_t>(shard.trial_end - shard.trial_begin);
-      options.progress(done, total_trials);
-    }
-  });
-
-  // Sequential reduction in (point, trial) order: this is what makes the
-  // aggregates independent of thread count and shard size.
+CampaignResult reduce_outcomes(const std::vector<GridPoint>& grid, int trials,
+                               const std::vector<std::vector<TrialOutcome>>& outcomes) {
   CampaignResult result;
-  result.points.reserve(points.size());
-  for (std::size_t p = 0; p < points.size(); ++p) {
+  result.points.reserve(grid.size());
+  for (std::size_t p = 0; p < grid.size(); ++p) {
     PointResult point_result;
-    point_result.unit = points[p].unit->name;
-    point_result.scheduler = points[p].scheduler->name;
-    point_result.faults = points[p].fault_plan->name;
-    point_result.n = points[p].n;
+    point_result.unit = grid[p].unit;
+    point_result.scheduler = grid[p].scheduler;
+    point_result.faults = grid[p].faults;
+    point_result.n = grid[p].n;
     point_result.trials = trials;
-    point_result.seed = points[p].seed;
-    const bool faulted = !points[p].fault_plan->empty();
+    point_result.seed = grid[p].seed;
+    const bool faulted = grid[p].faulted;
     for (const TrialOutcome& outcome : outcomes[p]) {
       point_result.steps_executed.add(static_cast<double>(outcome.steps_executed));
       if (faulted) {
@@ -279,8 +258,128 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
     result.total_failures += static_cast<std::uint64_t>(point_result.failures);
     result.points.push_back(std::move(point_result));
   }
-  result.total_trials = total_trials;
-  result.jobs = shards.size();
+  result.total_trials =
+      static_cast<std::uint64_t>(trials) * static_cast<std::uint64_t>(grid.size());
+  return result;
+}
+
+CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<Point> points = expand_points(spec);
+  const int trials = std::max(spec.trials, 0);
+  const int threads = resolve_threads(options.threads);
+  const int shard_count = std::max(options.shard_count, 1);
+  const int shard_index = std::clamp(options.shard_index, 0, shard_count - 1);
+
+  // One pre-assigned slot per trial: workers never contend on output.
+  // `filled[slot]` records whether the slot holds a real outcome (resumed
+  // or executed); a default-constructed slot must never reach reduction.
+  std::vector<std::vector<TrialOutcome>> outcomes(points.size());
+  for (auto& slots : outcomes) slots.resize(static_cast<std::size_t>(trials));
+  const std::size_t slot_count = points.size() * static_cast<std::size_t>(trials);
+  std::vector<char> filled(slot_count, 0);
+  const auto slot_of = [trials](std::size_t p, int t) {
+    return p * static_cast<std::size_t>(trials) + static_cast<std::size_t>(t);
+  };
+
+  CampaignResult result;
+
+  // Resume: fill slots from previously recorded outcomes (any shard's).
+  if (options.resume) {
+    for (const auto& [key, outcome] : *options.resume) {
+      const auto& [p, t] = key;
+      if (p >= points.size() || t < 0 || t >= trials) continue;
+      outcomes[p][static_cast<std::size_t>(t)] = outcome;
+      filled[slot_of(p, t)] = 1;
+      ++result.resumed_trials;
+    }
+  }
+
+  // The task list: every unfilled slot of this run's shard, in grid order.
+  std::vector<Task> tasks;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (int t = 0; t < trials; ++t) {
+      if (filled[slot_of(p, t)]) continue;
+      if (!in_shard(p, t, trials, shard_index, shard_count)) continue;
+      tasks.push_back(Task{p, t});
+    }
+  }
+
+  // Chunk tasks into jobs. The default targets ~8 jobs per worker so the
+  // pool stays balanced even when per-trial cost varies wildly across the
+  // grid, while keeping per-job overhead negligible.
+  int shard_size = options.shard_size;
+  if (shard_size <= 0) {
+    shard_size = static_cast<int>(std::clamp<std::uint64_t>(
+        tasks.size() / (static_cast<std::uint64_t>(threads) * 8), 1, 64));
+  }
+  std::vector<Chunk> chunks;
+  for (std::size_t begin = 0; begin < tasks.size();
+       begin += static_cast<std::size_t>(shard_size)) {
+    chunks.push_back(
+        Chunk{begin, std::min(begin + static_cast<std::size_t>(shard_size), tasks.size())});
+  }
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> started{0};
+
+  run_jobs(chunks.size(), threads, [&](std::size_t job) {
+    const Chunk& chunk = chunks[job];
+    std::uint64_t executed_here = 0;
+    for (std::size_t i = chunk.task_begin; i < chunk.task_end; ++i) {
+      // The trial cap hands out execution tickets: once `trial_cap` trials
+      // have started, the rest of the task list is left unexecuted (and
+      // unrecorded), exactly as if the process had been killed — but with
+      // records flushed, so a --resume run completes the remainder.
+      if (options.trial_cap > 0 &&
+          started.fetch_add(1, std::memory_order_relaxed) >= options.trial_cap) {
+        break;
+      }
+      const Task& task = tasks[i];
+      const Point& point = points[task.point];
+      const std::uint64_t seed =
+          SeedStream(point.seed).at(static_cast<std::uint64_t>(task.trial));
+      TrialOutcome outcome =
+          run_unit_trial(*point.unit, point.n, seed, point.scheduler->make, *point.fault_plan);
+      outcomes[task.point][static_cast<std::size_t>(task.trial)] = outcome;
+      filled[slot_of(task.point, task.trial)] = 1;
+      if (options.on_trial) options.on_trial(task.point, task.trial, seed, outcome);
+      ++executed_here;
+    }
+    if (options.progress && executed_here > 0) {
+      const auto done = completed.fetch_add(executed_here, std::memory_order_relaxed) +
+                        executed_here;
+      options.progress(done, static_cast<std::uint64_t>(tasks.size()));
+    }
+  });
+
+  std::uint64_t filled_count = 0;
+  for (const char f : filled) filled_count += static_cast<std::uint64_t>(f);
+  result.executed_trials = filled_count - result.resumed_trials;
+  result.complete = filled_count == slot_count;
+  result.total_trials =
+      static_cast<std::uint64_t>(trials) * static_cast<std::uint64_t>(points.size());
+
+  if (result.complete) {
+    // Sequential reduction in (point, trial) order: this is what makes the
+    // aggregates independent of thread count, chunking, sharding, and
+    // resume history.
+    CampaignResult reduced = reduce_outcomes(expand_grid(spec), trials, outcomes);
+    result.points = std::move(reduced.points);
+    result.total_failures = reduced.total_failures;
+  } else {
+    // Partial grid: a summary would misrepresent unfilled slots, so only
+    // the failure count over filled slots is reported.
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (int t = 0; t < trials; ++t) {
+        if (filled[slot_of(p, t)] && !outcomes[p][static_cast<std::size_t>(t)].success) {
+          ++result.total_failures;
+        }
+      }
+    }
+  }
+  result.jobs = chunks.size();
   result.threads = threads;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

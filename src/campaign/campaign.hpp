@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -93,6 +95,26 @@ struct TrialOutcome {
   std::uint64_t edges_residual = 0;
 };
 
+/// Identity of one expanded grid point: everything the summary sinks and
+/// the trial-record header need to name the point, without the live spec
+/// objects behind it. This is the unit of the spec fingerprint that
+/// sharded/resumed record files are validated against.
+struct GridPoint {
+  std::string unit;
+  std::string scheduler;
+  std::string faults = "none";
+  /// Non-empty fault plan (drives the reduction's recovery aggregation).
+  bool faulted = false;
+  int n = 0;
+  std::uint64_t seed = 0;  ///< Base of this point's per-trial seed stream.
+
+  [[nodiscard]] bool operator==(const GridPoint&) const = default;
+};
+
+/// The campaign's expanded grid, in the canonical point order (unit-major,
+/// then scheduler, then fault plan, then n) with position-derived seeds.
+[[nodiscard]] std::vector<GridPoint> expand_grid(const CampaignSpec& spec);
+
 struct PointResult {
   std::string unit;
   std::string scheduler;
@@ -118,23 +140,75 @@ struct PointResult {
   std::string first_error;
 };
 
+/// Preloaded trial outcomes keyed by (point index, trial index) — what a
+/// resume scan of existing trial-record files produces.
+using OutcomeMap = std::map<std::pair<std::size_t, int>, TrialOutcome>;
+
+/// Shard membership of trial `trial` of point `point`: the grid is striped
+/// at trial granularity (global trial id modulo shard count), so k shards
+/// partition any grid into disjoint, load-balanced, position-deterministic
+/// slices regardless of how trials and points trade off.
+[[nodiscard]] constexpr bool in_shard(std::size_t point, int trial, int trials,
+                                      int shard_index, int shard_count) noexcept {
+  const std::uint64_t id = static_cast<std::uint64_t>(point) *
+                               static_cast<std::uint64_t>(trials) +
+                           static_cast<std::uint64_t>(trial);
+  return id % static_cast<std::uint64_t>(shard_count) ==
+         static_cast<std::uint64_t>(shard_index);
+}
+
 struct RunOptions {
   int threads = 0;     ///< 0: hardware concurrency (min 1).
   int shard_size = 0;  ///< Trials per job; 0: derived from trials/threads.
+  /// Grid slice to execute: shard `shard_index` of `shard_count` (see
+  /// in_shard). The default 0/1 runs the whole grid.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Stop scheduling new trials once this many have been executed this run
+  /// (0: unlimited). The run then reports complete == false; used to test
+  /// and exercise crash/resume paths deterministically.
+  std::uint64_t trial_cap = 0;
+  /// Outcomes already known from a previous run's trial records; those
+  /// slots are filled without re-executing. Keys outside the grid are
+  /// ignored. Not owned; must outlive run().
+  const OutcomeMap* resume = nullptr;
   /// Optional progress callback, invoked from worker threads after each
-  /// completed shard with (completed_trials, total_trials). Must be
-  /// thread-safe.
+  /// completed job with (executed_trials, trials_scheduled_this_run) —
+  /// resumed and out-of-shard trials are not scheduled, so the total
+  /// reflects this invocation's actual work. Must be thread-safe.
   std::function<void(std::uint64_t, std::uint64_t)> progress;
+  /// Optional per-trial observer, invoked from worker threads immediately
+  /// after each *executed* trial (never for resumed slots) with the trial's
+  /// grid position, derived seed, and outcome. Must be thread-safe; this is
+  /// where a TrialRecordSink plugs in.
+  std::function<void(std::size_t point, int trial, std::uint64_t seed,
+                     const TrialOutcome& outcome)>
+      on_trial;
 };
 
 struct CampaignResult {
-  std::vector<PointResult> points;  ///< Deterministic grid order.
-  std::uint64_t total_trials = 0;
-  std::uint64_t total_failures = 0;
+  /// Deterministic grid order. Populated only when `complete` — a sharded
+  /// or capped run holds a partial outcome set that only the trial-record
+  /// stream (and netcons_merge) can turn into a faithful summary.
+  std::vector<PointResult> points;
+  bool complete = true;  ///< Every (point, trial) slot executed or resumed.
+  std::uint64_t total_trials = 0;     ///< Grid size: points x trials.
+  std::uint64_t executed_trials = 0;  ///< Trials actually run this invocation.
+  std::uint64_t resumed_trials = 0;   ///< Slots filled from RunOptions::resume.
+  std::uint64_t total_failures = 0;   ///< Over all filled slots.
   std::size_t jobs = 0;
   int threads = 0;
   double wall_seconds = 0.0;  ///< Execution time (not part of determinism).
 };
+
+/// The engine's sequential reduction: fold fully-populated outcome slots
+/// into PointResults in (point, trial) order. Exposed so netcons_merge can
+/// rebuild the exact summary a single-process run would have produced from
+/// a merged record stream — same code path, byte-identical JSON/CSV.
+/// `outcomes` must hold one slot per grid point, `trials` slots each.
+[[nodiscard]] CampaignResult reduce_outcomes(
+    const std::vector<GridPoint>& grid, int trials,
+    const std::vector<std::vector<TrialOutcome>>& outcomes);
 
 /// Execute the campaign. Trial-level throws (timeouts, protocol predicates)
 /// are counted as failures and their first message is recorded on the

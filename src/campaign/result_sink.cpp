@@ -1,61 +1,20 @@
 #include "campaign/result_sink.hpp"
 
-#include <cctype>
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <map>
-#include <sstream>
+#include "campaign/json.hpp"
+
 #include <stdexcept>
-#include <variant>
 
 namespace netcons::campaign {
 
 namespace {
 
-// ----------------------------------------------------------- serialization
-
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-/// Shortest representation that parses back to the same double (%.17g is
-/// always sufficient for IEEE binary64).
-void append_double(std::string& out, double value) {
-  if (!std::isfinite(value)) {  // JSON has no inf/nan; campaigns never emit them.
-    out += "0";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += buf;
-}
-
 void append_point(std::string& out, const PointSummary& p) {
   out += "    {\"unit\": ";
-  append_escaped(out, p.unit);
+  json::append_escaped(out, p.unit);
   out += ", \"scheduler\": ";
-  append_escaped(out, p.scheduler);
+  json::append_escaped(out, p.scheduler);
   out += ", \"faults\": ";
-  append_escaped(out, p.faults);
+  json::append_escaped(out, p.faults);
   out += ", \"n\": " + std::to_string(p.n);
   out += ", \"trials\": " + std::to_string(p.trials);
   out += ", \"failures\": " + std::to_string(p.failures);
@@ -63,231 +22,30 @@ void append_point(std::string& out, const PointSummary& p) {
   out += ", \"seed\": " + std::to_string(p.seed);
   out += ", \"count\": " + std::to_string(p.count);
   out += ", \"mean\": ";
-  append_double(out, p.mean);
+  json::append_double(out, p.mean);
   out += ", \"variance\": ";
-  append_double(out, p.variance);
+  json::append_double(out, p.variance);
   out += ", \"min\": ";
-  append_double(out, p.min);
+  json::append_double(out, p.min);
   out += ", \"max\": ";
-  append_double(out, p.max);
+  json::append_double(out, p.max);
   out += ", \"median\": ";
-  append_double(out, p.median);
+  json::append_double(out, p.median);
   out += ", \"mean_steps_executed\": ";
-  append_double(out, p.mean_steps_executed);
+  json::append_double(out, p.mean_steps_executed);
   out += ", \"recovery_mean\": ";
-  append_double(out, p.recovery_mean);
+  json::append_double(out, p.recovery_mean);
   out += ", \"recovery_median\": ";
-  append_double(out, p.recovery_median);
+  json::append_double(out, p.recovery_median);
   out += ", \"mean_faults_injected\": ";
-  append_double(out, p.mean_faults_injected);
+  json::append_double(out, p.mean_faults_injected);
   out += ", \"mean_edges_deleted\": ";
-  append_double(out, p.mean_edges_deleted);
+  json::append_double(out, p.mean_edges_deleted);
   out += ", \"mean_edges_repaired\": ";
-  append_double(out, p.mean_edges_repaired);
+  json::append_double(out, p.mean_edges_repaired);
   out += ", \"mean_edges_residual\": ";
-  append_double(out, p.mean_edges_residual);
+  json::append_double(out, p.mean_edges_residual);
   out += "}";
-}
-
-// ------------------------------------------------------- minimal JSON read
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  // Numbers are kept as the raw token so integers up to 2^64-1 and doubles
-  // both parse losslessly at extraction time.
-  std::variant<std::nullptr_t, bool, std::string, JsonObject, JsonArray> value;
-  std::string number;  ///< Non-empty iff the value is a number token.
-
-  [[nodiscard]] double as_double() const {
-    if (number.empty()) throw std::runtime_error("json: expected number");
-    return std::strtod(number.c_str(), nullptr);
-  }
-  [[nodiscard]] std::uint64_t as_u64() const {
-    if (number.empty()) throw std::runtime_error("json: expected number");
-    return std::strtoull(number.c_str(), nullptr, 10);
-  }
-  [[nodiscard]] const std::string& as_string() const {
-    if (const auto* s = std::get_if<std::string>(&value)) return *s;
-    throw std::runtime_error("json: expected string");
-  }
-  [[nodiscard]] const JsonObject& as_object() const {
-    if (const auto* o = std::get_if<JsonObject>(&value)) return *o;
-    throw std::runtime_error("json: expected object");
-  }
-  [[nodiscard]] const JsonArray& as_array() const {
-    if (const auto* a = std::get_if<JsonArray>(&value)) return *a;
-    throw std::runtime_error("json: expected array");
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  [[nodiscard]] JsonValue parse() {
-    JsonValue v = value();
-    skip_whitespace();
-    if (pos_ != text_.size()) throw std::runtime_error("json: trailing content");
-    return v;
-  }
-
- private:
-  [[nodiscard]] JsonValue value() {
-    skip_whitespace();
-    if (pos_ >= text_.size()) throw std::runtime_error("json: unexpected end");
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return JsonValue{string(), {}};
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') {
-      expect_literal("null");
-      return JsonValue{nullptr, {}};
-    }
-    return number();
-  }
-
-  [[nodiscard]] JsonValue object() {
-    ++pos_;  // '{'
-    JsonObject out;
-    skip_whitespace();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(out), {}};
-    }
-    while (true) {
-      skip_whitespace();
-      std::string key = string();
-      skip_whitespace();
-      if (peek() != ':') throw std::runtime_error("json: expected ':'");
-      ++pos_;
-      out.emplace(std::move(key), value());
-      skip_whitespace();
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == '}') {
-        ++pos_;
-        return JsonValue{std::move(out), {}};
-      }
-      throw std::runtime_error("json: expected ',' or '}'");
-    }
-  }
-
-  [[nodiscard]] JsonValue array() {
-    ++pos_;  // '['
-    JsonArray out;
-    skip_whitespace();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(out), {}};
-    }
-    while (true) {
-      out.push_back(value());
-      skip_whitespace();
-      const char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == ']') {
-        ++pos_;
-        return JsonValue{std::move(out), {}};
-      }
-      throw std::runtime_error("json: expected ',' or ']'");
-    }
-  }
-
-  [[nodiscard]] std::string string() {
-    if (peek() != '"') throw std::runtime_error("json: expected string");
-    ++pos_;
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) throw std::runtime_error("json: bad \\u");
-            const unsigned code =
-                static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
-            pos_ += 4;
-            if (code > 0x7F) throw std::runtime_error("json: non-ASCII \\u unsupported");
-            out += static_cast<char>(code);
-            break;
-          }
-          default: throw std::runtime_error("json: bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    throw std::runtime_error("json: unterminated string");
-  }
-
-  [[nodiscard]] JsonValue boolean() {
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      return JsonValue{true, {}};
-    }
-    expect_literal("false");
-    return JsonValue{false, {}};
-  }
-
-  [[nodiscard]] JsonValue number() {
-    const std::size_t start = pos_;
-    auto is_number_char = [](char c) {
-      return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
-             c == '.' || c == 'e' || c == 'E';
-    };
-    while (pos_ < text_.size() && is_number_char(text_[pos_])) ++pos_;
-    if (pos_ == start) throw std::runtime_error("json: unexpected character");
-    JsonValue v{nullptr, text_.substr(start, pos_ - start)};
-    return v;
-  }
-
-  void expect_literal(const char* literal) {
-    const std::size_t len = std::char_traits<char>::length(literal);
-    if (text_.compare(pos_, len, literal) != 0) {
-      throw std::runtime_error("json: unexpected token");
-    }
-    pos_ += len;
-  }
-
-  [[nodiscard]] char peek() const {
-    if (pos_ >= text_.size()) throw std::runtime_error("json: unexpected end");
-    return text_[pos_];
-  }
-
-  void skip_whitespace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-[[nodiscard]] const JsonValue& field(const JsonObject& object, const std::string& key) {
-  const auto it = object.find(key);
-  if (it == object.end()) throw std::runtime_error("json: missing field '" + key + "'");
-  return it->second;
 }
 
 }  // namespace
@@ -374,44 +132,44 @@ std::string to_csv(const CampaignResult& result) {
                               s.mean_edges_residual};
     for (std::size_t i = 0; i < std::size(columns); ++i) {
       if (i != 0) out += ',';
-      append_double(out, columns[i]);
+      json::append_double(out, columns[i]);
     }
     out += '\n';
   }
   return out;
 }
 
-std::vector<PointSummary> parse_json(const std::string& json) {
-  const JsonValue document = JsonParser(json).parse();
-  const JsonObject& root = document.as_object();
-  const JsonArray& points = field(root, "points").as_array();
+std::vector<PointSummary> parse_json(const std::string& text) {
+  const json::Value document = json::parse(text);
+  const json::Object& root = document.as_object();
+  const json::Array& points = json::field(root, "points").as_array();
 
   std::vector<PointSummary> out;
   out.reserve(points.size());
-  for (const JsonValue& entry : points) {
-    const JsonObject& object = entry.as_object();
+  for (const json::Value& entry : points) {
+    const json::Object& object = entry.as_object();
     PointSummary s;
-    s.unit = field(object, "unit").as_string();
-    s.scheduler = field(object, "scheduler").as_string();
-    s.faults = field(object, "faults").as_string();
-    s.n = static_cast<int>(field(object, "n").as_u64());
-    s.trials = static_cast<int>(field(object, "trials").as_u64());
-    s.failures = static_cast<int>(field(object, "failures").as_u64());
-    s.damaged = static_cast<int>(field(object, "damaged").as_u64());
-    s.seed = field(object, "seed").as_u64();
-    s.count = static_cast<std::size_t>(field(object, "count").as_u64());
-    s.mean = field(object, "mean").as_double();
-    s.variance = field(object, "variance").as_double();
-    s.min = field(object, "min").as_double();
-    s.max = field(object, "max").as_double();
-    s.median = field(object, "median").as_double();
-    s.mean_steps_executed = field(object, "mean_steps_executed").as_double();
-    s.recovery_mean = field(object, "recovery_mean").as_double();
-    s.recovery_median = field(object, "recovery_median").as_double();
-    s.mean_faults_injected = field(object, "mean_faults_injected").as_double();
-    s.mean_edges_deleted = field(object, "mean_edges_deleted").as_double();
-    s.mean_edges_repaired = field(object, "mean_edges_repaired").as_double();
-    s.mean_edges_residual = field(object, "mean_edges_residual").as_double();
+    s.unit = json::field(object, "unit").as_string();
+    s.scheduler = json::field(object, "scheduler").as_string();
+    s.faults = json::field(object, "faults").as_string();
+    s.n = static_cast<int>(json::field(object, "n").as_u64());
+    s.trials = static_cast<int>(json::field(object, "trials").as_u64());
+    s.failures = static_cast<int>(json::field(object, "failures").as_u64());
+    s.damaged = static_cast<int>(json::field(object, "damaged").as_u64());
+    s.seed = json::field(object, "seed").as_u64();
+    s.count = static_cast<std::size_t>(json::field(object, "count").as_u64());
+    s.mean = json::field(object, "mean").as_double();
+    s.variance = json::field(object, "variance").as_double();
+    s.min = json::field(object, "min").as_double();
+    s.max = json::field(object, "max").as_double();
+    s.median = json::field(object, "median").as_double();
+    s.mean_steps_executed = json::field(object, "mean_steps_executed").as_double();
+    s.recovery_mean = json::field(object, "recovery_mean").as_double();
+    s.recovery_median = json::field(object, "recovery_median").as_double();
+    s.mean_faults_injected = json::field(object, "mean_faults_injected").as_double();
+    s.mean_edges_deleted = json::field(object, "mean_edges_deleted").as_double();
+    s.mean_edges_repaired = json::field(object, "mean_edges_repaired").as_double();
+    s.mean_edges_residual = json::field(object, "mean_edges_residual").as_double();
     out.push_back(std::move(s));
   }
   return out;

@@ -1,0 +1,307 @@
+#include "campaign/trial_record.hpp"
+
+#include "campaign/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <stdexcept>
+
+namespace netcons::campaign {
+
+namespace {
+
+constexpr const char* kTrialSchema = "netcons-trials-v1";
+
+void append_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += ", \"";
+  out += key;
+  out += "\": " + std::to_string(value);
+}
+
+}  // namespace
+
+CampaignHeader CampaignHeader::describe(const CampaignSpec& spec) {
+  CampaignHeader header;
+  header.base_seed = spec.base_seed;
+  header.trials = std::max(spec.trials, 0);
+  header.points = expand_grid(spec);
+  return header;
+}
+
+std::string header_line(const CampaignHeader& header) {
+  std::string out = "{\"schema\": \"";
+  out += kTrialSchema;
+  out += "\", \"base_seed\": " + std::to_string(header.base_seed);
+  out += ", \"trials\": " + std::to_string(header.trials);
+  out += ", \"points\": [";
+  for (std::size_t i = 0; i < header.points.size(); ++i) {
+    const GridPoint& p = header.points[i];
+    if (i != 0) out += ", ";
+    out += "{\"unit\": ";
+    json::append_escaped(out, p.unit);
+    out += ", \"scheduler\": ";
+    json::append_escaped(out, p.scheduler);
+    out += ", \"faults\": ";
+    json::append_escaped(out, p.faults);
+    out += ", \"faulted\": ";
+    out += p.faulted ? "true" : "false";
+    out += ", \"n\": " + std::to_string(p.n);
+    out += ", \"seed\": " + std::to_string(p.seed);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string record_line(const TrialRecord& record) {
+  std::string out = "{\"point\": " + std::to_string(record.point);
+  out += ", \"trial\": " + std::to_string(record.trial);
+  append_u64(out, "seed", record.seed);
+  out += ", \"success\": ";
+  out += record.outcome.success ? "true" : "false";
+  out += ", \"target_ok\": ";
+  out += record.outcome.target_ok ? "true" : "false";
+  append_u64(out, "value", record.outcome.value);
+  append_u64(out, "steps", record.outcome.steps_executed);
+  append_u64(out, "faults_injected", record.outcome.faults_injected);
+  append_u64(out, "recovery_steps", record.outcome.recovery_steps);
+  append_u64(out, "edges_deleted", record.outcome.edges_deleted);
+  append_u64(out, "edges_repaired", record.outcome.edges_repaired);
+  append_u64(out, "edges_residual", record.outcome.edges_residual);
+  out += ", \"error\": ";
+  json::append_escaped(out, record.outcome.error);
+  out += "}";
+  return out;
+}
+
+CampaignHeader parse_header_line(std::string_view line) {
+  const json::Value document = json::parse(line);
+  const json::Object& root = document.as_object();
+  const std::string& schema = json::field(root, "schema").as_string();
+  if (schema != kTrialSchema) {
+    throw std::runtime_error("trial records: unsupported schema '" + schema + "' (expected " +
+                             kTrialSchema + ")");
+  }
+  CampaignHeader header;
+  header.base_seed = json::field(root, "base_seed").as_u64();
+  header.trials = static_cast<int>(json::field(root, "trials").as_u64());
+  for (const json::Value& entry : json::field(root, "points").as_array()) {
+    const json::Object& object = entry.as_object();
+    GridPoint p;
+    p.unit = json::field(object, "unit").as_string();
+    p.scheduler = json::field(object, "scheduler").as_string();
+    p.faults = json::field(object, "faults").as_string();
+    p.faulted = json::field(object, "faulted").as_bool();
+    p.n = static_cast<int>(json::field(object, "n").as_u64());
+    p.seed = json::field(object, "seed").as_u64();
+    header.points.push_back(std::move(p));
+  }
+  return header;
+}
+
+TrialRecord parse_record_line(std::string_view line) {
+  const json::Value document = json::parse(line);
+  const json::Object& root = document.as_object();
+  TrialRecord record;
+  record.point = static_cast<std::size_t>(json::field(root, "point").as_u64());
+  record.trial = static_cast<int>(json::field(root, "trial").as_u64());
+  record.seed = json::field(root, "seed").as_u64();
+  record.outcome.success = json::field(root, "success").as_bool();
+  record.outcome.target_ok = json::field(root, "target_ok").as_bool();
+  record.outcome.value = json::field(root, "value").as_u64();
+  record.outcome.steps_executed = json::field(root, "steps").as_u64();
+  record.outcome.faults_injected = json::field(root, "faults_injected").as_u64();
+  record.outcome.recovery_steps = json::field(root, "recovery_steps").as_u64();
+  record.outcome.edges_deleted = json::field(root, "edges_deleted").as_u64();
+  record.outcome.edges_repaired = json::field(root, "edges_repaired").as_u64();
+  record.outcome.edges_residual = json::field(root, "edges_residual").as_u64();
+  record.outcome.error = json::field(root, "error").as_string();
+  return record;
+}
+
+namespace {
+
+std::string grid_point_mismatch(std::size_t index, const GridPoint& expected,
+                                const GridPoint& found) {
+  const auto describe = [index](const char* field, const std::string& want,
+                                const std::string& got) {
+    return "points[" + std::to_string(index) + "]." + field + ": records say " + got +
+           ", campaign says " + want;
+  };
+  if (expected.unit != found.unit) return describe("unit", expected.unit, found.unit);
+  if (expected.scheduler != found.scheduler) {
+    return describe("scheduler", expected.scheduler, found.scheduler);
+  }
+  if (expected.faults != found.faults) {
+    return describe("faults", expected.faults, found.faults);
+  }
+  if (expected.faulted != found.faulted) {
+    return describe("faulted", expected.faulted ? "true" : "false",
+                    found.faulted ? "true" : "false");
+  }
+  if (expected.n != found.n) {
+    return describe("n", std::to_string(expected.n), std::to_string(found.n));
+  }
+  if (expected.seed != found.seed) {
+    return describe("seed", std::to_string(expected.seed), std::to_string(found.seed));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string header_mismatch(const CampaignHeader& expected, const CampaignHeader& found) {
+  if (expected.base_seed != found.base_seed) {
+    return "base_seed: records say " + std::to_string(found.base_seed) + ", campaign says " +
+           std::to_string(expected.base_seed);
+  }
+  if (expected.trials != found.trials) {
+    return "trials: records say " + std::to_string(found.trials) + ", campaign says " +
+           std::to_string(expected.trials);
+  }
+  if (expected.points.size() != found.points.size()) {
+    return "points: records say " + std::to_string(found.points.size()) +
+           " grid points, campaign says " + std::to_string(expected.points.size());
+  }
+  for (std::size_t i = 0; i < expected.points.size(); ++i) {
+    std::string diff = grid_point_mismatch(i, expected.points[i], found.points[i]);
+    if (!diff.empty()) return diff;
+  }
+  return {};
+}
+
+std::string record_file_name(int shard_index, int shard_count, int generation) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "trials-s%04d-of-%04d-g%04d.jsonl", shard_index, shard_count,
+                generation);
+  return buf;
+}
+
+int next_generation(const std::string& dir, int shard_index, int shard_count) {
+  int generation = 0;
+  while (std::filesystem::exists(std::filesystem::path(dir) /
+                                 record_file_name(shard_index, shard_count, generation))) {
+    ++generation;
+  }
+  return generation;
+}
+
+TrialRecordSink::TrialRecordSink(const std::string& path, const CampaignHeader& header)
+    : path_(path), file_(path, std::ios::out | std::ios::trunc) {
+  if (!file_) throw std::runtime_error("trial records: cannot open '" + path + "' for writing");
+  file_ << header_line(header) << '\n';
+  file_.flush();
+  if (!file_) throw std::runtime_error("trial records: write failed on '" + path + "'");
+}
+
+void TrialRecordSink::write(const TrialRecord& record) {
+  const std::string line = record_line(record);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Line + flush per record: a killed process loses at most this line,
+  // which the loader's partial-write rule discards and redoes.
+  file_ << line << '\n';
+  file_.flush();
+  if (!file_) throw std::runtime_error("trial records: write failed on '" + path_ + "'");
+}
+
+namespace {
+
+void load_record_file(const std::filesystem::path& file, LoadedRecords& into) {
+  std::ifstream stream(file, std::ios::binary);
+  if (!stream) {
+    throw std::runtime_error("trial records: cannot read '" + file.string() + "'");
+  }
+  // One buffer for the whole file; lines are parsed as views into it, so
+  // peak memory is the file size, not a per-line copy of it.
+  const std::string content((std::istreambuf_iterator<char>(stream)),
+                            std::istreambuf_iterator<char>());
+  if (content.empty()) return;  // Killed before the header write: no records.
+
+  std::string_view rest(content);
+  std::size_t line_number = 0;
+  bool have_header = false;
+  while (!rest.empty()) {
+    const std::size_t end = rest.find('\n');
+    if (end == std::string_view::npos) {
+      // An unterminated final segment is the partial write of a killed run
+      // — discarded (and redone on resume), never an error.
+      ++into.discarded_partial;
+      break;
+    }
+    const std::string_view line = rest.substr(0, end);
+    rest.remove_prefix(end + 1);
+    ++line_number;
+
+    if (line_number == 1) {
+      CampaignHeader header;
+      try {
+        header = parse_header_line(line);
+      } catch (const std::exception& e) {
+        throw std::runtime_error("trial records: malformed header in '" + file.string() +
+                                 "': " + e.what());
+      }
+      if (into.header) {
+        const std::string diff = header_mismatch(*into.header, header);
+        if (!diff.empty()) {
+          throw std::runtime_error("trial records in '" + file.string() +
+                                   "' were written by a different campaign: " + diff);
+        }
+      } else {
+        into.header = std::move(header);
+      }
+      have_header = true;
+      continue;
+    }
+
+    TrialRecord record;
+    try {
+      record = parse_record_line(line);
+    } catch (const std::exception& e) {
+      // Terminated lines must parse; only the unterminated tail may be cut
+      // short. A malformed interior line is corruption, not a crash.
+      throw std::runtime_error("trial records: malformed record at '" + file.string() +
+                               "' line " + std::to_string(line_number) + ": " + e.what());
+    }
+    if (record.point >= into.header->points.size() || record.trial < 0 ||
+        record.trial >= into.header->trials) {
+      throw std::runtime_error("trial records: record at '" + file.string() + "' line " +
+                               std::to_string(line_number) +
+                               " is outside the campaign grid (point " +
+                               std::to_string(record.point) + ", trial " +
+                               std::to_string(record.trial) + ")");
+    }
+    ++into.records;
+    const auto [it, inserted] =
+        into.outcomes.insert_or_assign({record.point, record.trial}, record.outcome);
+    (void)it;
+    if (!inserted) ++into.duplicates;  // Last wins in scan order.
+  }
+  if (have_header) ++into.files;
+}
+
+}  // namespace
+
+void load_records(const std::string& path, LoadedRecords& into) {
+  const std::filesystem::path fs_path(path);
+  if (std::filesystem::is_directory(fs_path)) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(fs_path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path());
+      }
+    }
+    // Sorted name order == generation order (record_file_name zero-pads),
+    // so last-wins deduplication prefers the freshest generation.
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) load_record_file(file, into);
+    return;
+  }
+  if (!std::filesystem::exists(fs_path)) {
+    throw std::runtime_error("trial records: no such file or directory: '" + path + "'");
+  }
+  load_record_file(fs_path, into);
+}
+
+}  // namespace netcons::campaign

@@ -1,0 +1,114 @@
+// Per-trial persistence for campaigns: the JSONL record stream that makes
+// runs crash-safe, resumable, and shardable across machines.
+//
+// A record file is one header line (the campaign's spec fingerprint: base
+// seed, trials per point, and the expanded grid) followed by one line per
+// completed trial. Trials carry their grid position, so record order is
+// irrelevant — workers append as they finish, k shard machines write k
+// disjoint files, and netcons_merge folds any set of files for the same
+// fingerprint back into the exact summary a single-process run produces.
+//
+// Crash model: the sink flushes after every line, so a killed run loses at
+// most the line being written. Loaders therefore discard an unterminated
+// final line (the partial write) and redo that trial; a malformed line
+// anywhere *else* in a file is corruption and a hard error.
+#pragma once
+
+#include "campaign/campaign.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netcons::campaign {
+
+/// The spec fingerprint written at the head of every record file. Two
+/// record files interoperate (merge, resume) iff their headers are equal.
+struct CampaignHeader {
+  std::uint64_t base_seed = 1;
+  int trials = 0;
+  std::vector<GridPoint> points;
+
+  [[nodiscard]] static CampaignHeader describe(const CampaignSpec& spec);
+  [[nodiscard]] bool operator==(const CampaignHeader&) const = default;
+};
+
+/// One completed trial, as streamed to disk.
+struct TrialRecord {
+  std::size_t point = 0;  ///< Grid-point index (into CampaignHeader::points).
+  int trial = 0;          ///< Trial index within the point.
+  std::uint64_t seed = 0; ///< The position-derived per-trial seed.
+  TrialOutcome outcome;
+};
+
+/// Serialize to one JSONL line (no trailing newline).
+[[nodiscard]] std::string header_line(const CampaignHeader& header);
+[[nodiscard]] std::string record_line(const TrialRecord& record);
+
+/// Parse one line (a view, so loaders can slice a whole-file buffer
+/// without per-line copies). Throws std::runtime_error on malformed input.
+[[nodiscard]] CampaignHeader parse_header_line(std::string_view line);
+[[nodiscard]] TrialRecord parse_record_line(std::string_view line);
+
+/// Empty string when the headers match; otherwise a human-readable
+/// description naming the first differing field (e.g. "points[2].n:
+/// records say 16, campaign says 32").
+[[nodiscard]] std::string header_mismatch(const CampaignHeader& expected,
+                                          const CampaignHeader& found);
+
+/// Record file name for shard `shard_index` of `shard_count`, generation
+/// `generation` (how many earlier invocations wrote records for this shard
+/// into the directory). Zero-padded so lexicographic order equals scan
+/// order: later generations sort after earlier ones and last-wins
+/// deduplication picks up the freshest record.
+[[nodiscard]] std::string record_file_name(int shard_index, int shard_count, int generation);
+
+/// First generation number for which record_file_name does not yet exist
+/// in `dir` (a resumed invocation writes a fresh file rather than
+/// appending behind a possibly-truncated final line).
+[[nodiscard]] int next_generation(const std::string& dir, int shard_index, int shard_count);
+
+/// Streaming JSONL writer: header on construction, then one line per
+/// record, flushed per line. Thread-safe (the campaign engine calls write
+/// from its workers). Throws std::runtime_error if the file cannot be
+/// opened or a write fails.
+class TrialRecordSink {
+ public:
+  TrialRecordSink(const std::string& path, const CampaignHeader& header);
+
+  void write(const TrialRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::mutex mutex_;
+};
+
+/// Accumulated result of scanning record files.
+struct LoadedRecords {
+  /// Fingerprint of the first file scanned; every later file must match.
+  std::optional<CampaignHeader> header;
+  /// Last-wins per (point, trial) across scan order (files sorted by name,
+  /// lines in file order).
+  OutcomeMap outcomes;
+  std::size_t files = 0;
+  std::size_t records = 0;            ///< Lines parsed (including duplicates).
+  std::size_t duplicates = 0;         ///< Records that overwrote an earlier one.
+  std::size_t discarded_partial = 0;  ///< Unterminated final lines dropped.
+};
+
+/// Scan `path` — a single record file, or a directory whose *.jsonl files
+/// are read in sorted name order — into `into`. When `into.header` is
+/// already set (by a previous call, or pre-seeded with
+/// CampaignHeader::describe for resume), every file's header must match it:
+/// a mismatch is a hard error (std::runtime_error) naming the differing
+/// field. Record indices outside the header's grid are hard errors too.
+void load_records(const std::string& path, LoadedRecords& into);
+
+}  // namespace netcons::campaign

@@ -453,7 +453,8 @@ std::string LogWasteConstructor::debug_state() const {
                     " q1=" + std::to_string(q1) + " q2=" + std::to_string(q2) +
                     " l=" + std::to_string(lead) + " w=" + std::to_string(walk) +
                     ") mem=" + std::to_string(mem) + " free=" + std::to_string(free_count) +
-                    " line_ctr=" + std::to_string(line_nodes_) + " sessions=" + std::to_string(sessions_.size()) +
+                    " line_ctr=" + std::to_string(line_nodes_) +
+                    " sessions=" + std::to_string(sessions_.size()) +
                     " mems=" + std::to_string(mems_.size());
   for (const auto& [mid, m] : mems_) {
     out += " [mem" + std::to_string(mid) + ": k=" + std::to_string(m.members.size()) +

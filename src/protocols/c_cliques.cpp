@@ -38,13 +38,18 @@ ProtocolSpec c_cliques(int c) {
   std::vector<StateId> cnt(uc);      // counter followers 1 .. c-1 (index 0 unused)
   std::vector<StateId> lv(uc);       // visiting leaders l'_1 .. l'_{c-1} (index 0 unused)
 
-  for (int i = 0; i <= c - 2; ++i) lc[static_cast<std::size_t>(i)] = b.add_state("l" + std::to_string(i));
+  for (int i = 0; i <= c - 2; ++i)
+    lc[static_cast<std::size_t>(i)] = b.add_state("l" + std::to_string(i));
   const StateId f = b.add_state("f");
-  for (int i = 1; i <= c - 2; ++i) fr[static_cast<std::size_t>(i)] = b.add_state("f" + std::to_string(i));
-  for (int i = 0; i <= c - 2; ++i) lb[static_cast<std::size_t>(i)] = b.add_state("lb" + std::to_string(i));
+  for (int i = 1; i <= c - 2; ++i)
+    fr[static_cast<std::size_t>(i)] = b.add_state("f" + std::to_string(i));
+  for (int i = 0; i <= c - 2; ++i)
+    lb[static_cast<std::size_t>(i)] = b.add_state("lb" + std::to_string(i));
   const StateId l = b.add_state("l");
-  for (int i = 1; i <= c - 1; ++i) cnt[static_cast<std::size_t>(i)] = b.add_state("c" + std::to_string(i));
-  for (int i = 1; i <= c - 1; ++i) lv[static_cast<std::size_t>(i)] = b.add_state("lv" + std::to_string(i));
+  for (int i = 1; i <= c - 1; ++i)
+    cnt[static_cast<std::size_t>(i)] = b.add_state("c" + std::to_string(i));
+  for (int i = 1; i <= c - 1; ++i)
+    lv[static_cast<std::size_t>(i)] = b.add_state("lv" + std::to_string(i));
   const StateId r = b.add_state("r");
   b.set_initial(lc[0]);
 

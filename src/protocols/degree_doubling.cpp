@@ -24,12 +24,14 @@ ProtocolSpec degree_doubling(int d) {
   const StateId a0 = b.add_state("a0");
   std::vector<StateId> a(static_cast<std::size_t>(d) + 1);
   a[0] = a0;
-  for (int i = 1; i <= d; ++i) a[static_cast<std::size_t>(i)] = b.add_state("a" + std::to_string(i));
+  for (int i = 1; i <= d; ++i)
+    a[static_cast<std::size_t>(i)] = b.add_state("a" + std::to_string(i));
   const StateId q0 = b.add_state("q0");
   const StateId q0p = b.add_state("q0'");
   const StateId q = b.add_state("q");
   std::vector<StateId> qj(static_cast<std::size_t>(d) + 1);  // q_2..q_d used
-  for (int j = 2; j <= d; ++j) qj[static_cast<std::size_t>(j)] = b.add_state("q" + std::to_string(j));
+  for (int j = 2; j <= d; ++j)
+    qj[static_cast<std::size_t>(j)] = b.add_state("q" + std::to_string(j));
   b.set_initial(a0);
 
   auto A = [&](int i) { return a[static_cast<std::size_t>(i)]; };

@@ -35,8 +35,10 @@ ProtocolSpec krc(int k) {
   // q0..qk then l1..l_{k+1}: 2(k+1) states.
   std::vector<StateId> q(static_cast<std::size_t>(k) + 1);
   std::vector<StateId> l(static_cast<std::size_t>(k) + 2);  // l[0] unused
-  for (int i = 0; i <= k; ++i) q[static_cast<std::size_t>(i)] = b.add_state("q" + std::to_string(i));
-  for (int i = 1; i <= k + 1; ++i) l[static_cast<std::size_t>(i)] = b.add_state("l" + std::to_string(i));
+  for (int i = 0; i <= k; ++i)
+    q[static_cast<std::size_t>(i)] = b.add_state("q" + std::to_string(i));
+  for (int i = 1; i <= k + 1; ++i)
+    l[static_cast<std::size_t>(i)] = b.add_state("l" + std::to_string(i));
   b.set_initial(q[0]);
 
   auto Q = [&](int i) { return q[static_cast<std::size_t>(i)]; };

@@ -43,6 +43,13 @@ class P2Quantile {
 /// trials a campaign adds (the ROADMAP's millions-of-trials regime).
 /// Sketch-mode percentile(p) interpolates between grid quantiles, anchored
 /// at the exact min/max. Everything stays deterministic in insertion order.
+///
+/// There is deliberately no merge operation: P^2 marker state is
+/// insertion-order-dependent and has no exact merge, so the campaign
+/// engine, netcons_merge, and the resume path all rebuild aggregates by
+/// re-adding raw trial-record outcomes in (point, trial) order
+/// (campaign::reduce_outcomes). Same order in, bit-identical statistics
+/// out — which is what makes merged summaries byte-identical.
 class RunningStats {
  public:
   static constexpr std::size_t kDefaultExactLimit = 4096;

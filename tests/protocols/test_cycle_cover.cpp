@@ -17,7 +17,8 @@ class CycleCoverConvergence : public ::testing::TestWithParam<std::tuple<int, in
 TEST_P(CycleCoverConvergence, StabilizesToCycleCover) {
   const auto [n, seed] = GetParam();
   const auto spec = protocols::cycle_cover();
-  const auto result = analysis::run_trial(spec, n, trial_seed(2000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(2000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << "n=" << n;
   EXPECT_TRUE(result.target_ok) << "n=" << n;
 }

@@ -19,7 +19,8 @@ class RingConvergence : public ::testing::TestWithParam<std::tuple<int, int>> {}
 TEST_P(RingConvergence, StabilizesToSpanningRing) {
   const auto [n, seed] = GetParam();
   const auto spec = protocols::global_ring();
-  const auto result = analysis::run_trial(spec, n, trial_seed(5000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(5000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << "n=" << n;
   EXPECT_TRUE(result.target_ok) << "n=" << n;
 }

@@ -18,7 +18,8 @@ class StarConvergence : public ::testing::TestWithParam<std::tuple<int, int>> {}
 TEST_P(StarConvergence, StabilizesToSpanningStar) {
   const auto [n, seed] = GetParam();
   const auto spec = protocols::global_star();
-  const auto result = analysis::run_trial(spec, n, trial_seed(4000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(4000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << "n=" << n;
   EXPECT_TRUE(result.target_ok) << "n=" << n;
 }

@@ -27,7 +27,8 @@ class TwoRcConvergence : public ::testing::TestWithParam<std::tuple<int, int>> {
 TEST_P(TwoRcConvergence, StabilizesToSpanningRing) {
   const auto [n, seed] = GetParam();
   const auto spec = protocols::two_rc();
-  const auto result = analysis::run_trial(spec, n, trial_seed(8000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(8000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << "n=" << n;
   ASSERT_TRUE(result.target_ok) << "n=" << n;
 }
@@ -54,7 +55,8 @@ TEST_P(KrcConvergence, ReachesRelaxedKRegularConnected) {
   const auto [k, n, seed] = GetParam();
   if (n < k + 1) GTEST_SKIP();
   const auto spec = protocols::krc(k);
-  const auto result = analysis::run_trial(spec, n, trial_seed(9000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(9000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << "k=" << k << " n=" << n;
   EXPECT_TRUE(result.target_ok) << "k=" << k << " n=" << n;
 }

@@ -37,7 +37,8 @@ class LineConvergence : public ::testing::TestWithParam<std::tuple<int, int, int
 TEST_P(LineConvergence, StabilizesToSpanningLine) {
   const auto [which, n, seed] = GetParam();
   const ProtocolSpec spec = line_spec(which);
-  const auto result = analysis::run_trial(spec, n, trial_seed(1000, static_cast<std::uint64_t>(seed)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(1000, static_cast<std::uint64_t>(seed)));
   EXPECT_TRUE(result.stabilized) << spec.protocol.name() << " n=" << n;
   EXPECT_TRUE(result.target_ok) << spec.protocol.name() << " n=" << n;
   EXPECT_GT(result.convergence_step, 0u);

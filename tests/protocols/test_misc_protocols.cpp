@@ -16,7 +16,8 @@ class SpanningNetConvergence : public ::testing::TestWithParam<int> {};
 TEST_P(SpanningNetConvergence, EveryNodeGetsCovered) {
   const int n = GetParam();
   const auto spec = protocols::spanning_net();
-  const auto result = analysis::run_trial(spec, n, trial_seed(15000, static_cast<std::uint64_t>(n)));
+  const auto result = analysis::run_trial(spec, n,
+      trial_seed(15000, static_cast<std::uint64_t>(n)));
   EXPECT_TRUE(result.stabilized);
   EXPECT_TRUE(result.target_ok);
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regression gate for the nightly bench workflow.
+
+Compares two bench JSON documents (as written by bench_campaign_scaling
+--json / bench_fault_recovery --json, or the combined BENCH_<sha>.json the
+workflow assembles from them). Every numeric value found under a
+"throughput" object, anywhere in the document, is treated as
+higher-is-better; the gate fails if any current value falls more than
+--threshold (default 25%) below its baseline.
+
+Metrics present in only one of the two files are reported but never fail
+the gate, so adding a new bench does not brick CI on its first night.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+Exit status: 1 on regression, 2 on bad input, 0 otherwise.
+
+Stdlib only -- CI runners need nothing installed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughput_metrics(document, prefix=""):
+    """Flatten every numeric under any "throughput" object into {path: value}."""
+    metrics = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key == "throughput" and isinstance(value, dict):
+                for name, metric in value.items():
+                    if isinstance(metric, (int, float)) and not isinstance(metric, bool):
+                        metrics[f"{path}.{name}"] = float(metric)
+            else:
+                metrics.update(throughput_metrics(value, path))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            metrics.update(throughput_metrics(value, f"{prefix}[{index}]"))
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = throughput_metrics(json.load(f))
+        with open(args.current) as f:
+            current = throughput_metrics(json.load(f))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"compare_bench: {error}", file=sys.stderr)
+        return 2
+
+    if not baseline:
+        print("compare_bench: baseline has no throughput metrics; nothing to gate")
+        return 0
+
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"  NEW      {name} = {current[name]:.1f} (no baseline yet)")
+            continue
+        if name not in current:
+            print(f"  MISSING  {name} (baseline {baseline[name]:.1f}; not failing the gate)")
+            continue
+        base, cur = baseline[name], current[name]
+        change = (cur - base) / base if base > 0 else 0.0
+        status = "ok"
+        if base > 0 and cur < base * (1.0 - args.threshold):
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"  {status:10s} {name}: {base:.1f} -> {cur:.1f} ({change:+.1%})")
+
+    if regressions:
+        print(f"compare_bench: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print("compare_bench: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,16 @@
 // netcons_campaign: declare and execute a Monte-Carlo campaign from flags.
 //
-//   netcons_campaign --protocols global-star,cycle-cover --ns 20,40,80 \
+//   netcons_campaign --protocols global-star,cycle-cover --ns 20,40,80
 //       --trials 100 --threads 8 --json out.json
-//   netcons_campaign --processes one-way-epidemic --ns 50,100 --trials 500 \
+//   netcons_campaign --processes one-way-epidemic --ns 50,100 --trials 500
 //       --schedulers uniform,permutation --csv out.csv
 //   netcons_campaign --protocols all --ns 16 --trials 20
 //   netcons_campaign --protocols simple-global-line --ns 32 --trials 100
 //       --faults none,crash:k=1,edge-burst:f=0.1 --threads 8 --json out.json
+//   netcons_campaign --protocols cycle-cover --ns 64 --trials 100000
+//       --shard 0/3 --records shard0/          # machine 0 of a 3-way fan-out
+//   netcons_campaign --protocols cycle-cover --ns 64 --trials 100000
+//       --resume records/ --json out.json      # finish an interrupted run
 //   netcons_campaign --list
 //
 // Every (unit, scheduler, faults, n) grid point runs `--trials` independent trials
@@ -14,14 +18,25 @@
 // (--seed, grid position), so the aggregates are bit-identical for any
 // --threads value. Results print as a table and optionally export to
 // JSON/CSV via the campaign result sink.
+//
+// --records DIR streams one JSONL record per completed trial into DIR
+// (crash-safe: flushed per line). --shard i/k executes only the i-th of k
+// disjoint grid slices — run k machines with the same spec and distinct
+// --shard values, then fold their record directories with netcons_merge to
+// get the exact summary an unsharded run would produce. --resume DIR skips
+// every trial already recorded in DIR (validating that the records match
+// this campaign spec) and completes the rest. --trial-cap N stops after N
+// executed trials (a deterministic stand-in for "the process was killed").
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/result_sink.hpp"
+#include "campaign/trial_record.hpp"
 #include "faults/fault_plan.hpp"
 #include "util/table.hpp"
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -46,6 +61,11 @@ struct Options {
   campaign::ProtocolParams params;
   std::optional<std::string> json_path;
   std::optional<std::string> csv_path;
+  std::optional<std::string> records_dir;
+  std::optional<std::string> resume_dir;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::uint64_t trial_cap = 0;
   bool list = false;
   bool quiet = false;
 };
@@ -85,6 +105,7 @@ int usage(const char* argv0) {
                "       [--trials T] [--threads K] [--seed S] [--schedulers s1,s2]\n"
                "       [--faults none,crash:k=1,...] [--k K] [--c C] [--d D]\n"
                "       [--json FILE] [--csv FILE] [--quiet]\n"
+               "       [--records DIR] [--shard I/K] [--resume DIR] [--trial-cap N]\n"
                "       "
             << argv0 << " --list\n";
   return 2;
@@ -99,8 +120,37 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.list = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--shard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const std::string value = v;
+      const std::size_t slash = value.find('/');
+      const auto index = slash == std::string::npos
+                             ? std::nullopt
+                             : parse_bounded_int(value.substr(0, slash));
+      const auto count = slash == std::string::npos
+                             ? std::nullopt
+                             : parse_bounded_int(value.substr(slash + 1));
+      if (!index || !count || *count < 1 || *index < 0 || *index >= *count) {
+        std::cerr << "--shard expects I/K with 0 <= I < K, got '" << value << "'\n";
+        return std::nullopt;
+      }
+      opt.shard_index = *index;
+      opt.shard_count = *count;
+    } else if (arg == "--trial-cap") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      char* end = nullptr;
+      errno = 0;
+      const std::uint64_t cap = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || errno == ERANGE || cap == 0) {
+        std::cerr << "--trial-cap expects a positive integer, got '" << v << "'\n";
+        return std::nullopt;
+      }
+      opt.trial_cap = cap;
     } else if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
-               arg == "--faults" || arg == "--ns" || arg == "--json" || arg == "--csv") {
+               arg == "--faults" || arg == "--ns" || arg == "--json" || arg == "--csv" ||
+               arg == "--records" || arg == "--resume") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--protocols") opt.protocols = split_list(v);
@@ -109,6 +159,8 @@ std::optional<Options> parse(int argc, char** argv) {
       if (arg == "--faults") opt.faults = split_list(v);
       if (arg == "--json") opt.json_path = v;
       if (arg == "--csv") opt.csv_path = v;
+      if (arg == "--records") opt.records_dir = v;
+      if (arg == "--resume") opt.resume_dir = v;
       if (arg == "--ns") {
         for (const std::string& item : split_list(v)) {
           const auto n = parse_bounded_int(item);
@@ -241,8 +293,87 @@ int main(int argc, char** argv) {
 
   campaign::RunOptions run_options;
   run_options.threads = opt.threads;
+  run_options.shard_index = opt.shard_index;
+  run_options.shard_count = opt.shard_count;
+  run_options.trial_cap = opt.trial_cap;
 
-  const campaign::CampaignResult result = campaign::run(spec, run_options);
+  // A shard run's work only survives through its record stream.
+  const std::optional<std::string> records_dir =
+      opt.records_dir ? opt.records_dir : opt.resume_dir;
+  if (opt.shard_count > 1 && !records_dir) {
+    std::cerr << "--shard without --records (or --resume) would discard the slice's "
+                 "trials; pass --records DIR and merge with netcons_merge\n";
+    return 2;
+  }
+
+  const campaign::CampaignHeader header = campaign::CampaignHeader::describe(spec);
+  campaign::OutcomeMap resume_outcomes;
+  std::optional<campaign::TrialRecordSink> sink;
+  try {
+    if (opt.resume_dir && std::filesystem::exists(*opt.resume_dir)) {
+      campaign::LoadedRecords loaded;
+      // Pre-seeding the expected header turns a spec mismatch into a hard
+      // error naming the differing field, instead of silently reusing
+      // trials from a different campaign.
+      loaded.header = header;
+      campaign::load_records(*opt.resume_dir, loaded);
+      resume_outcomes = std::move(loaded.outcomes);
+      run_options.resume = &resume_outcomes;
+      if (!opt.quiet) {
+        std::cout << "resuming: " << resume_outcomes.size() << " trials already recorded in "
+                  << *opt.resume_dir << '\n';
+      }
+    }
+    if (records_dir) {
+      std::filesystem::create_directories(*records_dir);
+      const int generation =
+          campaign::next_generation(*records_dir, opt.shard_index, opt.shard_count);
+      const std::string path =
+          (std::filesystem::path(*records_dir) /
+           campaign::record_file_name(opt.shard_index, opt.shard_count, generation))
+              .string();
+      sink.emplace(path, header);
+      run_options.on_trial = [&sink](std::size_t point, int trial, std::uint64_t seed,
+                                     const campaign::TrialOutcome& outcome) {
+        sink->write(campaign::TrialRecord{point, trial, seed, outcome});
+      };
+      if (!opt.quiet) std::cout << "recording trials to " << sink->path() << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run(spec, run_options);
+  } catch (const std::exception& e) {
+    // Typically a record-sink write failure (disk full, file removed)
+    // surfacing through the worker pool; trial-level throws are absorbed
+    // into per-point failure counts and never land here.
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+
+  if (!result.complete) {
+    // Sharded and/or capped: only the record stream holds the truth; a
+    // summary over a partial grid would misrepresent the unrun trials.
+    if (!opt.quiet) {
+      std::cout << "partial run: executed " << result.executed_trials << " trials ("
+                << result.resumed_trials << " resumed, grid "
+                << result.total_trials << ") in " << result.wall_seconds << " s, "
+                << result.total_failures << " failures\n";
+      if (opt.trial_cap > 0 && result.executed_trials >= opt.trial_cap) {
+        std::cout << "stopped at --trial-cap " << opt.trial_cap
+                  << "; finish with --resume " << (records_dir ? *records_dir : "DIR") << '\n';
+      }
+    }
+    if (opt.json_path || opt.csv_path) {
+      std::cerr << "note: --json/--csv skipped for a partial run; merge the records with "
+                   "netcons_merge instead\n";
+    }
+    return result.total_failures == 0 ? 0 : 1;
+  }
 
   if (!opt.quiet) {
     TextTable table({"unit", "scheduler", "faults", "n", "trials", "failures", "damaged",

@@ -1,0 +1,157 @@
+// netcons_merge: fold trial-record JSONL files — from sharded machines,
+// interrupted runs, or both — into the exact summary a single-process
+// campaign run would have produced.
+//
+//   netcons_merge records/ --json merged.json --csv merged.csv
+//   netcons_merge shard0/trials-*.jsonl shard1/ shard2/ --json merged.json
+//
+// Every input file must carry the same campaign header (spec fingerprint);
+// a mismatch aborts with a message naming the differing field. Duplicate
+// records for the same (point, trial) resolve last-wins in scan order
+// (files sorted by name, lines in file order), and an unterminated final
+// line — the partial write of a killed run — is silently discarded.
+//
+// Because per-trial seeds are position-derived and the reduction is the
+// campaign engine's own (campaign::reduce_outcomes, sequential in (point,
+// trial) order), the merged JSON and CSV are byte-identical to an
+// unsharded, uninterrupted run's output. CI enforces this with cmp.
+//
+// Exit status: 0 on a complete merge, 2 on usage errors, 1 on missing
+// trials / header mismatches / corrupt records.
+#include "campaign/campaign.hpp"
+#include "campaign/result_sink.hpp"
+#include "campaign/trial_record.hpp"
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace netcons;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json FILE] [--csv FILE] [--quiet] RECORDS...\n"
+               "       RECORDS: trial-record .jsonl files and/or directories of them\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string json_path;
+  std::string csv_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--csv") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      (arg == "--json" ? json_path : csv_path) = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  campaign::LoadedRecords loaded;
+  try {
+    for (const std::string& input : inputs) campaign::load_records(input, loaded);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (!loaded.header) {
+    std::cerr << "no trial records found in the given inputs\n";
+    return 1;
+  }
+
+  const campaign::CampaignHeader& header = *loaded.header;
+  const std::size_t point_count = header.points.size();
+  const int trials = header.trials;
+
+  // Completeness: the merged stream must cover the whole grid, or the
+  // summary would silently misrepresent the missing trials.
+  std::vector<std::string> missing;
+  std::size_t missing_count = 0;
+  for (std::size_t p = 0; p < point_count; ++p) {
+    for (int t = 0; t < trials; ++t) {
+      if (loaded.outcomes.count({p, t}) == 0) {
+        ++missing_count;
+        if (missing.size() < 5) {
+          missing.push_back("(point " + std::to_string(p) + " [" + header.points[p].unit +
+                            " n=" + std::to_string(header.points[p].n) + "], trial " +
+                            std::to_string(t) + ")");
+        }
+      }
+    }
+  }
+  if (missing_count > 0) {
+    std::cerr << "incomplete record stream: " << missing_count << " of "
+              << point_count * static_cast<std::size_t>(trials)
+              << " trials missing; first missing:";
+    for (const std::string& m : missing) std::cerr << ' ' << m;
+    std::cerr << "\n(run the missing shards, or finish the interrupted run with "
+                 "netcons_campaign --resume)\n";
+    return 1;
+  }
+
+  std::vector<std::vector<campaign::TrialOutcome>> outcomes(point_count);
+  for (std::size_t p = 0; p < point_count; ++p) {
+    outcomes[p].resize(static_cast<std::size_t>(trials));
+    for (int t = 0; t < trials; ++t) {
+      outcomes[p][static_cast<std::size_t>(t)] = loaded.outcomes.at({p, t});
+    }
+  }
+  const campaign::CampaignResult result =
+      campaign::reduce_outcomes(header.points, trials, outcomes);
+
+  if (!quiet) {
+    std::cout << "merged " << loaded.records << " records from " << loaded.files << " files ("
+              << loaded.duplicates << " superseded duplicates, " << loaded.discarded_partial
+              << " discarded partial lines)\n";
+    TextTable table({"unit", "scheduler", "faults", "n", "trials", "failures", "damaged",
+                     "mean", "median", "recovery", "residual"});
+    for (const auto& point : result.points) {
+      table.add_row({point.unit, point.scheduler, point.faults,
+                     TextTable::integer(static_cast<std::uint64_t>(point.n)),
+                     TextTable::integer(static_cast<std::uint64_t>(point.trials)),
+                     TextTable::integer(static_cast<std::uint64_t>(point.failures)),
+                     TextTable::integer(static_cast<std::uint64_t>(point.damaged)),
+                     TextTable::num(point.convergence_steps.mean()),
+                     TextTable::num(point.convergence_steps.median()),
+                     TextTable::num(point.recovery_steps.mean()),
+                     TextTable::num(point.edges_residual.mean())});
+    }
+    std::cout << table;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << campaign::to_json(result);
+    if (!file) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << "wrote " << json_path << '\n';
+  }
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    file << campaign::to_csv(result);
+    if (!file) {
+      std::cerr << "failed to write " << csv_path << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << "wrote " << csv_path << '\n';
+  }
+  return 0;
+}
