@@ -1,0 +1,258 @@
+#include "analysis/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <stdexcept>
+
+namespace netcons::analysis {
+
+void ValueDistribution::add(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  counts_[value] += weight;
+  n_ += weight;
+}
+
+std::uint64_t ValueDistribution::min() const noexcept {
+  return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::uint64_t ValueDistribution::max() const noexcept {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double ValueDistribution::mean() const noexcept {
+  if (n_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, weight] : counts_) {
+    sum += static_cast<double>(value) * static_cast<double>(weight);
+  }
+  return sum / static_cast<double>(n_);
+}
+
+double ValueDistribution::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  const double mu = mean();
+  double m2 = 0.0;
+  for (const auto& [value, weight] : counts_) {
+    const double delta = static_cast<double>(value) - mu;
+    m2 += delta * delta * static_cast<double>(weight);
+  }
+  return m2 / static_cast<double>(n_ - 1);
+}
+
+double ValueDistribution::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ValueDistribution::quantile(double p) const {
+  if (n_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 1.0) return static_cast<double>(max());
+  // The interpolated order statistic at h = p * (n - 1), found by walking
+  // the cumulative counts (RunningStats' exact-mode convention).
+  const double position = p * static_cast<double>(n_ - 1);
+  const auto lower = static_cast<std::uint64_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+
+  std::uint64_t cumulative = 0;
+  double lower_value = 0.0;
+  auto it = counts_.begin();
+  for (; it != counts_.end(); ++it) {
+    cumulative += it->second;
+    if (cumulative > lower) {
+      lower_value = static_cast<double>(it->first);
+      break;
+    }
+  }
+  if (fraction == 0.0 || lower + 1 >= n_) return lower_value;
+  // The (lower + 1)-th order statistic is either the same value (its run
+  // extends past the position) or the next distinct one.
+  double upper_value = lower_value;
+  if (cumulative <= lower + 1) upper_value = static_cast<double>(std::next(it)->first);
+  return lower_value * (1.0 - fraction) + upper_value * fraction;
+}
+
+std::vector<EcdfPoint> ecdf(const ValueDistribution& distribution) {
+  std::vector<EcdfPoint> out;
+  out.reserve(distribution.distinct());
+  const double n = static_cast<double>(distribution.count());
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, weight] : distribution.counts()) {
+    cumulative += weight;
+    out.push_back({value, cumulative, static_cast<double>(cumulative) / n});
+  }
+  return out;
+}
+
+int freedman_diaconis_bins(const ValueDistribution& distribution) {
+  const std::uint64_t n = distribution.count();
+  if (n == 0) return 0;
+  const double span = static_cast<double>(distribution.max() - distribution.min());
+  if (span == 0.0) return 1;
+  const double iqr = distribution.quantile(0.75) - distribution.quantile(0.25);
+  double bins;
+  if (iqr > 0.0) {
+    const double width = 2.0 * iqr / std::cbrt(static_cast<double>(n));
+    bins = std::ceil(span / width);
+  } else {
+    // Degenerate IQR (half the mass on one value): Sturges.
+    bins = std::floor(std::log2(static_cast<double>(n))) + 1.0;
+  }
+  if (bins < 1.0) return 1;
+  if (bins > static_cast<double>(kMaxHistogramBins)) return kMaxHistogramBins;
+  return static_cast<int>(bins);
+}
+
+Histogram histogram(const ValueDistribution& distribution, int bins) {
+  Histogram out;
+  if (distribution.count() == 0) return out;
+  if (bins <= 0) bins = freedman_diaconis_bins(distribution);
+
+  const std::uint64_t lo = distribution.min();
+  const std::uint64_t hi = distribution.max();
+  out.lo = static_cast<double>(lo);
+  if (lo == hi) {
+    // All mass on one value: a single zero-width bin.
+    out.width = 0.0;
+    out.counts.assign(1, distribution.count());
+    return out;
+  }
+  out.width = static_cast<double>(hi - lo) / static_cast<double>(bins);
+  out.counts.assign(static_cast<std::size_t>(bins), 0);
+  for (const auto& [value, weight] : distribution.counts()) {
+    auto bin = static_cast<std::size_t>(static_cast<double>(value - lo) / out.width);
+    if (bin >= out.counts.size()) bin = out.counts.size() - 1;  // max: last bin is closed.
+    out.counts[bin] += weight;
+  }
+  return out;
+}
+
+double ks_distance(const ValueDistribution& a, const ValueDistribution& b) {
+  if (a.count() == 0 || b.count() == 0) return 0.0;
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  auto ia = a.counts().begin();
+  auto ib = b.counts().begin();
+  std::uint64_t ca = 0;
+  std::uint64_t cb = 0;
+  double sup = 0.0;
+  // Walk the merged support; the ECDF difference only changes at support
+  // points, and just after one is where it is extremal.
+  while (ia != a.counts().end() || ib != b.counts().end()) {
+    std::uint64_t value;
+    if (ib == b.counts().end() || (ia != a.counts().end() && ia->first < ib->first)) {
+      value = ia->first;
+    } else {
+      value = ib->first;
+    }
+    while (ia != a.counts().end() && ia->first == value) ca += (ia++)->second;
+    while (ib != b.counts().end() && ib->first == value) cb += (ib++)->second;
+    const double gap = std::abs(static_cast<double>(ca) / na - static_cast<double>(cb) / nb);
+    if (gap > sup) sup = gap;
+  }
+  return sup;
+}
+
+const std::array<Metric, kMetricCount>& all_metrics() noexcept {
+  static const std::array<Metric, kMetricCount> metrics = {
+      Metric::kConvergenceSteps,
+      Metric::kStepsExecuted,
+      Metric::kRecoverySteps,
+      Metric::kEdgesResidual,
+  };
+  return metrics;
+}
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kConvergenceSteps: return "convergence_steps";
+    case Metric::kStepsExecuted: return "steps_executed";
+    case Metric::kRecoverySteps: return "recovery_steps";
+    case Metric::kEdgesResidual: return "edges_residual";
+  }
+  return "unknown";
+}
+
+std::optional<Metric> metric_from_name(std::string_view name) noexcept {
+  for (const Metric metric : all_metrics()) {
+    if (metric_name(metric) == name) return metric;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> metric_sample(Metric metric, const campaign::TrialOutcome& outcome,
+                                           bool faulted) noexcept {
+  // Inclusion rules mirror campaign::reduce_outcomes so report counts match
+  // the summary sinks.
+  switch (metric) {
+    case Metric::kConvergenceSteps:
+      if (!outcome.success) return std::nullopt;
+      return outcome.value;
+    case Metric::kStepsExecuted: return outcome.steps_executed;
+    case Metric::kRecoverySteps:
+      if (!faulted || !outcome.success) return std::nullopt;
+      return outcome.recovery_steps;
+    case Metric::kEdgesResidual:
+      if (!faulted) return std::nullopt;
+      return outcome.edges_residual;
+  }
+  return std::nullopt;
+}
+
+RecordDistributionBuilder::RecordDistributionBuilder(campaign::CampaignHeader header)
+    : header_(std::move(header)) {
+  slots_.resize(header_.points.size() * static_cast<std::size_t>(std::max(header_.trials, 0)));
+}
+
+void RecordDistributionBuilder::add(const campaign::TrialRecord& record) {
+  if (record.point >= header_.points.size() || record.trial < 0 ||
+      record.trial >= header_.trials) {
+    throw std::out_of_range("RecordDistributionBuilder: record outside the campaign grid");
+  }
+  Slot& slot = slots_[record.point * static_cast<std::size_t>(header_.trials) +
+                      static_cast<std::size_t>(record.trial)];
+  if (slot.filled) {
+    ++duplicates_;  // Last wins, matching the loaders' scan-order rule.
+  } else {
+    slot.filled = true;
+    ++filled_;
+  }
+  slot.success = record.outcome.success;
+  slot.value = record.outcome.value;
+  slot.steps_executed = record.outcome.steps_executed;
+  slot.recovery_steps = record.outcome.recovery_steps;
+  slot.edges_residual = record.outcome.edges_residual;
+}
+
+std::optional<std::pair<std::size_t, int>> RecordDistributionBuilder::first_missing() const {
+  const auto trials = static_cast<std::size_t>(std::max(header_.trials, 0));
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].filled) return std::pair{i / trials, static_cast<int>(i % trials)};
+  }
+  return std::nullopt;
+}
+
+std::vector<PointDistributions> RecordDistributionBuilder::build() const {
+  std::vector<PointDistributions> out(header_.points.size());
+  const auto trials = static_cast<std::size_t>(std::max(header_.trials, 0));
+  for (std::size_t p = 0; p < header_.points.size(); ++p) {
+    const bool faulted = header_.points[p].faulted;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const Slot& slot = slots_[p * trials + t];
+      if (!slot.filled) continue;
+      campaign::TrialOutcome outcome;
+      outcome.success = slot.success;
+      outcome.value = slot.value;
+      outcome.steps_executed = slot.steps_executed;
+      outcome.recovery_steps = slot.recovery_steps;
+      outcome.edges_residual = slot.edges_residual;
+      for (const Metric metric : all_metrics()) {
+        if (const auto sample = metric_sample(metric, outcome, faulted)) {
+          out[p].metrics[static_cast<std::size_t>(metric)].add(*sample);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netcons::analysis

@@ -1,0 +1,176 @@
+// Distribution analytics over trial-record streams: the paper's figures are
+// *distributions* of stabilization time, not just means, so this module
+// turns the per-trial records of src/campaign/trial_record.* into exact
+// ECDFs, histograms (fixed-width or Freedman–Diaconis-binned), and tail
+// quantiles for any recorded metric.
+//
+// Everything is exact and deterministic. Recorded metrics are integers
+// (step counts, edge counts), so a distribution is a value -> multiplicity
+// map: memory is O(distinct values), independent of how many trials a
+// campaign ran, and every statistic is computed from the sorted counts —
+// the same bytes out for any record arrival order, which is what the
+// netcons_report CI determinism gate enforces.
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "campaign/trial_record.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netcons::analysis {
+
+/// Exact distribution of an integer-valued sample stream, stored as
+/// value -> multiplicity. All statistics are evaluated over the sorted
+/// support, so they depend only on the sample multiset, never on insertion
+/// order.
+class ValueDistribution {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  /// Undefined (0) when empty; callers gate on count().
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// p in [0, 1]: the linear-interpolated order statistic at position
+  /// p * (n - 1) — the same convention as RunningStats' exact mode.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+};
+
+/// One step of the empirical CDF: F(value) = fraction of samples <= value.
+struct EcdfPoint {
+  std::uint64_t value = 0;
+  std::uint64_t cumulative = 0;  ///< Samples <= value.
+  double fraction = 0.0;         ///< cumulative / n.
+};
+
+/// The exact ECDF: one point per distinct value, ascending.
+[[nodiscard]] std::vector<EcdfPoint> ecdf(const ValueDistribution& distribution);
+
+/// Uniform-width histogram. Bin i covers [edge(i), edge(i + 1)); the last
+/// bin is closed so max lands in it.
+struct Histogram {
+  double lo = 0.0;     ///< Left edge of bin 0 (== min over the samples).
+  double width = 0.0;  ///< Uniform bin width; 0 for a single degenerate bin.
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts.size(); }
+  [[nodiscard]] double edge(std::size_t i) const noexcept {
+    return lo + width * static_cast<double>(i);
+  }
+};
+
+/// Histograms never exceed this many bins (Freedman–Diaconis on a heavy
+/// tail can ask for millions); the cap is part of the documented schema.
+inline constexpr int kMaxHistogramBins = 512;
+
+/// Freedman–Diaconis bin count for this sample: width 2·IQR/n^(1/3),
+/// falling back to Sturges (floor(log2 n) + 1) when the IQR is zero, and
+/// clamped to [1, kMaxHistogramBins]. 0 when the distribution is empty.
+[[nodiscard]] int freedman_diaconis_bins(const ValueDistribution& distribution);
+
+/// Bin the distribution into `bins` uniform bins over [min, max]
+/// (bins <= 0 selects freedman_diaconis_bins). Deterministic: edges are a
+/// pure function of (min, max, bins). Empty distribution: no bins.
+[[nodiscard]] Histogram histogram(const ValueDistribution& distribution, int bins = 0);
+
+/// Two-sample Kolmogorov–Smirnov distance: sup over the merged support of
+/// |F_a(x) - F_b(x)|, exact on the ECDFs. 0 when either side is empty.
+[[nodiscard]] double ks_distance(const ValueDistribution& a, const ValueDistribution& b);
+
+/// The recorded metrics a report can plot, in canonical order.
+enum class Metric : int {
+  kConvergenceSteps = 0,  ///< Convergence/completion step, successful trials.
+  kStepsExecuted,         ///< Steps until certification, all trials.
+  kRecoverySteps,         ///< Re-stabilization time, successful faulted trials.
+  kEdgesResidual,         ///< Unrepaired damage, all faulted trials.
+};
+inline constexpr int kMetricCount = 4;
+
+[[nodiscard]] const std::array<Metric, kMetricCount>& all_metrics() noexcept;
+[[nodiscard]] std::string_view metric_name(Metric metric) noexcept;
+[[nodiscard]] std::optional<Metric> metric_from_name(std::string_view name) noexcept;
+
+/// The sample this trial contributes to `metric`'s distribution, or
+/// std::nullopt when it contributes none. `faulted` is the grid point's
+/// fault flag. The inclusion rules mirror campaign::reduce_outcomes, so a
+/// report's count column matches the summary sinks' aggregates.
+[[nodiscard]] std::optional<std::uint64_t> metric_sample(Metric metric,
+                                                         const campaign::TrialOutcome& outcome,
+                                                         bool faulted) noexcept;
+
+/// Per-grid-point distributions of every metric.
+struct PointDistributions {
+  std::array<ValueDistribution, kMetricCount> metrics;
+
+  [[nodiscard]] const ValueDistribution& metric(Metric m) const noexcept {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Streaming consumer of trial records: feed it every record of a stream
+/// (any arrival order, duplicates welcome) and it keeps only the winning
+/// (last-wins) metric tuple per (point, trial) slot — a few machine words,
+/// never the record line or its error string — then folds winners into
+/// per-point distributions in canonical (point, trial) order. Memory is
+/// O(grid) + O(distinct metric values); a million-trial record set streams
+/// through without ever materializing.
+class RecordDistributionBuilder {
+ public:
+  explicit RecordDistributionBuilder(campaign::CampaignHeader header);
+
+  /// Record indices must lie inside the header's grid (TrialRecordReader
+  /// already guarantees this); out-of-grid records throw std::out_of_range.
+  void add(const campaign::TrialRecord& record);
+
+  [[nodiscard]] const campaign::CampaignHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::uint64_t filled() const noexcept { return filled_; }
+  [[nodiscard]] std::uint64_t missing() const noexcept {
+    return static_cast<std::uint64_t>(slots_.size()) - filled_;
+  }
+  [[nodiscard]] std::size_t duplicates() const noexcept { return duplicates_; }
+  /// First unfilled (point, trial) slot in canonical order, if any.
+  [[nodiscard]] std::optional<std::pair<std::size_t, int>> first_missing() const;
+
+  /// Distributions over the filled slots, one entry per grid point, built
+  /// in canonical slot order (deterministic in the record *set*).
+  [[nodiscard]] std::vector<PointDistributions> build() const;
+
+ private:
+  /// The metric tuple of one winning trial (TrialOutcome minus everything
+  /// distributions never read — notably the error string).
+  struct Slot {
+    bool filled = false;
+    bool success = false;
+    std::uint64_t value = 0;
+    std::uint64_t steps_executed = 0;
+    std::uint64_t recovery_steps = 0;
+    std::uint64_t edges_residual = 0;
+  };
+
+  campaign::CampaignHeader header_;
+  std::vector<Slot> slots_;  ///< points x trials, trial-minor.
+  std::uint64_t filled_ = 0;
+  std::size_t duplicates_ = 0;
+};
+
+}  // namespace netcons::analysis

@@ -91,9 +91,6 @@ std::string to_json(const CampaignResult& result) {
   return out;
 }
 
-namespace {
-
-/// RFC-4180 quoting for fields that may contain separators.
 std::string csv_field(const std::string& s) {
   if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
@@ -104,8 +101,6 @@ std::string csv_field(const std::string& s) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 std::string to_csv(const CampaignResult& result) {
   std::string out =

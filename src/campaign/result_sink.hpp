@@ -50,6 +50,11 @@ struct PointSummary {
 
 [[nodiscard]] PointSummary summarize(const PointResult& point);
 
+/// RFC-4180 quoting for CSV fields that may contain separators — shared by
+/// every CSV-emitting surface (summary sink, netcons_report) so quoting
+/// policy cannot drift between tools.
+[[nodiscard]] std::string csv_field(const std::string& s);
+
 /// Whole-campaign JSON document: metadata + "points" array.
 [[nodiscard]] std::string to_json(const CampaignResult& result);
 

@@ -5,8 +5,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <iterator>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace netcons::campaign {
 
@@ -206,52 +207,80 @@ void TrialRecordSink::write(const TrialRecord& record) {
   if (!file_) throw std::runtime_error("trial records: write failed on '" + path_ + "'");
 }
 
-namespace {
-
-void load_record_file(const std::filesystem::path& file, LoadedRecords& into) {
-  std::ifstream stream(file, std::ios::binary);
-  if (!stream) {
-    throw std::runtime_error("trial records: cannot read '" + file.string() + "'");
-  }
-  // One buffer for the whole file; lines are parsed as views into it, so
-  // peak memory is the file size, not a per-line copy of it.
-  const std::string content((std::istreambuf_iterator<char>(stream)),
-                            std::istreambuf_iterator<char>());
-  if (content.empty()) return;  // Killed before the header write: no records.
-
-  std::string_view rest(content);
-  std::size_t line_number = 0;
-  bool have_header = false;
-  while (!rest.empty()) {
-    const std::size_t end = rest.find('\n');
-    if (end == std::string_view::npos) {
-      // An unterminated final segment is the partial write of a killed run
-      // — discarded (and redone on resume), never an error.
-      ++into.discarded_partial;
-      break;
+TrialRecordReader::TrialRecordReader(const std::vector<std::string>& inputs) {
+  for (const std::string& input : inputs) {
+    const std::filesystem::path fs_path(input);
+    if (std::filesystem::is_directory(fs_path)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(fs_path)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+          files.push_back(entry.path().string());
+        }
+      }
+      // Sorted name order == generation order (record_file_name zero-pads),
+      // so last-wins deduplication prefers the freshest generation.
+      std::sort(files.begin(), files.end());
+      paths_.insert(paths_.end(), files.begin(), files.end());
+      continue;
     }
-    const std::string_view line = rest.substr(0, end);
-    rest.remove_prefix(end + 1);
-    ++line_number;
+    if (!std::filesystem::exists(fs_path)) {
+      throw std::runtime_error("trial records: no such file or directory: '" + input + "'");
+    }
+    paths_.push_back(input);
+  }
+}
 
-    if (line_number == 1) {
+void TrialRecordReader::expect_header(const CampaignHeader& header) { header_ = header; }
+
+bool TrialRecordReader::next_line(std::string& line) {
+  if (!std::getline(*file_, line)) return false;
+  if (file_->eof() && !line.empty()) {
+    // An unterminated final segment is the partial write of a killed run —
+    // discarded (and redone on resume), never an error.
+    ++discarded_partial_;
+    return false;
+  }
+  ++line_number_;
+  return true;
+}
+
+std::optional<TrialRecord> TrialRecordReader::next() {
+  std::string line;
+  while (true) {
+    if (!file_) {
+      if (path_index_ >= paths_.size()) return std::nullopt;
+      const std::string& path = paths_[path_index_++];
+      file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+      if (!*file_) {
+        throw std::runtime_error("trial records: cannot read '" + path + "'");
+      }
+      line_number_ = 0;
+    }
+    const std::string& path = paths_[path_index_ - 1];
+
+    if (!next_line(line)) {  // End of this file (or its partial tail).
+      file_.reset();
+      continue;
+    }
+
+    if (line_number_ == 1) {
       CampaignHeader header;
       try {
         header = parse_header_line(line);
       } catch (const std::exception& e) {
-        throw std::runtime_error("trial records: malformed header in '" + file.string() +
+        throw std::runtime_error("trial records: malformed header in '" + path +
                                  "': " + e.what());
       }
-      if (into.header) {
-        const std::string diff = header_mismatch(*into.header, header);
+      if (header_) {
+        const std::string diff = header_mismatch(*header_, header);
         if (!diff.empty()) {
-          throw std::runtime_error("trial records in '" + file.string() +
+          throw std::runtime_error("trial records in '" + path +
                                    "' were written by a different campaign: " + diff);
         }
       } else {
-        into.header = std::move(header);
+        header_ = std::move(header);
       }
-      have_header = true;
+      ++files_;
       continue;
     }
 
@@ -261,47 +290,78 @@ void load_record_file(const std::filesystem::path& file, LoadedRecords& into) {
     } catch (const std::exception& e) {
       // Terminated lines must parse; only the unterminated tail may be cut
       // short. A malformed interior line is corruption, not a crash.
-      throw std::runtime_error("trial records: malformed record at '" + file.string() +
-                               "' line " + std::to_string(line_number) + ": " + e.what());
+      throw std::runtime_error("trial records: malformed record at '" + path + "' line " +
+                               std::to_string(line_number_) + ": " + e.what());
     }
-    if (record.point >= into.header->points.size() || record.trial < 0 ||
-        record.trial >= into.header->trials) {
-      throw std::runtime_error("trial records: record at '" + file.string() + "' line " +
-                               std::to_string(line_number) +
+    if (record.point >= header_->points.size() || record.trial < 0 ||
+        record.trial >= header_->trials) {
+      throw std::runtime_error("trial records: record at '" + path + "' line " +
+                               std::to_string(line_number_) +
                                " is outside the campaign grid (point " +
                                std::to_string(record.point) + ", trial " +
                                std::to_string(record.trial) + ")");
     }
-    ++into.records;
+    ++records_;
+    return record;
+  }
+}
+
+void load_records(const std::string& path, LoadedRecords& into) {
+  TrialRecordReader reader({path});
+  if (into.header) reader.expect_header(*into.header);
+  while (const std::optional<TrialRecord> record = reader.next()) {
     const auto [it, inserted] =
-        into.outcomes.insert_or_assign({record.point, record.trial}, record.outcome);
+        into.outcomes.insert_or_assign({record->point, record->trial}, record->outcome);
     (void)it;
     if (!inserted) ++into.duplicates;  // Last wins in scan order.
   }
-  if (have_header) ++into.files;
+  if (!into.header) into.header = reader.header();
+  into.files += reader.files();
+  into.records += reader.records();
+  into.discarded_partial += reader.discarded_partial();
 }
 
-}  // namespace
+CompactionResult compact_records(const std::vector<std::string>& inputs,
+                                 const std::string& output_path,
+                                 const CampaignHeader* expected) {
+  TrialRecordReader reader(inputs);
+  if (expected != nullptr) reader.expect_header(*expected);
 
-void load_records(const std::string& path, LoadedRecords& into) {
-  const std::filesystem::path fs_path(path);
-  if (std::filesystem::is_directory(fs_path)) {
-    std::vector<std::filesystem::path> files;
-    for (const auto& entry : std::filesystem::directory_iterator(fs_path)) {
-      if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
-        files.push_back(entry.path());
-      }
-    }
-    // Sorted name order == generation order (record_file_name zero-pads),
-    // so last-wins deduplication prefers the freshest generation.
-    std::sort(files.begin(), files.end());
-    for (const auto& file : files) load_record_file(file, into);
-    return;
+  // Winners keyed by grid position: last-wins in scan order while reading,
+  // canonical (point, trial) order when writing — which is what makes
+  // compaction deterministic in its input set and a fixed point of itself.
+  std::map<std::pair<std::size_t, int>, TrialRecord> winners;
+  CompactionResult result;
+  while (const std::optional<TrialRecord> record = reader.next()) {
+    const auto [it, inserted] = winners.insert_or_assign({record->point, record->trial}, *record);
+    (void)it;
+    if (!inserted) ++result.duplicates;
   }
-  if (!std::filesystem::exists(fs_path)) {
-    throw std::runtime_error("trial records: no such file or directory: '" + path + "'");
+  if (!reader.header()) {
+    throw std::runtime_error("trial records: nothing to compact (no records found)");
   }
-  load_record_file(fs_path, into);
+  result.header = *reader.header();
+  result.files = reader.files();
+  result.records = reader.records();
+  result.discarded_partial = reader.discarded_partial();
+
+  // Plain buffered writes (one flush at the end): a compaction is
+  // re-runnable from its inputs, so it does not need the sink's
+  // crash-safety flush per line.
+  std::ofstream out(output_path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trial records: cannot open '" + output_path + "' for writing");
+  }
+  out << header_line(result.header) << '\n';
+  for (const auto& [position, record] : winners) {
+    out << record_line(record) << '\n';
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("trial records: write failed on '" + output_path + "'");
+  }
+  result.written = winners.size();
+  return result;
 }
 
 }  // namespace netcons::campaign

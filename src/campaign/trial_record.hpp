@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -90,6 +91,50 @@ class TrialRecordSink {
   std::mutex mutex_;
 };
 
+/// Pull-based streaming reader over a set of record files. Inputs are
+/// files and/or directories; a directory contributes its *.jsonl files in
+/// sorted name order (== generation order, record_file_name zero-pads).
+/// Every file's header must carry the same spec fingerprint; a mismatch is
+/// a hard error naming the differing field. Records stream one line at a
+/// time, so peak memory is one line — never the record set — which is what
+/// lets netcons_report walk million-trial streams. Deduplication is the
+/// caller's job (the reader reports scan order; last-wins is a property of
+/// how the caller folds it).
+class TrialRecordReader {
+ public:
+  explicit TrialRecordReader(const std::vector<std::string>& inputs);
+
+  /// Pre-seed the expected fingerprint (resume, or validating records
+  /// against a live spec): every file header must then match `header`.
+  void expect_header(const CampaignHeader& header);
+
+  /// Next record in scan order; std::nullopt at end of stream. Throws
+  /// std::runtime_error on unreadable files, malformed headers/records,
+  /// header mismatches, and records outside the campaign grid.
+  [[nodiscard]] std::optional<TrialRecord> next();
+
+  /// Fingerprint of the first non-empty file; unset until one was read.
+  [[nodiscard]] const std::optional<CampaignHeader>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::size_t files() const noexcept { return files_; }
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t discarded_partial() const noexcept { return discarded_partial_; }
+
+ private:
+  /// True when a line was produced; false at end of the current file.
+  bool next_line(std::string& line);
+
+  std::vector<std::string> paths_;
+  std::size_t path_index_ = 0;
+  std::unique_ptr<std::ifstream> file_;
+  std::size_t line_number_ = 0;
+  std::optional<CampaignHeader> header_;
+  std::size_t files_ = 0;
+  std::size_t records_ = 0;
+  std::size_t discarded_partial_ = 0;
+};
+
 /// Accumulated result of scanning record files.
 struct LoadedRecords {
   /// Fingerprint of the first file scanned; every later file must match.
@@ -110,5 +155,29 @@ struct LoadedRecords {
 /// a mismatch is a hard error (std::runtime_error) naming the differing
 /// field. Record indices outside the header's grid are hard errors too.
 void load_records(const std::string& path, LoadedRecords& into);
+
+/// What a compaction pass did (counts are over the whole input scan).
+struct CompactionResult {
+  CampaignHeader header;
+  std::size_t files = 0;              ///< Input files scanned.
+  std::size_t records = 0;            ///< Input lines parsed.
+  std::size_t duplicates = 0;         ///< Records superseded by a later one.
+  std::size_t discarded_partial = 0;  ///< Unterminated final lines dropped.
+  std::size_t written = 0;            ///< Deduplicated records written out.
+};
+
+/// Fold any set of record files/directories — shard files, resume
+/// generations, earlier compactions — into one deduplicated stream at
+/// `output_path`: header, then every winning record (last-wins in scan
+/// order) sorted by (point, trial). The order is canonical, so compacting
+/// the same record set always yields the same bytes and compacting a
+/// compacted file reproduces it exactly (a fixed point). Partial streams
+/// compact fine; completeness is a merge/report concern, not a compaction
+/// one. With `expected`, every input header must match it (resume-style
+/// validation). Throws std::runtime_error on empty input sets, mismatched
+/// headers, corruption, or write failure.
+CompactionResult compact_records(const std::vector<std::string>& inputs,
+                                 const std::string& output_path,
+                                 const CampaignHeader* expected = nullptr);
 
 }  // namespace netcons::campaign

@@ -1,0 +1,235 @@
+#include "campaign/trial_record.hpp"
+
+#include "campaign/campaign.hpp"
+#include "campaign/result_sink.hpp"
+#include "protocols/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netcons::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignSpec small_campaign() {
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  spec.ns = {8, 12};
+  spec.trials = 5;
+  spec.base_seed = 77;
+  return spec;
+}
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("netcons_compact_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+}
+
+TrialRecord make_record(std::size_t point, int trial, std::uint64_t value) {
+  TrialRecord record;
+  record.point = point;
+  record.trial = trial;
+  record.seed = value;
+  record.outcome.success = true;
+  record.outcome.value = value;
+  return record;
+}
+
+/// Write one generation file holding `records`.
+void write_generation(const fs::path& dir, const CampaignHeader& header, int generation,
+                      const std::vector<TrialRecord>& records) {
+  std::ofstream file(dir / record_file_name(0, 1, generation));
+  file << header_line(header) << '\n';
+  for (const TrialRecord& record : records) file << record_line(record) << '\n';
+}
+
+TEST(Compaction, ReaderStreamsRecordsInScanOrder) {
+  const CampaignHeader header = CampaignHeader::describe(small_campaign());
+  const fs::path dir = scratch_dir("reader");
+  write_generation(dir, header, 0, {make_record(0, 0, 1), make_record(0, 1, 2)});
+  write_generation(dir, header, 1, {make_record(1, 0, 3)});
+
+  TrialRecordReader reader({dir.string()});
+  std::vector<std::uint64_t> seen;
+  while (const auto record = reader.next()) seen.push_back(record->outcome.value);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reader.files(), 2u);
+  EXPECT_EQ(reader.records(), 3u);
+  EXPECT_EQ(reader.discarded_partial(), 0u);
+  ASSERT_TRUE(reader.header().has_value());
+  EXPECT_EQ(*reader.header(), header);
+}
+
+TEST(Compaction, DuplicateTrialsAcrossGenerationsResolveLastWins) {
+  const CampaignHeader header = CampaignHeader::describe(small_campaign());
+  const fs::path dir = scratch_dir("lastwins");
+  // Three generations re-record (0, 0); generation order must win, and the
+  // in-file duplicate of generation 1 must lose to its own later line.
+  write_generation(dir, header, 0, {make_record(0, 0, 111), make_record(0, 1, 10)});
+  write_generation(dir, header, 1,
+                   {make_record(0, 0, 221), make_record(0, 0, 222), make_record(1, 0, 20)});
+  write_generation(dir, header, 2, {make_record(0, 0, 333)});
+
+  const fs::path out = fs::path(::testing::TempDir()) / "netcons_compact_lastwins.jsonl";
+  const CompactionResult result = compact_records({dir.string()}, out.string());
+  EXPECT_EQ(result.files, 3u);
+  EXPECT_EQ(result.records, 6u);
+  EXPECT_EQ(result.duplicates, 3u);
+  EXPECT_EQ(result.written, 3u);
+
+  LoadedRecords loaded;
+  load_records(out.string(), loaded);
+  EXPECT_EQ(loaded.outcomes.at({0, 0}).value, 333u);
+  EXPECT_EQ(loaded.outcomes.at({0, 1}).value, 10u);
+  EXPECT_EQ(loaded.outcomes.at({1, 0}).value, 20u);
+  EXPECT_EQ(loaded.duplicates, 0u);  // The compacted stream itself is clean.
+}
+
+TEST(Compaction, TruncatedTailInTheMiddleGenerationIsDiscardedNotFatal) {
+  const CampaignHeader header = CampaignHeader::describe(small_campaign());
+  const fs::path dir = scratch_dir("midtail");
+  write_generation(dir, header, 0, {make_record(0, 0, 1)});
+  write_generation(dir, header, 1, {make_record(0, 1, 2), make_record(0, 2, 3)});
+  write_generation(dir, header, 2, {make_record(0, 3, 4)});
+
+  // Chop generation 1 mid-line: its final record becomes a partial write.
+  const fs::path middle = dir / record_file_name(0, 1, 1);
+  fs::resize_file(middle, fs::file_size(middle) - 7);
+
+  const fs::path out = fs::path(::testing::TempDir()) / "netcons_compact_midtail.jsonl";
+  const CompactionResult result = compact_records({dir.string()}, out.string());
+  EXPECT_EQ(result.discarded_partial, 1u);
+  EXPECT_EQ(result.written, 3u);  // (0,0), (0,1), (0,3); the chopped (0,2) is gone.
+
+  LoadedRecords loaded;
+  load_records(out.string(), loaded);
+  EXPECT_EQ(loaded.outcomes.count({0, 2}), 0u);
+  EXPECT_EQ(loaded.outcomes.at({0, 3}).value, 4u);
+}
+
+TEST(Compaction, CompactOfCompactIsAFixedPoint) {
+  const CampaignSpec spec = small_campaign();
+  const fs::path dir = scratch_dir("fixedpoint");
+  const CampaignHeader header = CampaignHeader::describe(spec);
+
+  // A messy input: two generations, duplicates, records out of grid order.
+  write_generation(dir, header, 0,
+                   {make_record(1, 4, 1), make_record(0, 2, 2), make_record(1, 0, 3)});
+  write_generation(dir, header, 1, {make_record(0, 2, 22), make_record(0, 0, 4)});
+
+  const fs::path once = fs::path(::testing::TempDir()) / "netcons_compact_once.jsonl";
+  const fs::path twice = fs::path(::testing::TempDir()) / "netcons_compact_twice.jsonl";
+  const CompactionResult first = compact_records({dir.string()}, once.string());
+  const CompactionResult second = compact_records({once.string()}, twice.string());
+
+  EXPECT_EQ(first.written, 4u);
+  EXPECT_EQ(second.records, first.written);
+  EXPECT_EQ(second.duplicates, 0u);
+  EXPECT_EQ(slurp(once), slurp(twice));  // Byte-for-byte: the fixed point.
+}
+
+TEST(Compaction, CompactedRecordsAreInCanonicalTrialOrder) {
+  const CampaignHeader header = CampaignHeader::describe(small_campaign());
+  const fs::path dir = scratch_dir("order");
+  write_generation(dir, header, 0,
+                   {make_record(1, 3, 1), make_record(0, 4, 2), make_record(1, 0, 3),
+                    make_record(0, 0, 4)});
+
+  const fs::path out = fs::path(::testing::TempDir()) / "netcons_compact_order.jsonl";
+  compact_records({dir.string()}, out.string());
+
+  TrialRecordReader reader({out.string()});
+  std::vector<std::pair<std::size_t, int>> positions;
+  while (const auto record = reader.next()) positions.emplace_back(record->point, record->trial);
+  EXPECT_EQ(positions, (std::vector<std::pair<std::size_t, int>>{
+                           {0, 0}, {0, 4}, {1, 0}, {1, 3}}));
+}
+
+TEST(Compaction, ValidatesAgainstAnExpectedHeader) {
+  const CampaignSpec spec = small_campaign();
+  const fs::path dir = scratch_dir("expected");
+  write_generation(dir, CampaignHeader::describe(spec), 0, {make_record(0, 0, 1)});
+
+  const fs::path out = fs::path(::testing::TempDir()) / "netcons_compact_expected.jsonl";
+  CampaignSpec other = small_campaign();
+  other.base_seed = 78;
+  const CampaignHeader mismatched = CampaignHeader::describe(other);
+  EXPECT_THROW(compact_records({dir.string()}, out.string(), &mismatched), std::runtime_error);
+
+  const CampaignHeader matching = CampaignHeader::describe(spec);
+  EXPECT_EQ(compact_records({dir.string()}, out.string(), &matching).written, 1u);
+}
+
+TEST(Compaction, EmptyInputSetIsAnError) {
+  const fs::path dir = scratch_dir("empty");
+  const fs::path out = fs::path(::testing::TempDir()) / "netcons_compact_empty.jsonl";
+  EXPECT_THROW(compact_records({dir.string()}, out.string()), std::runtime_error);
+}
+
+TEST(Compaction, MergeFromCompactedMatchesMergeFromGenerations) {
+  // End to end on a live campaign: interrupt (trial cap), resume — two
+  // generations plus duplicates — then compact, and check both record sets
+  // reduce to byte-identical summaries.
+  const CampaignSpec spec = small_campaign();
+  const fs::path dir = scratch_dir("endtoend");
+  const CampaignHeader header = CampaignHeader::describe(spec);
+
+  {
+    TrialRecordSink sink((dir / record_file_name(0, 1, 0)).string(), header);
+    RunOptions options;
+    options.trial_cap = 7;
+    options.on_trial = [&sink](std::size_t point, int trial, std::uint64_t seed,
+                               const TrialOutcome& outcome) {
+      sink.write(TrialRecord{point, trial, seed, outcome});
+    };
+    ASSERT_FALSE(run(spec, options).complete);
+  }
+  LoadedRecords partial;
+  partial.header = header;
+  load_records(dir.string(), partial);
+  {
+    TrialRecordSink sink((dir / record_file_name(0, 1, 1)).string(), header);
+    RunOptions options;
+    options.resume = &partial.outcomes;
+    options.on_trial = [&sink](std::size_t point, int trial, std::uint64_t seed,
+                               const TrialOutcome& outcome) {
+      sink.write(TrialRecord{point, trial, seed, outcome});
+    };
+    ASSERT_TRUE(run(spec, options).complete);
+  }
+
+  const fs::path compacted = fs::path(::testing::TempDir()) / "netcons_compact_endtoend.jsonl";
+  compact_records({dir.string()}, compacted.string());
+
+  const auto merge = [&](const std::string& path) {
+    LoadedRecords loaded;
+    load_records(path, loaded);
+    std::vector<std::vector<TrialOutcome>> outcomes(loaded.header->points.size());
+    for (std::size_t p = 0; p < outcomes.size(); ++p) {
+      outcomes[p].resize(static_cast<std::size_t>(loaded.header->trials));
+      for (int t = 0; t < loaded.header->trials; ++t) {
+        outcomes[p][static_cast<std::size_t>(t)] = loaded.outcomes.at({p, t});
+      }
+    }
+    return to_json(reduce_outcomes(loaded.header->points, loaded.header->trials, outcomes));
+  };
+  EXPECT_EQ(merge(dir.string()), merge(compacted.string()));
+}
+
+}  // namespace
+}  // namespace netcons::campaign

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py, registered with ctest.
+
+Exercised as a subprocess (the way CI calls it) so the exit-status contract
+is what's under test: 0 within threshold, 1 on regression, 2 on a broken
+current file, 3 on a missing or schema-mismatched baseline.
+
+Stdlib only, like the script itself.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "tools" / "compare_bench.py"
+
+
+def bench_doc(value):
+    return {"benches": {"scaling": {"throughput": {"trials_per_second": value}}}}
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="netcons_compare_bench_")
+        self.root = pathlib.Path(self.dir.name)
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, document):
+        path = self.root / name
+        if isinstance(document, str):
+            path.write_text(document)
+        else:
+            path.write_text(json.dumps(document))
+        return path
+
+    def run_compare(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), str(baseline), str(current), *extra],
+            capture_output=True, text=True)
+
+    def test_within_threshold_passes(self):
+        result = self.run_compare(self.write("base.json", bench_doc(100.0)),
+                                  self.write("cur.json", bench_doc(90.0)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_regression_fails_with_status_1(self):
+        result = self.run_compare(self.write("base.json", bench_doc(100.0)),
+                                  self.write("cur.json", bench_doc(50.0)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_missing_baseline_is_status_3_with_message_not_a_traceback(self):
+        result = self.run_compare(self.root / "does-not-exist.json",
+                                  self.write("cur.json", bench_doc(100.0)))
+        self.assertEqual(result.returncode, 3)
+        self.assertIn("seed a fresh baseline", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_malformed_baseline_is_status_3(self):
+        result = self.run_compare(self.write("base.json", "{not json"),
+                                  self.write("cur.json", bench_doc(100.0)))
+        self.assertEqual(result.returncode, 3)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_schema_mismatched_baseline_is_status_3(self):
+        # Valid JSON, but nothing under a "throughput" object.
+        result = self.run_compare(self.write("base.json", {"other_schema": [1, 2, 3]}),
+                                  self.write("cur.json", bench_doc(100.0)))
+        self.assertEqual(result.returncode, 3)
+        self.assertIn("no throughput metrics", result.stderr)
+
+    def test_missing_current_is_status_2(self):
+        result = self.run_compare(self.write("base.json", bench_doc(100.0)),
+                                  self.root / "does-not-exist.json")
+        self.assertEqual(result.returncode, 2)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_new_and_missing_metrics_never_fail_the_gate(self):
+        baseline = {"benches": {"old": {"throughput": {"gone": 10.0}},
+                                "shared": {"throughput": {"kept": 100.0}}}}
+        current = {"benches": {"new": {"throughput": {"fresh": 5.0}},
+                               "shared": {"throughput": {"kept": 99.0}}}}
+        result = self.run_compare(self.write("base.json", baseline),
+                                  self.write("cur.json", current))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("NEW", result.stdout)
+        self.assertIn("MISSING", result.stdout)
+
+    def test_threshold_flag_is_respected(self):
+        result = self.run_compare(self.write("base.json", bench_doc(100.0)),
+                                  self.write("cur.json", bench_doc(90.0)),
+                                  "--threshold", "0.05")
+        self.assertEqual(result.returncode, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -12,7 +12,14 @@ Metrics present in only one of the two files are reported but never fail
 the gate, so adding a new bench does not brick CI on its first night.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
-Exit status: 1 on regression, 2 on bad input, 0 otherwise.
+
+Exit status:
+    0  within threshold
+    1  regression beyond threshold
+    2  the CURRENT file is missing/unreadable/malformed (this run's bug)
+    3  the BASELINE is missing, unreadable, or carries no throughput
+       metrics (schema mismatch) -- "seed a fresh baseline", never a
+       traceback; the nightly workflow treats 3 as first-run success
 
 Stdlib only -- CI runners need nothing installed.
 """
@@ -48,18 +55,30 @@ def main():
                         help="maximum tolerated fractional slowdown (default 0.25)")
     args = parser.parse_args()
 
+    # The current document is this run's output: failing to read it is a
+    # bug in the run itself.
     try:
-        with open(args.baseline) as f:
-            baseline = throughput_metrics(json.load(f))
         with open(args.current) as f:
             current = throughput_metrics(json.load(f))
     except (OSError, json.JSONDecodeError) as error:
-        print(f"compare_bench: {error}", file=sys.stderr)
+        print(f"compare_bench: cannot read current metrics: {error}", file=sys.stderr)
         return 2
 
+    # The baseline comes from a cache that may be absent (first run), stale,
+    # or written by an older schema. None of those are this run's fault:
+    # report distinctly (exit 3) so the caller can seed a fresh baseline.
+    try:
+        with open(args.baseline) as f:
+            baseline = throughput_metrics(json.load(f))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"compare_bench: no usable baseline ({error}); "
+              "this run should seed a fresh baseline", file=sys.stderr)
+        return 3
     if not baseline:
-        print("compare_bench: baseline has no throughput metrics; nothing to gate")
-        return 0
+        print(f"compare_bench: baseline {args.baseline} has no throughput metrics "
+              "(schema mismatch?); this run should seed a fresh baseline",
+              file=sys.stderr)
+        return 3
 
     regressions = []
     for name in sorted(set(baseline) | set(current)):

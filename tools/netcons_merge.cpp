@@ -16,6 +16,16 @@
 // trial) order), the merged JSON and CSV are byte-identical to an
 // unsharded, uninterrupted run's output. CI enforces this with cmp.
 //
+//   netcons_merge --compact all.jsonl records/ shard1/ shard2/
+//
+// --compact OUT folds the input record files — shard files, resume
+// generations, earlier compactions — into one deduplicated stream at OUT:
+// the shared header, then every winning record sorted by (point, trial).
+// The order is canonical, so compacting a compacted file reproduces it
+// byte-for-byte (a fixed point), and partial streams compact fine (--json/
+// --csv still require a complete grid). Archive OUT instead of a directory
+// of generations.
+//
 // Exit status: 0 on a complete merge, 2 on usage errors, 1 on missing
 // trials / header mismatches / corrupt records.
 #include "campaign/campaign.hpp"
@@ -34,7 +44,7 @@ using namespace netcons;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--json FILE] [--csv FILE] [--quiet] RECORDS...\n"
+            << " [--json FILE] [--csv FILE] [--compact FILE] [--quiet] RECORDS...\n"
                "       RECORDS: trial-record .jsonl files and/or directories of them\n";
   return 2;
 }
@@ -45,13 +55,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string json_path;
   std::string csv_path;
+  std::string compact_path;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--csv") {
+    if (arg == "--json" || arg == "--csv" || arg == "--compact") {
       if (i + 1 >= argc) return usage(argv[0]);
-      (arg == "--json" ? json_path : csv_path) = argv[++i];
+      (arg == "--json" ? json_path : arg == "--csv" ? csv_path : compact_path) = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -62,6 +73,29 @@ int main(int argc, char** argv) {
     }
   }
   if (inputs.empty()) return usage(argv[0]);
+
+  if (!compact_path.empty()) {
+    campaign::CompactionResult compacted;
+    try {
+      compacted = campaign::compact_records(inputs, compact_path);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    if (!quiet) {
+      std::cout << "compacted " << compacted.records << " records from " << compacted.files
+                << " files into " << compacted.written << " at " << compact_path << " ("
+                << compacted.duplicates << " superseded duplicates, "
+                << compacted.discarded_partial << " discarded partial lines)\n";
+    }
+    // A summary may still be requested alongside compaction; without one,
+    // the compacted stream is the whole job. When both are asked for, the
+    // summary folds from the just-written compacted file (already
+    // deduplicated, and one scan of it instead of a second scan of every
+    // input generation).
+    if (json_path.empty() && csv_path.empty()) return 0;
+    inputs.assign(1, compact_path);
+  }
 
   campaign::LoadedRecords loaded;
   try {

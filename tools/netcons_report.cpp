@@ -1,0 +1,449 @@
+// netcons_report: per-trial distribution analytics over trial-record
+// streams — the paper's figure-style views (stabilization-time histograms,
+// ECDFs, tail quantiles) computed exactly from any set of record files.
+//
+//   netcons_report records/ --json report.json --csv report.csv
+//   netcons_report shard0/ shard1/ shard2/ --bins 32 --json report.json
+//   netcons_report records/ --metrics convergence_steps,recovery_steps
+//   netcons_report --compare fault-free/ faulted/ --json compare.json
+//
+// Inputs are trial-record .jsonl files and/or directories of them (see
+// netcons_merge); all must carry the same campaign fingerprint. Records
+// stream through a bounded-memory pipeline (value -> multiplicity maps per
+// grid point), so million-trial record sets never materialize. Duplicates
+// resolve last-wins in scan order, and the emitted statistics are computed
+// in canonical (point, trial) order — the output bytes depend only on the
+// record *set*, never on file arrangement or arrival order. CI enforces
+// this with cmp: report-on-shards == report-on-compacted, run twice.
+//
+// --compare A B matches grid points across two record sets by
+// (unit, scheduler, n) — e.g. a faulted campaign against its fault-free
+// twin — and reports the exact two-sample Kolmogorov–Smirnov distance per
+// metric.
+//
+// Exit status: 0 on success, 2 on usage errors, 1 on incomplete streams
+// (unless --allow-partial), header mismatches, or corrupt records.
+#include "analysis/distribution.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/json.hpp"
+#include "campaign/result_sink.hpp"
+#include "campaign/trial_record.hpp"
+#include "util/table.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace netcons;
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::optional<std::string> json_path;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> ecdf_csv_path;
+  std::vector<analysis::Metric> metrics;  // Empty: all, in canonical order.
+  int bins = 0;                           // <= 0: Freedman–Diaconis.
+  bool compare = false;
+  bool allow_partial = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " RECORDS... [--json FILE] [--csv FILE] [--ecdf-csv FILE]\n"
+               "       [--bins N|fd] [--metrics m1,m2,...] [--allow-partial] [--quiet]\n"
+               "       "
+            << argv0
+            << " --compare A B [--json FILE] [--quiet]\n"
+               "       RECORDS: trial-record .jsonl files and/or directories of them\n"
+               "       metrics: convergence_steps, steps_executed, recovery_steps, "
+               "edges_residual\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--allow-partial") {
+      opt.allow_partial = true;
+    } else if (arg == "--compare") {
+      opt.compare = true;
+    } else if (arg == "--json" || arg == "--csv" || arg == "--ecdf-csv") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (arg == "--json") opt.json_path = v;
+      if (arg == "--csv") opt.csv_path = v;
+      if (arg == "--ecdf-csv") opt.ecdf_csv_path = v;
+    } else if (arg == "--bins") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const std::string value = v;
+      if (value == "fd") {
+        opt.bins = 0;
+      } else {
+        // Strict parse: the whole token must be a number ("32abc" and
+        // "1e3" are typos, not bin counts).
+        char* end = nullptr;
+        errno = 0;
+        const long bins = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || errno == ERANGE || bins < 1 ||
+            bins > analysis::kMaxHistogramBins) {
+          std::cerr << "--bins expects fd or an integer in [1, "
+                    << analysis::kMaxHistogramBins << "], got '" << value << "'\n";
+          return std::nullopt;
+        }
+        opt.bins = static_cast<int>(bins);
+      }
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::stringstream stream{std::string(v)};
+      std::string item;
+      while (std::getline(stream, item, ',')) {
+        if (item.empty()) continue;
+        const auto metric = analysis::metric_from_name(item);
+        if (!metric) {
+          std::cerr << "unknown metric '" << item << "'; metrics:";
+          for (const auto m : analysis::all_metrics()) {
+            std::cerr << ' ' << analysis::metric_name(m);
+          }
+          std::cerr << "\n";
+          return std::nullopt;
+        }
+        opt.metrics.push_back(*metric);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return std::nullopt;
+    } else {
+      opt.inputs.push_back(arg);
+    }
+  }
+  if (opt.inputs.empty()) return std::nullopt;
+  if (opt.compare) {
+    if (opt.inputs.size() != 2) {
+      std::cerr << "--compare expects exactly two record sets\n";
+      return std::nullopt;
+    }
+    // Refuse flags compare mode would silently ignore: a requested output
+    // file that never appears is a broken pipeline, not a no-op.
+    if (opt.csv_path || opt.ecdf_csv_path || opt.bins != 0) {
+      std::cerr << "--compare emits KS distances only (--json/--metrics); "
+                   "--csv, --ecdf-csv and --bins do not apply\n";
+      return std::nullopt;
+    }
+  }
+  if (opt.metrics.empty()) {
+    opt.metrics.assign(analysis::all_metrics().begin(), analysis::all_metrics().end());
+  }
+  return opt;
+}
+
+/// Stream every record under `inputs` into a distribution builder.
+analysis::RecordDistributionBuilder load(const std::vector<std::string>& inputs) {
+  campaign::TrialRecordReader reader(inputs);
+  std::optional<analysis::RecordDistributionBuilder> builder;
+  while (const auto record = reader.next()) {
+    if (!builder) builder.emplace(*reader.header());
+    builder->add(*record);
+  }
+  if (!builder) {
+    if (!reader.header()) throw std::runtime_error("no trial records found in the given inputs");
+    builder.emplace(*reader.header());
+  }
+  return std::move(*builder);
+}
+
+/// Metrics that can ever have samples at this point (recovery metrics only
+/// exist under a fault plan); emitting on applicability — not on observed
+/// counts — keeps the document layout a pure function of the grid.
+bool metric_applicable(analysis::Metric metric, bool faulted) {
+  return faulted || (metric != analysis::Metric::kRecoverySteps &&
+                     metric != analysis::Metric::kEdgesResidual);
+}
+
+void append_metric_json(std::string& out, analysis::Metric metric,
+                        const analysis::ValueDistribution& dist, int bins) {
+  out += "{\"metric\": ";
+  campaign::json::append_escaped(out, std::string(analysis::metric_name(metric)));
+  out += ", \"count\": " + std::to_string(dist.count());
+  out += ", \"min\": " + std::to_string(dist.min());
+  out += ", \"max\": " + std::to_string(dist.max());
+  out += ", \"mean\": ";
+  campaign::json::append_double(out, dist.mean());
+  out += ", \"stddev\": ";
+  campaign::json::append_double(out, dist.stddev());
+  for (const auto& [name, p] :
+       {std::pair{"p50", 0.50}, std::pair{"p90", 0.90}, std::pair{"p99", 0.99}}) {
+    out += ", \"";
+    out += name;
+    out += "\": ";
+    campaign::json::append_double(out, dist.quantile(p));
+  }
+  const analysis::Histogram h = analysis::histogram(dist, bins);
+  out += ", \"histogram\": {\"bins\": ";
+  out += std::to_string(h.bins());
+  out += ", \"lo\": ";
+  campaign::json::append_double(out, h.lo);
+  out += ", \"width\": ";
+  campaign::json::append_double(out, h.width);
+  out += ", \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(h.counts[i]);
+  }
+  out += "]}";
+  out += ", \"ecdf\": [";
+  bool first = true;
+  for (const analysis::EcdfPoint& point : analysis::ecdf(dist)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "[" + std::to_string(point.value) + ", " + std::to_string(point.cumulative) + "]";
+  }
+  out += "]}";
+}
+
+std::string report_json(const analysis::RecordDistributionBuilder& builder,
+                        const std::vector<analysis::PointDistributions>& dists,
+                        const Options& opt) {
+  const campaign::CampaignHeader& header = builder.header();
+  std::string out = "{\n  \"schema\": \"netcons-report-v1\",\n";
+  out += "  \"base_seed\": " + std::to_string(header.base_seed) + ",\n";
+  out += "  \"trials\": " + std::to_string(header.trials) + ",\n";
+  out += "  \"trials_recorded\": " + std::to_string(builder.filled()) + ",\n";
+  out += "  \"binning\": ";
+  campaign::json::append_escaped(
+      out, opt.bins <= 0 ? std::string("fd") : "fixed:" + std::to_string(opt.bins));
+  out += ",\n  \"points\": [\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    const campaign::GridPoint& point = header.points[p];
+    out += "    {\"unit\": ";
+    campaign::json::append_escaped(out, point.unit);
+    out += ", \"scheduler\": ";
+    campaign::json::append_escaped(out, point.scheduler);
+    out += ", \"faults\": ";
+    campaign::json::append_escaped(out, point.faults);
+    out += ", \"n\": " + std::to_string(point.n);
+    out += ", \"seed\": " + std::to_string(point.seed);
+    out += ",\n     \"metrics\": [\n";
+    bool first = true;
+    for (const analysis::Metric metric : opt.metrics) {
+      if (!metric_applicable(metric, point.faulted)) continue;
+      if (!first) out += ",\n";
+      first = false;
+      out += "      ";
+      append_metric_json(out, metric, dists[p].metric(metric), opt.bins);
+    }
+    out += "\n     ]}";
+    out += (p + 1 < header.points.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void append_point_prefix(std::string& out, const campaign::GridPoint& point,
+                         analysis::Metric metric) {
+  out += campaign::csv_field(point.unit) + ',' + campaign::csv_field(point.scheduler) + ',' +
+         campaign::csv_field(point.faults) + ',' + std::to_string(point.n) + ',';
+  out += analysis::metric_name(metric);
+}
+
+std::string histogram_csv(const campaign::CampaignHeader& header,
+                          const std::vector<analysis::PointDistributions>& dists,
+                          const Options& opt) {
+  std::string out = "unit,scheduler,faults,n,metric,bin,lo,hi,count\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    for (const analysis::Metric metric : opt.metrics) {
+      if (!metric_applicable(metric, header.points[p].faulted)) continue;
+      const analysis::Histogram h = analysis::histogram(dists[p].metric(metric), opt.bins);
+      for (std::size_t bin = 0; bin < h.counts.size(); ++bin) {
+        append_point_prefix(out, header.points[p], metric);
+        out += ',' + std::to_string(bin) + ',';
+        campaign::json::append_double(out, h.edge(bin));
+        out += ',';
+        campaign::json::append_double(out, h.edge(bin + 1));
+        out += ',' + std::to_string(h.counts[bin]) + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+std::string ecdf_csv(const campaign::CampaignHeader& header,
+                     const std::vector<analysis::PointDistributions>& dists,
+                     const Options& opt) {
+  std::string out = "unit,scheduler,faults,n,metric,value,cumulative,fraction\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    for (const analysis::Metric metric : opt.metrics) {
+      if (!metric_applicable(metric, header.points[p].faulted)) continue;
+      for (const analysis::EcdfPoint& point : analysis::ecdf(dists[p].metric(metric))) {
+        append_point_prefix(out, header.points[p], metric);
+        out += ',' + std::to_string(point.value) + ',' + std::to_string(point.cumulative) + ',';
+        campaign::json::append_double(out, point.fraction);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content, bool quiet) {
+  std::ofstream file(path);
+  file << content;
+  if (!file) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  if (!quiet) std::cout << "wrote " << path << '\n';
+  return true;
+}
+
+int run_report(const Options& opt) {
+  analysis::RecordDistributionBuilder builder = load(opt.inputs);
+  if (builder.missing() > 0 && !opt.allow_partial) {
+    const auto missing = builder.first_missing();
+    std::cerr << "incomplete record stream: " << builder.missing() << " of "
+              << builder.filled() + builder.missing() << " trials missing; first missing: (point "
+              << missing->first << " [" << builder.header().points[missing->first].unit
+              << " n=" << builder.header().points[missing->first].n << "], trial "
+              << missing->second
+              << ")\n(run the missing shards or netcons_campaign --resume, or pass "
+                 "--allow-partial to report the recorded trials only)\n";
+    return 1;
+  }
+
+  const std::vector<analysis::PointDistributions> dists = builder.build();
+  const campaign::CampaignHeader& header = builder.header();
+
+  if (!opt.quiet) {
+    std::cout << "report over " << builder.filled() << " trials ("
+              << builder.duplicates() << " superseded duplicates, " << builder.missing()
+              << " missing)\n";
+    TextTable table({"unit", "scheduler", "faults", "n", "metric", "count", "mean", "p50",
+                     "p90", "p99", "max"});
+    for (std::size_t p = 0; p < header.points.size(); ++p) {
+      for (const analysis::Metric metric : opt.metrics) {
+        if (!metric_applicable(metric, header.points[p].faulted)) continue;
+        const analysis::ValueDistribution& dist = dists[p].metric(metric);
+        table.add_row({header.points[p].unit, header.points[p].scheduler,
+                       header.points[p].faults,
+                       TextTable::integer(static_cast<std::uint64_t>(header.points[p].n)),
+                       std::string(analysis::metric_name(metric)),
+                       TextTable::integer(dist.count()), TextTable::num(dist.mean()),
+                       TextTable::num(dist.quantile(0.50)), TextTable::num(dist.quantile(0.90)),
+                       TextTable::num(dist.quantile(0.99)),
+                       TextTable::integer(dist.max())});
+      }
+    }
+    std::cout << table;
+  }
+
+  bool ok = true;
+  if (opt.json_path) {
+    ok = write_file(*opt.json_path, report_json(builder, dists, opt), opt.quiet) && ok;
+  }
+  if (opt.csv_path) {
+    ok = write_file(*opt.csv_path, histogram_csv(header, dists, opt), opt.quiet) && ok;
+  }
+  if (opt.ecdf_csv_path) {
+    ok = write_file(*opt.ecdf_csv_path, ecdf_csv(header, dists, opt), opt.quiet) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
+int run_compare(const Options& opt) {
+  const analysis::RecordDistributionBuilder a = load({opt.inputs[0]});
+  const analysis::RecordDistributionBuilder b = load({opt.inputs[1]});
+  const std::vector<analysis::PointDistributions> dists_a = a.build();
+  const std::vector<analysis::PointDistributions> dists_b = b.build();
+
+  struct Pair {
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+  // Match by (unit, scheduler, n) so a faulted campaign lines up with its
+  // fault-free twin; one A point may pair with several B points (e.g. one
+  // fault-free baseline against every fault plan).
+  std::vector<Pair> pairs;
+  for (std::size_t i = 0; i < a.header().points.size(); ++i) {
+    for (std::size_t j = 0; j < b.header().points.size(); ++j) {
+      const campaign::GridPoint& pa = a.header().points[i];
+      const campaign::GridPoint& pb = b.header().points[j];
+      if (pa.unit == pb.unit && pa.scheduler == pb.scheduler && pa.n == pb.n) {
+        pairs.push_back({i, j});
+      }
+    }
+  }
+  if (pairs.empty()) {
+    std::cerr << "no grid points match between the two record sets "
+                 "(matching is by unit, scheduler, n)\n";
+    return 1;
+  }
+
+  std::string json = "{\n  \"schema\": \"netcons-compare-v1\",\n  \"pairs\": [\n";
+  TextTable table({"unit", "scheduler", "n", "faults a", "faults b", "metric", "count a",
+                   "count b", "ks"});
+  bool first = true;
+  for (const Pair& pair : pairs) {
+    const campaign::GridPoint& pa = a.header().points[pair.a];
+    const campaign::GridPoint& pb = b.header().points[pair.b];
+    for (const analysis::Metric metric : opt.metrics) {
+      const analysis::ValueDistribution& da = dists_a[pair.a].metric(metric);
+      const analysis::ValueDistribution& db = dists_b[pair.b].metric(metric);
+      if (da.count() == 0 || db.count() == 0) continue;
+      const double ks = analysis::ks_distance(da, db);
+      if (!first) json += ",\n";
+      first = false;
+      json += "    {\"unit\": ";
+      campaign::json::append_escaped(json, pa.unit);
+      json += ", \"scheduler\": ";
+      campaign::json::append_escaped(json, pa.scheduler);
+      json += ", \"n\": " + std::to_string(pa.n);
+      json += ", \"faults_a\": ";
+      campaign::json::append_escaped(json, pa.faults);
+      json += ", \"faults_b\": ";
+      campaign::json::append_escaped(json, pb.faults);
+      json += ", \"metric\": ";
+      campaign::json::append_escaped(json, std::string(analysis::metric_name(metric)));
+      json += ", \"count_a\": " + std::to_string(da.count());
+      json += ", \"count_b\": " + std::to_string(db.count());
+      json += ", \"ks\": ";
+      campaign::json::append_double(json, ks);
+      json += "}";
+      table.add_row({pa.unit, pa.scheduler, TextTable::integer(static_cast<std::uint64_t>(pa.n)),
+                     pa.faults, pb.faults, std::string(analysis::metric_name(metric)),
+                     TextTable::integer(da.count()), TextTable::integer(db.count()),
+                     TextTable::num(ks)});
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (!opt.quiet) std::cout << table;
+  if (opt.json_path && !write_file(*opt.json_path, json, opt.quiet)) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return usage(argv[0]);
+  try {
+    return parsed->compare ? run_compare(*parsed) : run_report(*parsed);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}

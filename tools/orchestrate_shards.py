@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Fan a campaign out over k local processes, then merge and report.
+
+A one-machine version of the k-machine workflow README describes: run the
+same campaign spec as k disjoint shards (netcons_campaign --shard i/k,
+each streaming records into its own directory), wait for all of them, fold
+the records into the exact single-run summary (netcons_merge), compact the
+generations into one archival stream (netcons_merge --compact), and emit
+the distribution report (netcons_report).
+
+    orchestrate_shards.py --shards 4 --out campaign-out --bin-dir build \\
+        -- --protocols cycle-cover,global-star --ns 32,64 --trials 1000
+
+Everything after `--` is passed to netcons_campaign verbatim (the campaign
+spec: units, ns, trials, seed, faults, ...). Do not pass --shard/--records/
+--json there; the orchestrator owns those. Because shards are deterministic
+grid slices, the merged outputs are byte-identical to an unsharded run of
+the same spec — independent of k.
+
+Outputs under --out:
+    records/      per-shard trial-record JSONL streams
+    compact.jsonl the deduplicated, canonically ordered record stream
+    summary.json / summary.csv   the campaign summary (netcons_merge)
+    report.json / report.csv / report-ecdf.csv   distributions (netcons_report)
+
+Exit status: 0 on success (even with trial-level failures, which are data),
+2 on bad usage, 1 when a shard process dies or merge/report fail.
+
+Stdlib only -- CI runners need nothing installed.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def run_tool(cmd):
+    """Run a merge/report step, echoing the command line."""
+    print("+", " ".join(str(part) for part in cmd), flush=True)
+    return subprocess.run([str(part) for part in cmd]).returncode
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="number of local shard processes (default 2)")
+    parser.add_argument("--bin-dir", default="build",
+                        help="directory holding the netcons_* binaries (default build)")
+    parser.add_argument("--out", default="campaign-out",
+                        help="output directory (default campaign-out)")
+    parser.add_argument("--bins", default="fd",
+                        help="report histogram binning: fd or a bin count (default fd)")
+    parser.add_argument("--skip-report", action="store_true",
+                        help="merge only; skip the distribution report")
+    parser.add_argument("campaign", nargs=argparse.REMAINDER,
+                        help="-- followed by netcons_campaign spec flags")
+    args = parser.parse_args()
+
+    spec = args.campaign
+    if spec and spec[0] == "--":
+        spec = spec[1:]
+    if args.shards < 1 or not spec:
+        parser.print_usage(sys.stderr)
+        print("need --shards >= 1 and a campaign spec after --", file=sys.stderr)
+        return 2
+    for owned in ("--shard", "--records", "--resume", "--json", "--csv"):
+        if owned in spec:
+            print(f"{owned} belongs to the orchestrator; pass only the campaign spec",
+                  file=sys.stderr)
+            return 2
+
+    bin_dir = pathlib.Path(args.bin_dir)
+    campaign_bin = bin_dir / "netcons_campaign"
+    merge_bin = bin_dir / "netcons_merge"
+    report_bin = bin_dir / "netcons_report"
+    for binary in (campaign_bin, merge_bin, report_bin):
+        if not binary.exists():
+            print(f"missing binary: {binary} (build the tree first)", file=sys.stderr)
+            return 2
+
+    out = pathlib.Path(args.out)
+    records = out / "records"
+    records.mkdir(parents=True, exist_ok=True)
+
+    # --- fan out: k shard processes, each with its own record stream -------
+    children = []
+    for shard in range(args.shards):
+        cmd = [str(campaign_bin), *spec,
+               "--shard", f"{shard}/{args.shards}",
+               "--records", str(records), "--quiet"]
+        print("+", " ".join(cmd), flush=True)
+        children.append((shard, subprocess.Popen(cmd)))
+
+    failures = 0
+    exit_ones = []
+    for shard, child in children:
+        code = child.wait()
+        # Exit 1 from a shard is ambiguous: trial-level failures
+        # (non-convergence is data, recorded and merged like any other
+        # outcome) share the code with real early deaths (unwritable
+        # records, resume corruption). The merge's completeness check below
+        # is the arbiter: a shard that died early leaves missing trials and
+        # fails the merge. Anything other than 0/1 is an unambiguous error.
+        if code not in (0, 1):
+            print(f"shard {shard}/{args.shards} exited with status {code}",
+                  file=sys.stderr)
+            failures += 1
+        elif code == 1:
+            exit_ones.append(shard)
+            print(f"note: shard {shard}/{args.shards} exited 1 — trial-level "
+                  "failures were recorded, OR the shard died early (see its "
+                  "output above); the merge below will fail on missing trials "
+                  "if it was a death")
+    if failures:
+        return 1
+
+    # --- fold: summary, compacted archive stream, distribution report ------
+    if run_tool([merge_bin, records, "--json", out / "summary.json",
+                 "--csv", out / "summary.csv"]) != 0:
+        if exit_ones:
+            print(f"merge failed after shard(s) {exit_ones} exited 1: those "
+                  "shards likely died before finishing (not trial-level "
+                  "failures)", file=sys.stderr)
+        return 1
+    if run_tool([merge_bin, "--compact", out / "compact.jsonl", records,
+                 "--quiet"]) != 0:
+        return 1
+    if not args.skip_report:
+        if run_tool([report_bin, out / "compact.jsonl", "--bins", args.bins,
+                     "--json", out / "report.json", "--csv", out / "report.csv",
+                     "--ecdf-csv", out / "report-ecdf.csv"]) != 0:
+            return 1
+
+    print(f"done: {args.shards} shards -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
