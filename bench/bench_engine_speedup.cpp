@@ -1,0 +1,147 @@
+// Engine speedup gate: CensusEngine vs NaiveEngine on Simple-Global-Line
+// to stabilization.
+//
+// Simple-Global-Line is the paper's Omega(n^4) protocol: at n = 256 the
+// naive engine executes tens of millions of scheduler calls per trial,
+// almost all of them ineffective, while the census engine samples only the
+// effective encounters and advances the step clock over the rest. Both
+// engines run the same per-trial seed stream; every trial must stabilize
+// to the spanning line, and the two engines' mean convergence steps are
+// printed side by side (they agree in distribution -- the CI KS gate
+// enforces that property on recorded campaigns; this bench enforces the
+// speed claim).
+//
+// Exit status: under ctest (--min-speedup 5) the census engine must be at
+// least 5x faster in wall-clock per trial; --min-speedup 0 disables the
+// gate. --json FILE writes throughput metrics for the nightly bench
+// workflow's regression gate (tools/compare_bench.py).
+#include "campaign/campaign.hpp"
+#include "campaign/registry.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace netcons;
+
+  int n = 256;
+  int trials = 5;
+  std::uint64_t seed = 0x5eedull;
+  double min_speedup = 5.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) n = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) trials = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+
+  const ProtocolSpec spec = *campaign::make_protocol("simple-global-line");
+
+  struct EngineRun {
+    std::string name;
+    double wall_seconds = 0.0;
+    double mean_convergence = 0.0;
+    int failures = 0;
+  };
+
+  std::cout << "=== Engine speedup: Simple-Global-Line, n = " << n << ", " << trials
+            << " trials per engine ===\n\n";
+
+  std::vector<EngineRun> runs;
+  for (const std::string& name : campaign::engine_names()) {
+    const campaign::EngineOption engine = *campaign::make_engine(name);
+    EngineRun run;
+    run.name = name;
+    double total_convergence = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < trials; ++t) {
+      const campaign::ProtocolTrialReport report = campaign::run_protocol_trial_report(
+          spec, n, trial_seed(seed, static_cast<std::uint64_t>(t)), {}, {}, engine.make);
+      if (!report.stabilized || !report.target_ok) ++run.failures;
+      total_convergence += static_cast<double>(report.convergence_step);
+    }
+    run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    run.mean_convergence = trials > 0 ? total_convergence / trials : 0.0;
+    runs.push_back(run);
+  }
+
+  TextTable table({"engine", "trials", "failures", "wall s", "s/trial", "mean conv. steps"});
+  for (const EngineRun& run : runs) {
+    table.add_row({run.name, TextTable::integer(static_cast<std::uint64_t>(trials)),
+                   TextTable::integer(static_cast<std::uint64_t>(run.failures)),
+                   TextTable::num(run.wall_seconds, 3),
+                   TextTable::num(trials > 0 ? run.wall_seconds / trials : 0.0, 4),
+                   TextTable::num(run.mean_convergence)});
+  }
+  std::cout << table << '\n';
+
+  // Look the two gated engines up by name: the registry is built for
+  // extension, and a reordered or grown engine list must not silently
+  // change which ratio the nightly gate enforces.
+  const auto find_run = [&runs](const std::string& name) -> const EngineRun& {
+    for (const EngineRun& run : runs) {
+      if (run.name == name) return run;
+    }
+    std::cerr << "engine '" << name << "' missing from the registry\n";
+    std::exit(1);
+  };
+  const EngineRun& naive = find_run("naive");
+  const EngineRun& census = find_run("census");
+  const double speedup =
+      census.wall_seconds > 0.0 ? naive.wall_seconds / census.wall_seconds : 0.0;
+  std::cout << "census speedup vs naive: " << TextTable::num(speedup, 2) << "x (same seeds, "
+            << "same stabilization criterion; convergence-step distributions agree -- see the "
+               "CI KS gate)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"bench\": \"engine_speedup\",\n"
+         << "  \"n\": " << n << ",\n"
+         << "  \"trials\": " << trials << ",\n"
+         << "  \"naive_wall_seconds\": " << naive.wall_seconds << ",\n"
+         << "  \"census_wall_seconds\": " << census.wall_seconds << ",\n"
+         << "  \"throughput\": {\n"
+         << "    \"census_trials_per_second\": "
+         << (census.wall_seconds > 0.0 ? trials / census.wall_seconds : 0.0) << ",\n"
+         << "    \"census_speedup_vs_naive\": " << speedup << "\n  }\n}\n";
+    file.flush();
+    if (!file) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
+
+  bool ok = true;
+  for (const EngineRun& run : runs) {
+    if (run.failures > 0) {
+      std::cout << "FAIL: " << run.failures << " of " << trials << " " << run.name
+                << " trials did not stabilize to the target line\n";
+      ok = false;
+    }
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::cout << "FAIL: census speedup " << TextTable::num(speedup, 2) << "x is below the "
+              << TextTable::num(min_speedup, 1) << "x gate\n";
+    ok = false;
+  }
+  if (ok && min_speedup > 0.0) {
+    std::cout << "PASS: census engine is >= " << TextTable::num(min_speedup, 1)
+              << "x faster to stabilization\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -46,9 +46,13 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> protocol_names = {"simple-global-line", "cycle-cover",
                                                    "global-star"};
-  const std::vector<std::string> plan_names = {"crash:k=1",       "crash:k=2",
-                                               "edge-burst:f=0.1", "edge-burst:f=0.3",
-                                               "edge-rate:p=1e-3", "reset:k=2"};
+  // crash:k=1:target=max-degree is the adversarial selector: instead of a
+  // random victim it always removes the busiest hub (for Global-Star, the
+  // center itself), probing worst-case rather than average-case recovery.
+  const std::vector<std::string> plan_names = {
+      "crash:k=1",        "crash:k=2",        "crash:k=1:target=max-degree",
+      "edge-burst:f=0.1", "edge-burst:f=0.3", "edge-rate:p=1e-3",
+      "reset:k=2"};
 
   campaign::CampaignSpec spec;
   for (const std::string& name : protocol_names) {

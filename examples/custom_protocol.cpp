@@ -3,9 +3,10 @@
 // We build the paper's maximum-matching variation from Section 3.3 --
 // (a, a, 0) -> (b, b, 1) -- extend it into a "paired-star" protocol of our
 // own, validate it with the builder, run it under two different fair
-// schedulers, and verify the stabilized outputs. This is the end-to-end
-// workflow for experimenting with new rule sets.
-#include "core/simulator.hpp"
+// schedulers and both execution engines, and verify the stabilized
+// outputs. This is the end-to-end workflow for experimenting with new
+// rule sets.
+#include "core/census_engine.hpp"
 #include "graph/predicates.hpp"
 #include "sched/schedulers.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,15 @@ int main() {
   const auto report2 = round_sim.run_until_stable();
   std::cout << "permutation scheduler: stabilized = " << report2.stabilized
             << ", steps = " << report2.convergence_step << '\n';
+
+  // --- Step 3b: the census engine skips ineffective encounters while
+  // sampling the same convergence-step distribution (core/census_engine.hpp);
+  // custom protocols get the fast path for free. ---
+  CensusEngine census_sim(protocol, 17, 3);
+  const auto report3 = census_sim.run_until_stable();
+  std::cout << "census engine: stabilized = " << report3.stabilized << ", steps = "
+            << report3.convergence_step << " (" << census_sim.effective_steps()
+            << " executed)\n";
 
   // --- Step 4: inspect the stabilized output. ---
   const Graph g = uniform_sim.world().output_graph(protocol);

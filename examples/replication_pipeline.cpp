@@ -4,6 +4,7 @@
 // paper's vision of structures that reproduce themselves through local
 // interactions alone.
 #include "analysis/experiment.hpp"
+#include "core/census_engine.hpp"
 #include "graph/isomorphism.hpp"
 #include "graph/random_graphs.hpp"
 #include "protocols/protocols.hpp"
@@ -24,10 +25,13 @@ int main(int argc, char** argv) {
   for (int generation = 1; generation <= 3; ++generation) {
     const auto spec = protocols::replication(current);
     const int population = 2 * current.order() + 1;
-    Simulator sim(spec.protocol, population, rng.split());
+    // Replication runs its eternal-leader certificate under the census
+    // engine: the custom input graph lands through mutable_world() and the
+    // engine rebuilds its tables before sampling.
+    CensusEngine sim(spec.protocol, population, rng.split());
     spec.initialize(sim.mutable_world());
 
-    Simulator::StabilityOptions options;
+    Engine::StabilityOptions options;
     options.max_steps = spec.max_steps(population);
     options.certificate = spec.certificate;
     const auto report = sim.run_until_stable(options);

@@ -11,13 +11,17 @@ namespace {
 /// aggregates are bit-identical for any thread count.
 std::vector<MeasurePoint> run_as_campaign(campaign::Unit unit, const std::vector<int>& ns,
                                           int trials, std::uint64_t base_seed, int threads,
-                                          const faults::FaultPlan& fault_plan = {}) {
+                                          const faults::FaultPlan& fault_plan = {},
+                                          const campaign::EngineOption& engine = {}) {
   campaign::CampaignSpec spec;
   spec.units.push_back(std::move(unit));
   spec.ns = ns;
   spec.trials = trials;
   spec.base_seed = base_seed;
   if (!fault_plan.empty()) spec.faults.push_back(fault_plan);
+  // A one-option engine axis leaves grid positions -- hence per-trial
+  // seeds -- identical to a spec with no engine axis at all.
+  if (engine.make || engine.name != "naive") spec.engines.push_back(engine);
 
   campaign::RunOptions options;
   options.threads = threads;
@@ -44,10 +48,11 @@ std::vector<MeasurePoint> points_from_campaign(const campaign::CampaignResult& r
 }
 
 TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
-                      const faults::FaultPlan& fault_plan) {
+                      const faults::FaultPlan& fault_plan,
+                      const campaign::EngineOption& engine) {
   // One canonical trial-driving sequence for single runs and campaigns.
   const campaign::ProtocolTrialReport report =
-      campaign::run_protocol_trial_report(spec, n, seed, {}, fault_plan);
+      campaign::run_protocol_trial_report(spec, n, seed, {}, fault_plan, engine.make);
   TrialResult result;
   result.stabilized = report.stabilized;
   result.target_ok = report.target_ok;
@@ -62,17 +67,19 @@ TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
 }
 
 MeasurePoint measure(const ProtocolSpec& spec, int n, int trials, std::uint64_t base_seed,
-                     int threads, const faults::FaultPlan& fault_plan) {
+                     int threads, const faults::FaultPlan& fault_plan,
+                     const campaign::EngineOption& engine) {
   return run_as_campaign(campaign::Unit::protocol("protocol", spec), {n}, trials, base_seed,
-                         threads, fault_plan)
+                         threads, fault_plan, engine)
       .front();
 }
 
 std::vector<MeasurePoint> sweep(const ProtocolSpec& spec, const std::vector<int>& ns, int trials,
                                 std::uint64_t base_seed, int threads,
-                                const faults::FaultPlan& fault_plan) {
+                                const faults::FaultPlan& fault_plan,
+                                const campaign::EngineOption& engine) {
   return run_as_campaign(campaign::Unit::protocol("protocol", spec), ns, trials, base_seed,
-                         threads, fault_plan);
+                         threads, fault_plan, engine);
 }
 
 LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {
@@ -87,14 +94,18 @@ LinearFit fit_exponent(const std::vector<MeasurePoint>& points) {
 }
 
 MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
-                             std::uint64_t base_seed, int threads) {
-  return run_as_campaign(campaign::Unit::process(spec), {n}, trials, base_seed, threads)
+                             std::uint64_t base_seed, int threads,
+                             const campaign::EngineOption& engine) {
+  return run_as_campaign(campaign::Unit::process(spec), {n}, trials, base_seed, threads, {},
+                         engine)
       .front();
 }
 
 std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec, const std::vector<int>& ns,
-                                        int trials, std::uint64_t base_seed, int threads) {
-  return run_as_campaign(campaign::Unit::process(spec), ns, trials, base_seed, threads);
+                                        int trials, std::uint64_t base_seed, int threads,
+                                        const campaign::EngineOption& engine) {
+  return run_as_campaign(campaign::Unit::process(spec), ns, trials, base_seed, threads, {},
+                         engine);
 }
 
 }  // namespace netcons::analysis

@@ -36,9 +36,12 @@ struct TrialResult {
 
 /// Run one trial of a protocol on n nodes with the given seed: simulate to
 /// certified stability -- under fault injection when `fault_plan` is
-/// non-empty -- then validate the output graph against the target.
+/// non-empty -- then validate the output graph against the target. The
+/// default engine is the reference NaiveEngine; pass
+/// campaign::make_engine("census")-style options for the fast path.
 [[nodiscard]] TrialResult run_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
-                                    const faults::FaultPlan& fault_plan = {});
+                                    const faults::FaultPlan& fault_plan = {},
+                                    const campaign::EngineOption& engine = {});
 
 struct MeasurePoint {
   int n = 0;
@@ -56,13 +59,15 @@ struct MeasurePoint {
 /// (success then means re-stabilization; see campaign::run_protocol_trial).
 [[nodiscard]] MeasurePoint measure(const ProtocolSpec& spec, int n, int trials,
                                    std::uint64_t base_seed, int threads = 0,
-                                   const faults::FaultPlan& fault_plan = {});
+                                   const faults::FaultPlan& fault_plan = {},
+                                   const campaign::EngineOption& engine = {});
 
 /// A full n-sweep, parallelized across the whole (n, trial) grid.
 [[nodiscard]] std::vector<MeasurePoint> sweep(const ProtocolSpec& spec,
                                               const std::vector<int>& ns, int trials,
                                               std::uint64_t base_seed, int threads = 0,
-                                              const faults::FaultPlan& fault_plan = {});
+                                              const faults::FaultPlan& fault_plan = {},
+                                              const campaign::EngineOption& engine = {});
 
 /// The harness view of an arbitrary campaign result, one MeasurePoint per
 /// grid point in grid order. This is how distributed measurements re-enter
@@ -80,9 +85,11 @@ struct MeasurePoint {
 /// census condition rather than stabilization). A process timeout is
 /// counted in `failures` rather than thrown.
 [[nodiscard]] MeasurePoint measure_process(const ProcessSpec& spec, int n, int trials,
-                                           std::uint64_t base_seed, int threads = 0);
+                                           std::uint64_t base_seed, int threads = 0,
+                                           const campaign::EngineOption& engine = {});
 [[nodiscard]] std::vector<MeasurePoint> sweep_process(const ProcessSpec& spec,
                                                       const std::vector<int>& ns, int trials,
-                                                      std::uint64_t base_seed, int threads = 0);
+                                                      std::uint64_t base_seed, int threads = 0,
+                                                      const campaign::EngineOption& engine = {});
 
 }  // namespace netcons::analysis

@@ -19,13 +19,15 @@ struct Point {
   const Unit* unit = nullptr;
   const SchedulerOption* scheduler = nullptr;
   const faults::FaultPlan* fault_plan = nullptr;
+  const EngineOption* engine = nullptr;
   int n = 0;
   std::uint64_t seed = 0;  ///< Base of this point's per-trial seed stream.
 };
 
 /// The canonical grid expansion (unit-major, then scheduler, then fault
-/// plan, then n) with live spec pointers. expand_grid() derives the public
-/// GridPoint descriptors from this, so the two can never disagree on order.
+/// plan, then engine, then n) with live spec pointers. expand_grid()
+/// derives the public GridPoint descriptors from this, so the two can
+/// never disagree on order.
 std::vector<Point> expand_points(const CampaignSpec& spec) {
   static const SchedulerOption kUniform{};
   std::vector<const SchedulerOption*> schedulers;
@@ -43,20 +45,31 @@ std::vector<Point> expand_points(const CampaignSpec& spec) {
     for (const auto& plan : spec.faults) fault_plans.push_back(&plan);
   }
 
+  static const EngineOption kNaive{};
+  std::vector<const EngineOption*> engines;
+  if (spec.engines.empty()) {
+    engines.push_back(&kNaive);
+  } else {
+    for (const auto& option : spec.engines) engines.push_back(&option);
+  }
+
   std::vector<Point> points;
   points.reserve(spec.units.size() * schedulers.size() * fault_plans.size() *
-                 spec.ns.size());
+                 engines.size() * spec.ns.size());
   for (const auto& unit : spec.units) {
     for (const auto* scheduler : schedulers) {
       for (const auto* fault_plan : fault_plans) {
-        for (const int n : spec.ns) {
-          Point point;
-          point.unit = &unit;
-          point.scheduler = scheduler;
-          point.fault_plan = fault_plan;
-          point.n = n;
-          point.seed = point_seed(spec.base_seed, points.size());
-          points.push_back(point);
+        for (const auto* engine : engines) {
+          for (const int n : spec.ns) {
+            Point point;
+            point.unit = &unit;
+            point.scheduler = scheduler;
+            point.fault_plan = fault_plan;
+            point.engine = engine;
+            point.n = n;
+            point.seed = point_seed(spec.base_seed, points.size());
+            points.push_back(point);
+          }
         }
       }
     }
@@ -79,13 +92,15 @@ struct Chunk {
 
 TrialOutcome run_unit_trial(const Unit& unit, int n, std::uint64_t seed,
                             const SchedulerFactory& make_scheduler,
-                            const faults::FaultPlan& fault_plan) {
+                            const faults::FaultPlan& fault_plan,
+                            const EngineFactory& make_engine) {
   if (const auto* protocol = std::get_if<ProtocolSpec>(&unit.spec)) {
-    return run_protocol_trial(*protocol, n, seed, make_scheduler, fault_plan);
+    return run_protocol_trial(*protocol, n, seed, make_scheduler, fault_plan, make_engine);
   }
   return run_process_trial(std::get<ProcessSpec>(unit.spec), n, seed, make_scheduler,
-                           fault_plan);
+                           fault_plan, make_engine);
 }
+
 
 /// Shared trial-failure policy: trial-level throws become a failed outcome
 /// with the message captured; std::bad_alloc propagates (infrastructure
@@ -115,14 +130,25 @@ int resolve_threads(int requested) noexcept {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+std::unique_ptr<Engine> instantiate_engine(const EngineFactory& make_engine,
+                                           const Protocol& protocol, int n, std::uint64_t seed,
+                                           const SchedulerFactory& make_scheduler) {
+  std::unique_ptr<Scheduler> scheduler = make_scheduler ? make_scheduler() : nullptr;
+  if (make_engine) return make_engine(protocol, n, seed, std::move(scheduler));
+  return std::make_unique<Simulator>(protocol, n, seed, std::move(scheduler));
+}
+
 ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
                                               std::uint64_t seed,
                                               const SchedulerFactory& make_scheduler,
-                                              const faults::FaultPlan& fault_plan) {
-  Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
+                                              const faults::FaultPlan& fault_plan,
+                                              const EngineFactory& make_engine) {
+  const std::unique_ptr<Engine> engine =
+      instantiate_engine(make_engine, spec.protocol, n, seed, make_scheduler);
+  Engine& sim = *engine;
   if (spec.initialize) spec.initialize(sim.mutable_world());
 
-  Simulator::StabilityOptions options;
+  Engine::StabilityOptions options;
   if (spec.max_steps) options.max_steps = spec.max_steps(n);
   options.certificate = spec.certificate;
 
@@ -149,10 +175,11 @@ ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
 
 TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n, std::uint64_t seed,
                                 const SchedulerFactory& make_scheduler,
-                                const faults::FaultPlan& fault_plan) {
+                                const faults::FaultPlan& fault_plan,
+                                const EngineFactory& make_engine) {
   return guarded_trial([&](TrialOutcome& outcome) {
     const ProtocolTrialReport report =
-        run_protocol_trial_report(spec, n, seed, make_scheduler, fault_plan);
+        run_protocol_trial_report(spec, n, seed, make_scheduler, fault_plan, make_engine);
     outcome.value = report.convergence_step;
     outcome.steps_executed = report.steps_executed;
     outcome.target_ok = report.target_ok;
@@ -170,9 +197,12 @@ TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n, std::uint64_t s
 
 TrialOutcome run_process_trial(const ProcessSpec& spec, int n, std::uint64_t seed,
                                const SchedulerFactory& make_scheduler,
-                               const faults::FaultPlan& fault_plan) {
+                               const faults::FaultPlan& fault_plan,
+                               const EngineFactory& make_engine) {
   return guarded_trial([&](TrialOutcome& outcome) {
-    Simulator sim(spec.protocol, n, seed, make_scheduler ? make_scheduler() : nullptr);
+    const std::unique_ptr<Engine> engine =
+        instantiate_engine(make_engine, spec.protocol, n, seed, make_scheduler);
+    Engine& sim = *engine;
     if (spec.initialize) spec.initialize(sim.mutable_world());
     faults::FaultSession session(fault_plan, seed);
     if (!fault_plan.empty()) {
@@ -215,6 +245,7 @@ std::vector<GridPoint> expand_grid(const CampaignSpec& spec) {
     g.unit = point.unit->name;
     g.scheduler = point.scheduler->name;
     g.faults = point.fault_plan->name;
+    g.engine = point.engine->name;
     g.faulted = !point.fault_plan->empty();
     g.n = point.n;
     g.seed = point.seed;
@@ -232,6 +263,7 @@ CampaignResult reduce_outcomes(const std::vector<GridPoint>& grid, int trials,
     point_result.unit = grid[p].unit;
     point_result.scheduler = grid[p].scheduler;
     point_result.faults = grid[p].faults;
+    point_result.engine = grid[p].engine;
     point_result.n = grid[p].n;
     point_result.trials = trials;
     point_result.seed = grid[p].seed;
@@ -340,8 +372,9 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
       const Point& point = points[task.point];
       const std::uint64_t seed =
           SeedStream(point.seed).at(static_cast<std::uint64_t>(task.trial));
-      TrialOutcome outcome =
-          run_unit_trial(*point.unit, point.n, seed, point.scheduler->make, *point.fault_plan);
+      TrialOutcome outcome = run_unit_trial(*point.unit, point.n, seed,
+                                            point.scheduler->make, *point.fault_plan,
+                                            point.engine->make);
       outcomes[task.point][static_cast<std::size_t>(task.trial)] = outcome;
       filled[slot_of(task.point, task.trial)] = 1;
       if (options.on_trial) options.on_trial(task.point, task.trial, seed, outcome);

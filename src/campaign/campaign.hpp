@@ -9,12 +9,14 @@
 // statistics are therefore bit-identical regardless of thread count, shard
 // size, or the order in which the OS schedules the workers.
 //
-// The grid is expanded unit-major, then scheduler, then fault plan, then n:
-//   point_index = ((unit_index * |schedulers| + scheduler_index) * |faults|
-//                  + fault_index) * |ns| + n_index
-// With no fault axis declared, |faults| == 1 (the implicit "none" plan) and
-// the indexing -- hence every per-trial seed -- is identical to the
-// pre-fault-axis engine.
+// The grid is expanded unit-major, then scheduler, then fault plan, then
+// execution engine, then n:
+//   point_index = (((unit_index * |schedulers| + scheduler_index) * |faults|
+//                   + fault_index) * |engines| + engine_index) * |ns| + n_index
+// With no fault axis declared, |faults| == 1 (the implicit "none" plan);
+// with no engine axis, |engines| == 1 (the implicit "naive" engine). Both
+// defaults keep the indexing -- hence every per-trial seed -- identical to
+// the pre-axis engine.
 #pragma once
 
 #include "core/spec.hpp"
@@ -41,6 +43,26 @@ struct SchedulerOption {
   std::string name = "uniform";
   SchedulerFactory make;  ///< Null: uniform random.
 };
+
+/// Creates a fresh execution engine per trial (core/engine.hpp); a null
+/// factory means the reference NaiveEngine. The scheduler argument may be
+/// null (the uniform default) and is consumed by the engine.
+using EngineFactory = std::function<std::unique_ptr<Engine>(
+    const Protocol& protocol, int n, std::uint64_t seed, std::unique_ptr<Scheduler> scheduler)>;
+
+struct EngineOption {
+  std::string name = "naive";
+  EngineFactory make;  ///< Null: NaiveEngine (the reference semantics).
+};
+
+/// Instantiate an engine under the null-factory convention (null
+/// `make_engine`: the reference NaiveEngine; null `make_scheduler`: the
+/// uniform default). The one definition of that policy — the campaign
+/// trial runners and the CLI tools all construct through here.
+[[nodiscard]] std::unique_ptr<Engine> instantiate_engine(const EngineFactory& make_engine,
+                                                         const Protocol& protocol, int n,
+                                                         std::uint64_t seed,
+                                                         const SchedulerFactory& make_scheduler);
 
 /// One row of the campaign grid: a named constructor protocol or a named
 /// Section 3.3 process.
@@ -71,6 +93,9 @@ struct CampaignSpec {
   /// Fault-plan axis (see faults/fault_plan.hpp). Empty: one implicit
   /// "none" plan, i.e. the classic fault-free campaign.
   std::vector<faults::FaultPlan> faults;
+  /// Execution-engine axis (core/engine.hpp). Empty: one implicit
+  /// {"naive", null} option -- the reference per-step engine.
+  std::vector<EngineOption> engines;
   std::uint64_t base_seed = 1;
 };
 
@@ -103,6 +128,7 @@ struct GridPoint {
   std::string unit;
   std::string scheduler;
   std::string faults = "none";
+  std::string engine = "naive";  ///< Execution-engine name of this point.
   /// Non-empty fault plan (drives the reduction's recovery aggregation).
   bool faulted = false;
   int n = 0;
@@ -112,13 +138,15 @@ struct GridPoint {
 };
 
 /// The campaign's expanded grid, in the canonical point order (unit-major,
-/// then scheduler, then fault plan, then n) with position-derived seeds.
+/// then scheduler, then fault plan, then engine, then n) with
+/// position-derived seeds.
 [[nodiscard]] std::vector<GridPoint> expand_grid(const CampaignSpec& spec);
 
 struct PointResult {
   std::string unit;
   std::string scheduler;
   std::string faults = "none";  ///< Fault-plan name of this grid point.
+  std::string engine = "naive"; ///< Execution-engine name of this grid point.
   int n = 0;
   int trials = 0;
   int failures = 0;  ///< Timeouts, target mismatches, or per-trial throws.
@@ -236,7 +264,7 @@ struct ProtocolTrialReport {
 [[nodiscard]] ProtocolTrialReport run_protocol_trial_report(
     const ProtocolSpec& spec, int n, std::uint64_t seed,
     const SchedulerFactory& make_scheduler = {},
-    const faults::FaultPlan& fault_plan = {});
+    const faults::FaultPlan& fault_plan = {}, const EngineFactory& make_engine = {});
 
 /// Run one protocol trial as the engine's inner loop: the report collapsed
 /// to a TrialOutcome, with trial-level throws captured instead of raised.
@@ -246,7 +274,8 @@ struct ProtocolTrialReport {
 [[nodiscard]] TrialOutcome run_protocol_trial(const ProtocolSpec& spec, int n,
                                               std::uint64_t seed,
                                               const SchedulerFactory& make_scheduler = {},
-                                              const faults::FaultPlan& fault_plan = {});
+                                              const faults::FaultPlan& fault_plan = {},
+                                              const EngineFactory& make_engine = {});
 
 /// Run one process trial (completion of the census condition) with an
 /// explicit scheduler factory. A timeout is reported as failure, not thrown.
@@ -255,7 +284,8 @@ struct ProtocolTrialReport {
 [[nodiscard]] TrialOutcome run_process_trial(const ProcessSpec& spec, int n,
                                              std::uint64_t seed,
                                              const SchedulerFactory& make_scheduler = {},
-                                             const faults::FaultPlan& fault_plan = {});
+                                             const faults::FaultPlan& fault_plan = {},
+                                             const EngineFactory& make_engine = {});
 
 /// Effective thread count for `requested` (0 resolves to hardware).
 [[nodiscard]] int resolve_threads(int requested) noexcept;

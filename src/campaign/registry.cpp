@@ -1,5 +1,6 @@
 #include "campaign/registry.hpp"
 
+#include "core/census_engine.hpp"
 #include "protocols/protocols.hpp"
 #include "sched/schedulers.hpp"
 
@@ -89,8 +90,27 @@ const std::vector<std::string>& scheduler_names() {
 
 const std::vector<std::string>& fault_plan_examples() {
   static const std::vector<std::string> examples = {
-      "none", "crash:k=1", "crash:k=2", "edge-burst:f=0.1", "edge-rate:p=1e-4", "reset:k=1"};
+      "none", "crash:k=1", "crash:k=2", "crash:k=1:target=max-degree",
+      "crash:k=1:target=leader", "edge-burst:f=0.1", "edge-rate:p=1e-4", "reset:k=1"};
   return examples;
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> names = {"naive", "census"};
+  return names;
+}
+
+std::optional<EngineOption> make_engine(const std::string& name) {
+  if (name == "naive") return EngineOption{"naive", nullptr};
+  if (name == "census") {
+    return EngineOption{"census",
+                        [](const Protocol& protocol, int n, std::uint64_t seed,
+                           std::unique_ptr<Scheduler> scheduler) -> std::unique_ptr<Engine> {
+                          return std::make_unique<CensusEngine>(protocol, n, seed,
+                                                                std::move(scheduler));
+                        }};
+  }
+  return std::nullopt;
 }
 
 std::optional<faults::FaultPlan> make_fault_plan(const std::string& spec, std::string* error) {

@@ -40,6 +40,14 @@ struct ProtocolParams {
 /// unknown. "uniform" yields a null factory (the simulator default).
 [[nodiscard]] std::optional<SchedulerOption> make_scheduler(const std::string& name);
 
+/// Registered execution-engine names ("naive", "census"); see
+/// core/engine.hpp for the contract each implements.
+[[nodiscard]] const std::vector<std::string>& engine_names();
+
+/// Engine option (name + factory) for a registered name; nullopt if
+/// unknown. "naive" yields a null factory (the reference NaiveEngine).
+[[nodiscard]] std::optional<EngineOption> make_engine(const std::string& name);
+
 /// Canonical example fault-plan specs for --list. Unlike the other axes the
 /// fault axis is open-ended: any spec matching the grammar of
 /// faults/fault_plan.hpp is a valid value.

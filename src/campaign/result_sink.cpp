@@ -15,6 +15,8 @@ void append_point(std::string& out, const PointSummary& p) {
   json::append_escaped(out, p.scheduler);
   out += ", \"faults\": ";
   json::append_escaped(out, p.faults);
+  out += ", \"engine\": ";
+  json::append_escaped(out, p.engine);
   out += ", \"n\": " + std::to_string(p.n);
   out += ", \"trials\": " + std::to_string(p.trials);
   out += ", \"failures\": " + std::to_string(p.failures);
@@ -55,6 +57,7 @@ PointSummary summarize(const PointResult& point) {
   s.unit = point.unit;
   s.scheduler = point.scheduler;
   s.faults = point.faults;
+  s.engine = point.engine;
   s.n = point.n;
   s.trials = point.trials;
   s.failures = point.failures;
@@ -79,7 +82,7 @@ PointSummary summarize(const PointResult& point) {
 std::string to_json(const CampaignResult& result) {
   std::string out;
   out += "{\n";
-  out += "  \"schema\": \"netcons-campaign-v2\",\n";
+  out += "  \"schema\": \"netcons-campaign-v3\",\n";
   out += "  \"total_trials\": " + std::to_string(result.total_trials) + ",\n";
   out += "  \"total_failures\": " + std::to_string(result.total_failures) + ",\n";
   out += "  \"points\": [\n";
@@ -104,13 +107,15 @@ std::string csv_field(const std::string& s) {
 
 std::string to_csv(const CampaignResult& result) {
   std::string out =
-      "unit,scheduler,faults,n,trials,failures,damaged,seed,count,mean,variance,min,max,"
+      "unit,scheduler,faults,engine,n,trials,failures,damaged,seed,count,mean,variance,min,"
+      "max,"
       "median,mean_steps_executed,recovery_mean,recovery_median,mean_faults_injected,"
       "mean_edges_deleted,mean_edges_repaired,mean_edges_residual\n";
   for (const PointResult& point : result.points) {
     const PointSummary s = summarize(point);
     out += csv_field(s.unit) + ',' + csv_field(s.scheduler) + ',' + csv_field(s.faults) + ',' +
-           std::to_string(s.n) + ',' + std::to_string(s.trials) + ',' +
+           csv_field(s.engine) + ',' + std::to_string(s.n) + ',' + std::to_string(s.trials) +
+           ',' +
            std::to_string(s.failures) + ',' + std::to_string(s.damaged) + ',' +
            std::to_string(s.seed) + ',' + std::to_string(s.count) + ',';
     const double columns[] = {s.mean,
@@ -147,6 +152,7 @@ std::vector<PointSummary> parse_json(const std::string& text) {
     s.unit = json::field(object, "unit").as_string();
     s.scheduler = json::field(object, "scheduler").as_string();
     s.faults = json::field(object, "faults").as_string();
+    s.engine = json::field(object, "engine").as_string();
     s.n = static_cast<int>(json::field(object, "n").as_u64());
     s.trials = static_cast<int>(json::field(object, "trials").as_u64());
     s.failures = static_cast<int>(json::field(object, "failures").as_u64());

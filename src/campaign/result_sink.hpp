@@ -25,6 +25,7 @@ struct PointSummary {
   std::string unit;
   std::string scheduler;
   std::string faults = "none";
+  std::string engine = "naive";
   int n = 0;
   int trials = 0;
   int failures = 0;

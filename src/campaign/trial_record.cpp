@@ -13,7 +13,7 @@ namespace netcons::campaign {
 
 namespace {
 
-constexpr const char* kTrialSchema = "netcons-trials-v1";
+constexpr const char* kTrialSchema = "netcons-trials-v2";
 
 void append_u64(std::string& out, const char* key, std::uint64_t value) {
   out += ", \"";
@@ -46,6 +46,8 @@ std::string header_line(const CampaignHeader& header) {
     json::append_escaped(out, p.scheduler);
     out += ", \"faults\": ";
     json::append_escaped(out, p.faults);
+    out += ", \"engine\": ";
+    json::append_escaped(out, p.engine);
     out += ", \"faulted\": ";
     out += p.faulted ? "true" : "false";
     out += ", \"n\": " + std::to_string(p.n);
@@ -94,6 +96,7 @@ CampaignHeader parse_header_line(std::string_view line) {
     p.unit = json::field(object, "unit").as_string();
     p.scheduler = json::field(object, "scheduler").as_string();
     p.faults = json::field(object, "faults").as_string();
+    p.engine = json::field(object, "engine").as_string();
     p.faulted = json::field(object, "faulted").as_bool();
     p.n = static_cast<int>(json::field(object, "n").as_u64());
     p.seed = json::field(object, "seed").as_u64();
@@ -137,6 +140,9 @@ std::string grid_point_mismatch(std::size_t index, const GridPoint& expected,
   }
   if (expected.faults != found.faults) {
     return describe("faults", expected.faults, found.faults);
+  }
+  if (expected.engine != found.engine) {
+    return describe("engine", expected.engine, found.engine);
   }
   if (expected.faulted != found.faulted) {
     return describe("faulted", expected.faulted ? "true" : "false",

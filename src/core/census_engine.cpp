@@ -1,0 +1,415 @@
+#include "core/census_engine.hpp"
+
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace netcons {
+
+namespace {
+
+/// One stderr line per process per fallback reason: a campaign constructs
+/// thousands of engines, and one identical note per trial would drown the
+/// console without saying anything new.
+void note_fallback_once(std::atomic<bool>& noted, const char* reason) {
+  if (noted.exchange(true)) return;
+  std::fprintf(stderr,
+               "census engine: cannot honor %s exactly; falling back to naive "
+               "per-step execution\n",
+               reason);
+}
+
+std::atomic<bool> g_noted_scheduler{false};
+std::atomic<bool> g_noted_interceptor{false};
+
+}  // namespace
+
+std::vector<EffectiveClass> effective_state_classes(const Protocol& protocol) {
+  std::vector<EffectiveClass> out;
+  const int q = protocol.state_count();
+  for (int a = 0; a < q; ++a) {
+    for (int b = a; b < q; ++b) {
+      for (const bool c : {false, true}) {
+        if (!protocol.ineffective(static_cast<StateId>(a), static_cast<StateId>(b), c)) {
+          out.push_back({static_cast<StateId>(a), static_cast<StateId>(b), c});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CensusEngine::CensusEngine(Protocol protocol, int n, std::uint64_t seed,
+                           std::unique_ptr<Scheduler> scheduler)
+    : Simulator(std::move(protocol), n, seed, std::move(scheduler)) {
+  // Census sampling assumes every unordered pair is equally likely each
+  // step; that is exactly the uniform random scheduler (whether installed
+  // by default or passed explicitly). Anything else gets the naive path.
+  const auto* uniform = dynamic_cast<const UniformRandomScheduler*>(Simulator::scheduler());
+  custom_scheduler_ = uniform == nullptr;
+  if (custom_scheduler_) note_fallback_once(g_noted_scheduler, "a non-uniform scheduler");
+}
+
+World& CensusEngine::mutable_world() noexcept {
+  mark_dirty();
+  return Simulator::mutable_world();
+}
+
+void CensusEngine::set_interceptor(StepInterceptor* interceptor) noexcept {
+  if (interceptor != nullptr && !custom_scheduler_) {
+    note_fallback_once(g_noted_interceptor, "a step interceptor");
+  }
+  interceptor_installed_ = interceptor != nullptr;
+  // The interceptor mutates the world between steps; whatever it did while
+  // installed invalidates the tables for when census sampling resumes.
+  mark_dirty();
+  Simulator::set_interceptor(interceptor);
+}
+
+std::size_t CensusEngine::bucket_key(StateId a, StateId b) const noexcept {
+  // a <= b by normalization; one slot per unordered state pair.
+  return static_cast<std::size_t>(a) * static_cast<std::size_t>(protocol().state_count()) +
+         static_cast<std::size_t>(b);
+}
+
+std::uint64_t CensusEngine::class_multiplicity(const EffectiveClass& cls) const noexcept {
+  const std::uint64_t active = edge_buckets_[bucket_key(cls.a, cls.b)].size();
+  if (cls.c) return active;
+  const std::uint64_t cnt_a = nodes_by_state_[cls.a].size();
+  std::uint64_t pairs = 0;
+  if (cls.a == cls.b) {
+    pairs = cnt_a < 2 ? 0 : cnt_a * (cnt_a - 1) / 2;
+  } else {
+    pairs = cnt_a * nodes_by_state_[cls.b].size();
+  }
+  return pairs - active;
+}
+
+void CensusEngine::ensure_tables() {
+  if (tables_dirty_) {
+    rebuild_tables();
+    tables_dirty_ = false;
+  }
+}
+
+void CensusEngine::rebuild_tables() {
+  const World& w = world();
+  const int q = protocol().state_count();
+  const int n = w.size();
+
+  classes_ = effective_state_classes(protocol());
+  nodes_by_state_.assign(static_cast<std::size_t>(q), {});
+  node_pos_.assign(static_cast<std::size_t>(n), -1);
+  edge_buckets_.assign(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), {});
+  adj_.assign(static_cast<std::size_t>(n), {});
+  edges_.clear();
+
+  for (int u = 0; u < n; ++u) {
+    if (!w.alive(u)) continue;  // crashed nodes leave the sampling support
+    auto& list = nodes_by_state_[w.state(u)];
+    node_pos_[static_cast<std::size_t>(u)] = static_cast<int>(list.size());
+    list.push_back(u);
+  }
+  // The kill() invariant guarantees dead nodes are edge-free, so every
+  // active edge has two alive endpoints.
+  for (int v = 1; v < n; ++v) {
+    for (int u = 0; u < v; ++u) {
+      if (w.edge(u, v)) insert_edge(u, v);
+    }
+  }
+}
+
+void CensusEngine::insert_edge(int u, int v) {
+  const World& w = world();
+  const std::size_t key = Graph::pair_index(u, v);
+  EdgeRec rec;
+  rec.u = u;
+  rec.v = v;
+  const StateId su = w.state(u);
+  const StateId sv = w.state(v);
+  rec.ba = std::min(su, sv);
+  rec.bb = std::max(su, sv);
+  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
+  rec.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(key);
+  rec.pos_u = static_cast<std::uint32_t>(adj_[static_cast<std::size_t>(u)].size());
+  adj_[static_cast<std::size_t>(u)].push_back(key);
+  rec.pos_v = static_cast<std::uint32_t>(adj_[static_cast<std::size_t>(v)].size());
+  adj_[static_cast<std::size_t>(v)].push_back(key);
+  edges_[key] = rec;
+}
+
+void CensusEngine::erase_edge(std::size_t key) {
+  const EdgeRec rec = edges_.at(key);
+
+  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
+  const std::size_t moved_bucket = bucket.back();
+  bucket[rec.bucket_pos] = moved_bucket;
+  bucket.pop_back();
+  if (moved_bucket != key) edges_.at(moved_bucket).bucket_pos = rec.bucket_pos;
+
+  const auto adj_remove = [this, key](int node, std::uint32_t pos) {
+    auto& list = adj_[static_cast<std::size_t>(node)];
+    const std::size_t moved = list.back();
+    list[pos] = moved;
+    list.pop_back();
+    if (moved == key) return;
+    EdgeRec& mr = edges_.at(moved);
+    if (mr.u == node) {
+      mr.pos_u = pos;
+    } else {
+      mr.pos_v = pos;
+    }
+  };
+  adj_remove(rec.u, rec.pos_u);
+  adj_remove(rec.v, rec.pos_v);
+
+  edges_.erase(key);
+}
+
+void CensusEngine::rebucket_edge(std::size_t key) {
+  EdgeRec& rec = edges_.at(key);
+  auto& old_bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
+  const std::size_t moved = old_bucket.back();
+  old_bucket[rec.bucket_pos] = moved;
+  old_bucket.pop_back();
+  if (moved != key) edges_.at(moved).bucket_pos = rec.bucket_pos;
+
+  const StateId su = world().state(rec.u);
+  const StateId sv = world().state(rec.v);
+  rec.ba = std::min(su, sv);
+  rec.bb = std::max(su, sv);
+  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
+  rec.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(key);
+}
+
+void CensusEngine::node_list_move(int u, StateId from, StateId to) {
+  auto& old_list = nodes_by_state_[from];
+  const int pos = node_pos_[static_cast<std::size_t>(u)];
+  const int moved = old_list.back();
+  old_list[static_cast<std::size_t>(pos)] = moved;
+  old_list.pop_back();
+  node_pos_[static_cast<std::size_t>(moved)] = pos;
+
+  auto& new_list = nodes_by_state_[to];
+  node_pos_[static_cast<std::size_t>(u)] = static_cast<int>(new_list.size());
+  new_list.push_back(u);
+}
+
+std::uint64_t CensusEngine::effective_pair_weight() {
+  ensure_tables();
+  // One scan serves the caller's quiescence guard, census_step's skip
+  // probability, AND the class-selection walk (class_mults_): the cache is
+  // invalidated only when the configuration actually changes.
+  if (!weight_valid_) {
+    class_mults_.resize(classes_.size());
+    cached_weight_ = 0;
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      class_mults_[i] = class_multiplicity(classes_[i]);
+      cached_weight_ += class_mults_[i];
+    }
+    weight_valid_ = true;
+  }
+  return cached_weight_;
+}
+
+std::uint64_t CensusEngine::geometric_skips(double p) {
+  if (p >= 1.0) return 0;
+  // Inverse-CDF draw for the number of failures before the first success:
+  // floor(ln U / ln(1 - p)), U in (0, 1].
+  const double u = 1.0 - rng().uniform();
+  const double g = std::log(u) / std::log1p(-p);
+  if (!(g >= 0.0)) return 0;
+  if (g >= 9.0e18) return std::numeric_limits<std::uint64_t>::max() / 2;
+  return static_cast<std::uint64_t>(g);
+}
+
+CensusEngine::BucketEdge CensusEngine::sample_pair(const EffectiveClass& cls,
+                                                   std::uint64_t multiplicity) {
+  if (cls.c) {
+    // The stored (u, v) orientation is fine even for a == b: the model's
+    // symmetry-breaking coin in Simulator::apply assigns asymmetric
+    // same-state outcomes equiprobably regardless of argument order, and
+    // for a != b the rule table resolves orientation from the states.
+    const auto& bucket = edge_buckets_[bucket_key(cls.a, cls.b)];
+    const EdgeRec& rec = edges_.at(bucket[rng().below(bucket.size())]);
+    return {rec.u, rec.v};
+  }
+
+  const std::vector<int>& as = nodes_by_state_[cls.a];
+  const std::vector<int>& bs = nodes_by_state_[cls.b];
+  // Rejection over the (a, b) node product is uniform over the non-edge
+  // pairs; it only degenerates when almost every such pair is an active
+  // edge, so a capped loop with an exact O(|a||b|) fallback keeps the
+  // expected cost O(1) without a worst-case tail.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int u = 0;
+    int v = 0;
+    if (cls.a == cls.b) {
+      const std::uint64_t i = rng().below(as.size());
+      std::uint64_t j = rng().below(as.size() - 1);
+      if (j >= i) ++j;
+      u = as[static_cast<std::size_t>(i)];
+      v = as[static_cast<std::size_t>(j)];
+    } else {
+      u = as[static_cast<std::size_t>(rng().below(as.size()))];
+      v = bs[static_cast<std::size_t>(rng().below(bs.size()))];
+    }
+    if (!world().edge(u, v)) return {u, v};
+  }
+
+  std::uint64_t r = rng().below(multiplicity);
+  if (cls.a == cls.b) {
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      for (std::size_t j = i + 1; j < as.size(); ++j) {
+        if (world().edge(as[i], as[j])) continue;
+        if (r == 0) return {as[i], as[j]};
+        --r;
+      }
+    }
+  } else {
+    for (const int u : as) {
+      for (const int v : bs) {
+        if (world().edge(u, v)) continue;
+        if (r == 0) return {u, v};
+        --r;
+      }
+    }
+  }
+  // Unreachable: multiplicity counts exactly the non-edge pairs above.
+  return {as.front(), cls.a == cls.b ? as[1] : bs.front()};
+}
+
+void CensusEngine::execute_and_update(int u, int v) {
+  const World& w = world();
+  const StateId sa = w.state(u);
+  const StateId sb = w.state(v);
+  const std::size_t uv_key = Graph::pair_index(u, v);
+  if (w.edge(u, v)) erase_edge(uv_key);
+
+  if (!execute_encounter(u, v)) mark_dirty();  // impossible if the tables are sound
+
+  const StateId na = w.state(u);
+  const StateId nb = w.state(v);
+  if (sa != na) {
+    node_list_move(u, sa, na);
+    // (u, v) itself was pulled out above, so every incident edge here has
+    // its other endpoint's state unchanged by this encounter.
+    for (const std::size_t key : adj_[static_cast<std::size_t>(u)]) rebucket_edge(key);
+  }
+  if (sb != nb) {
+    node_list_move(v, sb, nb);
+    for (const std::size_t key : adj_[static_cast<std::size_t>(v)]) rebucket_edge(key);
+  }
+  if (w.edge(u, v)) insert_edge(u, v);
+  weight_valid_ = false;  // the configuration changed
+}
+
+bool CensusEngine::census_step(std::uint64_t budget) {
+  const std::uint64_t weight = effective_pair_weight();
+  const auto nodes = static_cast<std::uint64_t>(world().size());
+  const std::uint64_t total_pairs = nodes * (nodes - 1) / 2;
+  const double p = static_cast<double>(weight) / static_cast<double>(total_pairs);
+
+  const std::uint64_t skips = geometric_skips(p);
+  const std::uint64_t at = steps();
+  if (skips >= budget - at) {
+    // The next effective interaction falls beyond the budget: the naive
+    // engine would have burned the rest of it on ineffective steps. The
+    // discarded geometric tail is redrawn by the next call -- exact, since
+    // the geometric distribution is memoryless.
+    skip_steps(budget - at);
+    return false;
+  }
+  skip_steps(skips + 1);
+
+  std::uint64_t r = rng().below(weight);
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const std::uint64_t multiplicity = class_mults_[i];
+    if (r < multiplicity) {
+      const BucketEdge pair = sample_pair(classes_[i], multiplicity);
+      execute_and_update(pair.u, pair.v);
+      return true;
+    }
+    r -= multiplicity;
+  }
+  return false;  // unreachable: weight is the sum of the multiplicities
+}
+
+bool CensusEngine::step() {
+  if (fallback_active()) return naive_step();
+  if (effective_pair_weight() == 0) {
+    skip_steps(1);  // a quiescent configuration wastes the interaction
+    return false;
+  }
+  return census_step(std::numeric_limits<std::uint64_t>::max());
+}
+
+void CensusEngine::run(std::uint64_t count) {
+  if (fallback_active()) {
+    Simulator::run(count);
+    return;
+  }
+  const std::uint64_t target = steps() + count;
+  while (steps() < target) {
+    if (effective_pair_weight() == 0) {
+      skip_steps(target - steps());
+      return;
+    }
+    census_step(target);
+  }
+}
+
+std::optional<std::uint64_t> CensusEngine::run_until(
+    const std::function<bool(const World&)>& pred, std::uint64_t max_steps) {
+  if (fallback_active()) return Simulator::run_until(pred, max_steps);
+  if (pred(world())) return steps();
+  while (steps() < max_steps) {
+    if (effective_pair_weight() == 0) {
+      // The world can no longer change, so neither can the predicate.
+      skip_steps(max_steps - steps());
+      return std::nullopt;
+    }
+    if (census_step(max_steps) && pred(world())) return steps();
+  }
+  return std::nullopt;
+}
+
+ConvergenceReport CensusEngine::run_until_stable(const StabilityOptions& options) {
+  if (fallback_active()) return Simulator::run_until_stable(options);
+
+  const auto [check_interval, max_steps] = resolve_stability_budget(world().size(), options);
+
+  ConvergenceReport report;
+  while (true) {
+    if (options.certificate && options.certificate(protocol(), world())) {
+      report.stabilized = true;
+      report.certified = true;
+      break;
+    }
+    if (effective_pair_weight() == 0) {
+      report.stabilized = true;
+      report.quiescent = true;
+      break;
+    }
+    if (steps() >= max_steps) break;
+    // Without a certificate only quiescence (weight 0) can end the run, so
+    // there is nothing to re-check mid-flight; with one, pause on the same
+    // amortization grid the naive engine uses.
+    const std::uint64_t checkpoint =
+        options.certificate ? std::min(max_steps, steps() + check_interval) : max_steps;
+    while (steps() < checkpoint && effective_pair_weight() != 0) {
+      census_step(checkpoint);
+    }
+  }
+  report.steps_executed = steps();
+  report.convergence_step = last_output_change();
+  return report;
+}
+
+}  // namespace netcons

@@ -1,0 +1,181 @@
+// CensusEngine: effective-step sampling over a census of state-pair
+// multiplicities.
+//
+// Under the uniform random scheduler every one of the N = n(n-1)/2
+// unordered node pairs is equally likely each step, so a step is effective
+// with probability p = W/N, where W is the number of pairs whose
+// (state_a, state_b, edge) triple has an effective transition. The paper's
+// running times are Theta(n^2 log n) .. Theta(n^4) *total* steps while the
+// number of effective interactions is typically near-linear -- the naive
+// engine spends almost all of its time executing encounters that change
+// nothing.
+//
+// This engine never executes those. It maintains
+//   * per-state alive-node lists (who is in state q),
+//   * per-state-pair active-edge buckets (how many active edges join a
+//     state-a node to a state-b node), and
+//   * the protocol-derived list of *effective classes*: the (a, b, c)
+//     triples, a <= b, for which Protocol::ineffective is false,
+// giving every class multiplicity -- and hence W -- in O(1). Each step it
+// draws the geometrically-distributed count of ineffective steps the naive
+// engine would have burned (success probability W/N), advances the step
+// counter past them, and then executes one encounter sampled uniformly
+// from the W effective pairs (class by multiplicity, then a concrete pair
+// within the class). Both the step index of every effective interaction
+// and the choice of interaction are therefore *exactly* the naive
+// distribution; convergence-step samples from the two engines are
+// statistically indistinguishable (the CI KS gate enforces this), at O(1)
+// expected cost per effective interaction instead of O(1/p).
+//
+// Exactness boundaries (the engine falls back -- one stderr note, never a
+// throw -- to the inherited naive per-step semantics):
+//   * a non-uniform scheduler supplied at construction: the census
+//     argument assumes uniform pair probabilities;
+//   * an installed StepInterceptor (fault injection): hooks must observe
+//     every step, which skipping contradicts. Census sampling resumes when
+//     the interceptor is cleared (skipping is memoryless, so resuming
+//     mid-run stays exact).
+// External world mutation through mutable_world() (custom initializers,
+// fault bursts) invalidates the census tables; they rebuild lazily before
+// the next sampled step.
+#pragma once
+
+#include "core/simulator.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace netcons {
+
+/// One entry of the protocol's effectiveness table over unordered state
+/// pairs: the encounter (a, b, c), a <= b, has an effective transition.
+struct EffectiveClass {
+  StateId a = 0;
+  StateId b = 0;
+  bool c = false;
+};
+
+/// The (a, b, c) triples, a <= b, for which `protocol.ineffective` is
+/// false -- the census engine's sampling support. Exposed for the
+/// table-agreement tests (tests/core/test_engine.cpp).
+[[nodiscard]] std::vector<EffectiveClass> effective_state_classes(const Protocol& protocol);
+
+class CensusEngine final : public Simulator {
+ public:
+  /// Census sampling assumes the uniform random scheduler (the default,
+  /// also recognized when passed explicitly). Supplying any non-uniform
+  /// scheduler triggers the naive fallback for the engine's whole lifetime.
+  CensusEngine(Protocol protocol, int n, std::uint64_t seed,
+               std::unique_ptr<Scheduler> scheduler = nullptr);
+
+  [[nodiscard]] const char* engine_name() const noexcept override { return "census"; }
+
+  /// External mutation invalidates the census tables; rebuilt lazily.
+  [[nodiscard]] World& mutable_world() noexcept override;
+
+  /// A non-null interceptor switches to exact per-step execution (with a
+  /// one-line stderr note, once per process); clearing it resumes census
+  /// sampling.
+  void set_interceptor(StepInterceptor* interceptor) noexcept override;
+
+  bool step() override;
+  void run(std::uint64_t count) override;
+  [[nodiscard]] std::optional<std::uint64_t> run_until(
+      const std::function<bool(const World&)>& pred, std::uint64_t max_steps) override;
+  [[nodiscard]] ConvergenceReport run_until_stable(const StabilityOptions& options) override;
+  using Engine::run_until_stable;
+
+  /// O(1) while the census tables are fresh; otherwise the inherited
+  /// O(n^2) scan (a const method cannot rebuild the tables).
+  [[nodiscard]] bool is_quiescent() const override {
+    if (!tables_dirty_ && weight_valid_) return cached_weight_ == 0;
+    return Simulator::is_quiescent();
+  }
+
+  /// Whether the engine is currently executing per-step naive semantics
+  /// instead of census sampling (custom scheduler or live interceptor).
+  [[nodiscard]] bool fallback_active() const noexcept {
+    return custom_scheduler_ || interceptor_installed_;
+  }
+
+  /// Total multiplicity W of effective pairs in the current configuration
+  /// (rebuilds the tables if stale). W == 0 iff the configuration is
+  /// quiescent -- the O(1) form of Engine::is_quiescent.
+  [[nodiscard]] std::uint64_t effective_pair_weight();
+
+ private:
+  struct BucketEdge {
+    int u = 0;
+    int v = 0;
+  };
+
+  /// One tracked active edge: its endpoints, the normalized state pair of
+  /// the bucket it currently lives in, and its positions in that bucket and
+  /// in both endpoints' adjacency lists (all swap-removable in O(1)).
+  struct EdgeRec {
+    int u = 0;
+    int v = 0;
+    StateId ba = 0;
+    StateId bb = 0;
+    std::uint32_t bucket_pos = 0;
+    std::uint32_t pos_u = 0;
+    std::uint32_t pos_v = 0;
+  };
+
+  void mark_dirty() noexcept {
+    tables_dirty_ = true;
+    weight_valid_ = false;
+  }
+  void ensure_tables();
+  void rebuild_tables();
+
+  [[nodiscard]] std::size_t bucket_key(StateId a, StateId b) const noexcept;
+  [[nodiscard]] std::uint64_t class_multiplicity(const EffectiveClass& cls) const noexcept;
+
+  void insert_edge(int u, int v);
+  void erase_edge(std::size_t key);
+  /// Move an edge to the bucket of its endpoints' *current* states after a
+  /// state change (adjacency positions are untouched).
+  void rebucket_edge(std::size_t key);
+  void node_list_move(int u, StateId from, StateId to);
+
+  /// Geometric number of ineffective steps before the next effective one
+  /// (success probability p in (0, 1]).
+  [[nodiscard]] std::uint64_t geometric_skips(double p);
+
+  /// Pick a concrete unordered pair uniformly within the class.
+  [[nodiscard]] BucketEdge sample_pair(const EffectiveClass& cls, std::uint64_t multiplicity);
+
+  /// One census-sampled step, never advancing the clock past `budget`.
+  /// Returns true if an effective encounter was executed; false when the
+  /// next effective step falls beyond the budget (the clock then rests at
+  /// `budget`, and the discarded geometric tail is redrawn later -- exact
+  /// by memorylessness). Requires non-zero effective weight.
+  bool census_step(std::uint64_t budget);
+
+  /// Apply the encounter and incrementally repair the census tables.
+  void execute_and_update(int u, int v);
+
+  bool custom_scheduler_ = false;
+  bool interceptor_installed_ = false;
+  bool tables_dirty_ = true;
+  /// Cached per-class multiplicities + their sum, recomputed once per
+  /// configuration change (effective step, rebuild, external mutation).
+  bool weight_valid_ = false;
+  std::uint64_t cached_weight_ = 0;
+  std::vector<std::uint64_t> class_mults_;
+
+  std::vector<EffectiveClass> classes_;
+  std::vector<std::vector<int>> nodes_by_state_;
+  std::vector<int> node_pos_;
+  /// Active-edge buckets keyed by unordered state pair (bucket_key); each
+  /// holds Graph::pair_index keys into edges_.
+  std::vector<std::vector<std::size_t>> edge_buckets_;
+  /// Per-node incident active-edge keys, so a state change rebuckets the
+  /// node's edges in O(degree) instead of an O(n) scan.
+  std::vector<std::vector<std::size_t>> adj_;
+  std::unordered_map<std::size_t, EdgeRec> edges_;
+};
+
+}  // namespace netcons

@@ -13,24 +13,30 @@ Simulator::Simulator(Protocol protocol, int n, std::uint64_t seed,
   if (n < 2) throw std::invalid_argument("Simulator: need at least two nodes");
 }
 
-bool Simulator::step() {
+bool Simulator::naive_step() {
   if (interceptor_ != nullptr) interceptor_->before_step(*this);
   const Encounter e = scheduler_->next(rng_, world_.size());
   ++steps_;
+  return execute_encounter(e.first, e.second);
+}
+
+bool Simulator::step() { return naive_step(); }
+
+bool Simulator::execute_encounter(int u, int v) {
   // Crashed nodes no longer interact; the scheduled encounter is wasted
   // (time still passes, matching the model where removed nodes simply do
   // not exist to meet).
-  if (world_.dead_count() != 0 && (!world_.alive(e.first) || !world_.alive(e.second))) {
+  if (world_.dead_count() != 0 && (!world_.alive(u) || !world_.alive(v))) {
     return false;
   }
-  const StateId a = world_.state(e.first);
-  const StateId b = world_.state(e.second);
-  const bool c = world_.edge(e.first, e.second);
+  const StateId a = world_.state(u);
+  const StateId b = world_.state(v);
+  const bool c = world_.edge(u, v);
   const auto resolved = protocol_.resolve(a, b, c);
   if (resolved.rule == nullptr || !resolved.rule->effective) return false;
 
-  const int initiator = resolved.swapped ? e.second : e.first;
-  const int responder = resolved.swapped ? e.first : e.second;
+  const int initiator = resolved.swapped ? v : u;
+  const int responder = resolved.swapped ? u : v;
   apply(*resolved.rule, initiator, responder);
   ++effective_steps_;
   return true;
@@ -74,29 +80,21 @@ void Simulator::apply(const RuleEntry& rule, int initiator, int responder) {
 }
 
 void Simulator::run(std::uint64_t count) {
-  for (std::uint64_t i = 0; i < count; ++i) step();
+  for (std::uint64_t i = 0; i < count; ++i) naive_step();
 }
 
 std::optional<std::uint64_t> Simulator::run_until(
     const std::function<bool(const World&)>& pred, std::uint64_t max_steps) {
   if (pred(world_)) return steps_;
   while (steps_ < max_steps) {
-    step();
+    naive_step();
     if (pred(world_)) return steps_;
   }
   return std::nullopt;
 }
 
-ConvergenceReport Simulator::run_until_stable() { return run_until_stable(StabilityOptions{}); }
-
 ConvergenceReport Simulator::run_until_stable(const StabilityOptions& options) {
-  const auto n = static_cast<std::uint64_t>(world_.size());
-  const std::uint64_t check_interval =
-      options.check_interval ? options.check_interval : std::max<std::uint64_t>(512, n * n);
-  // Default budget is deliberately generous: the slowest protocol in the
-  // paper is O(n^5); callers measuring that regime pass an explicit budget.
-  const std::uint64_t max_steps =
-      options.max_steps ? options.max_steps : std::max<std::uint64_t>(1'000'000, n * n * n * 64);
+  const auto [check_interval, max_steps] = resolve_stability_budget(world_.size(), options);
 
   ConvergenceReport report;
   while (true) {
@@ -112,7 +110,7 @@ ConvergenceReport Simulator::run_until_stable(const StabilityOptions& options) {
     }
     if (steps_ >= max_steps) break;
     const std::uint64_t chunk = std::min(check_interval, max_steps - steps_);
-    run(chunk);
+    Simulator::run(chunk);
   }
   report.steps_executed = steps_;
   report.convergence_step = last_output_change_;

@@ -1,5 +1,8 @@
-// The execution engine: applies scheduler-chosen encounters to a World
-// under a Protocol, tracks output-graph changes, and detects stabilization.
+// The naive execution engine: applies scheduler-chosen encounters to a
+// World under a Protocol one virtual-scheduler-call at a time, tracks
+// output-graph changes, and detects stabilization. This is the paper's
+// model executed verbatim, and the reference semantics every other Engine
+// implementation is measured against (core/engine.hpp).
 //
 // Stabilization detection is sound:
 //  * Full quiescence -- no encounter is effective in the current
@@ -14,6 +17,7 @@
 // at which the output graph G(C) changed (tracked in O(1) per step).
 #pragma once
 
+#include "core/engine.hpp"
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
 #include "core/world.hpp"
@@ -24,97 +28,80 @@
 
 namespace netcons {
 
-/// Sound recognizer of output-stable configurations (beyond quiescence).
-using StabilityCertificate = std::function<bool(const Protocol&, const World&)>;
-
-class Simulator;
-
-/// Hook invoked before every scheduled encounter. The one user today is the
-/// fault-injection layer (src/faults/), which mutates the world between
-/// steps; the simulator itself pays only a null-pointer check when no
-/// interceptor is installed, keeping the fault-free hot path untouched.
-class StepInterceptor {
- public:
-  virtual ~StepInterceptor() = default;
-  virtual void before_step(Simulator& sim) = 0;
-};
-
-struct ConvergenceReport {
-  bool stabilized = false;       ///< A sound stability condition was reached.
-  bool quiescent = false;        ///< Stability was full quiescence.
-  bool certified = false;        ///< Stability came from the certificate.
-  std::uint64_t steps_executed = 0;   ///< Total steps run in this call.
-  std::uint64_t convergence_step = 0; ///< Last step the output graph changed.
-
-  // --- fault/recovery extension -------------------------------------------
-  // Populated by faults::run_until_stable_with_faults; all zero on fault-free
-  // runs. Edge accounting is exact when faults fire at stabilization (the
-  // default) and approximate when they interleave with initial construction.
-  std::uint64_t faults_injected = 0;  ///< Fault events applied during the run.
-  std::uint64_t last_fault_step = 0;  ///< Step at which the last fault fired.
-  /// Re-stabilization time: convergence_step - last_fault_step.
-  std::uint64_t recovery_steps = 0;
-  std::uint64_t output_edges_deleted = 0;   ///< G(C) edges destroyed by faults.
-  std::uint64_t output_edges_repaired = 0;  ///< Of those, rebuilt (by count) at the end.
-  std::uint64_t output_edges_residual = 0;  ///< Damage still missing at the end.
-};
-
-class Simulator {
+class Simulator : public Engine {
  public:
   /// Uses the uniform random scheduler unless another is supplied.
   Simulator(Protocol protocol, int n, std::uint64_t seed,
             std::unique_ptr<Scheduler> scheduler = nullptr);
 
-  [[nodiscard]] const Protocol& protocol() const noexcept { return protocol_; }
-  [[nodiscard]] const World& world() const noexcept { return world_; }
+  [[nodiscard]] const char* engine_name() const noexcept override { return "naive"; }
+
+  [[nodiscard]] const Protocol& protocol() const noexcept override { return protocol_; }
+  [[nodiscard]] const World& world() const noexcept override { return world_; }
   /// Mutable access for custom initial configurations (e.g. Replication's
   /// input graph); use before stepping.
-  [[nodiscard]] World& mutable_world() noexcept { return world_; }
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] World& mutable_world() noexcept override { return world_; }
+  [[nodiscard]] Rng& rng() noexcept override { return rng_; }
 
-  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
-  [[nodiscard]] std::uint64_t effective_steps() const noexcept { return effective_steps_; }
-  [[nodiscard]] std::uint64_t last_output_change() const noexcept {
+  [[nodiscard]] std::uint64_t steps() const noexcept override { return steps_; }
+  [[nodiscard]] std::uint64_t effective_steps() const noexcept override {
+    return effective_steps_;
+  }
+  [[nodiscard]] std::uint64_t last_output_change() const noexcept override {
     return last_output_change_;
   }
 
-  /// Install (or clear, with nullptr) the pre-step hook. Not owned.
-  void set_interceptor(StepInterceptor* interceptor) noexcept { interceptor_ = interceptor; }
+  void set_interceptor(StepInterceptor* interceptor) noexcept override {
+    interceptor_ = interceptor;
+  }
 
-  /// Record that the output graph was changed externally (a fault deleted an
-  /// output edge or removed an output node), so convergence_step accounting
-  /// stays sound under injection.
-  void note_output_change() noexcept { last_output_change_ = steps_; }
+  void note_output_change() noexcept override { last_output_change_ = steps_; }
 
   /// Execute one interaction. Returns true if it was effective.
-  bool step();
+  bool step() override;
 
   /// Execute exactly `count` steps.
-  void run(std::uint64_t count);
+  void run(std::uint64_t count) override;
 
   /// Run until `pred(world)` holds (checked after every step; keep it O(1),
   /// e.g. census-based) or until `max_steps`. Returns the step count at
   /// which the predicate first held, or nullopt on timeout.
   [[nodiscard]] std::optional<std::uint64_t> run_until(
-      const std::function<bool(const World&)>& pred, std::uint64_t max_steps);
-
-  struct StabilityOptions {
-    std::uint64_t max_steps = 0;        ///< 0: derive a generous default.
-    std::uint64_t check_interval = 0;   ///< 0: derive ~n^2 amortized default.
-    StabilityCertificate certificate;   ///< Optional protocol-specific proof.
-  };
+      const std::function<bool(const World&)>& pred, std::uint64_t max_steps) override;
 
   /// Run until stabilization is certified (quiescence or certificate).
-  [[nodiscard]] ConvergenceReport run_until_stable(const StabilityOptions& options);
-  [[nodiscard]] ConvergenceReport run_until_stable();
+  [[nodiscard]] ConvergenceReport run_until_stable(const StabilityOptions& options) override;
+  using Engine::run_until_stable;
 
   /// O(n^2) scan: no encounter is effective in the current configuration.
-  [[nodiscard]] bool is_quiescent() const;
+  [[nodiscard]] bool is_quiescent() const override;
 
   /// O(n^2) scan: no encounter can modify an edge in the current
-  /// configuration (useful inside certificates; NOT sufficient for
-  /// stability on its own since node dynamics may re-enable edge rules).
-  [[nodiscard]] bool is_edge_quiescent() const;
+  /// configuration.
+  [[nodiscard]] bool is_edge_quiescent() const override;
+
+ protected:
+  // Hooks for engines layered on the naive core (CensusEngine): execute a
+  // chosen encounter exactly as a scheduled step would, and advance the
+  // paper's step clock over interactions proven ineffective.
+
+  /// Resolve and apply the encounter (u, v) against the current edge state.
+  /// Returns true if it was effective. Does NOT touch the step counter or
+  /// the interceptor; callers account for the step themselves.
+  bool execute_encounter(int u, int v);
+
+  /// Advance the step clock by `count` interactions without executing them.
+  void skip_steps(std::uint64_t count) noexcept { steps_ += count; }
+
+  /// One scheduled naive step, exactly as Simulator::step performs it --
+  /// non-virtual so subclasses in fall-back mode reproduce the reference
+  /// semantics bit-for-bit.
+  bool naive_step();
+
+  /// The installed scheduler (never null; the default is the uniform
+  /// random scheduler). Lets CensusEngine decide whether census sampling's
+  /// uniform-pair assumption holds.
+  [[nodiscard]] const Scheduler* scheduler() const noexcept { return scheduler_.get(); }
 
  private:
   void apply(const RuleEntry& rule, int initiator, int responder);
@@ -128,5 +115,9 @@ class Simulator {
   std::uint64_t effective_steps_ = 0;
   std::uint64_t last_output_change_ = 0;
 };
+
+/// The reference engine under its registry name (see campaign/registry.cpp
+/// and core/census_engine.hpp for the alternative).
+using NaiveEngine = Simulator;
 
 }  // namespace netcons

@@ -94,6 +94,38 @@ FaultEvent parse_event(const std::string& spec, const std::string& text) {
   return event;
 }
 
+FaultEvent parse_event_with_target(const std::string& spec, const std::string& text) {
+  // target= carries a word, not a number, so it is peeled off before the
+  // numeric parameter loop.
+  std::string numeric_text;
+  std::string target;
+  for (const std::string& part : split(text, ':')) {
+    if (part.rfind("target=", 0) == 0) {
+      if (!target.empty()) fail(spec, "duplicate parameter 'target' in '" + part + "'");
+      target = part.substr(7);
+      if (target.empty()) fail(spec, "malformed parameter '" + part + "' (expected name=value)");
+      continue;
+    }
+    if (!numeric_text.empty()) numeric_text += ':';
+    numeric_text += part;
+  }
+  FaultEvent event = parse_event(spec, numeric_text);
+  if (target.empty()) return event;
+  if (event.kind != FaultKind::Crash && event.kind != FaultKind::Reset) {
+    fail(spec, "target= applies to crash/reset only");
+  }
+  if (target == "random") {
+    event.target = VictimTarget::Random;
+  } else if (target == "max-degree") {
+    event.target = VictimTarget::MaxDegree;
+  } else if (target == "leader") {
+    event.target = VictimTarget::Leader;
+  } else {
+    fail(spec, "unknown target '" + target + "' (random, max-degree, leader)");
+  }
+  return event;
+}
+
 }  // namespace
 
 const char* to_string(FaultKind kind) noexcept {
@@ -106,6 +138,15 @@ const char* to_string(FaultKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(VictimTarget target) noexcept {
+  switch (target) {
+    case VictimTarget::Random: return "random";
+    case VictimTarget::MaxDegree: return "max-degree";
+    case VictimTarget::Leader: return "leader";
+  }
+  return "?";
+}
+
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
   plan.name = spec;
@@ -114,7 +155,7 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     return plan;
   }
   for (const std::string& event : split(spec, '+')) {
-    plan.events.push_back(parse_event(spec, event));
+    plan.events.push_back(parse_event_with_target(spec, event));
   }
   if (plan.events.empty()) fail(spec, "no events");
   return plan;
@@ -124,10 +165,11 @@ const std::string& fault_plan_grammar() {
   static const std::string grammar =
       "fault plan grammar ('+' composes events):\n"
       "  none\n"
-      "  crash:k=K[:at=S][:every=E:times=T]      crash K random nodes\n"
+      "  crash:k=K[:target=V][:at=S][:every=E:times=T]      crash K nodes\n"
       "  edge-burst:f=F[:at=S][:every=E:times=T] delete ceil(F * active edges)\n"
       "  edge-rate:p=P[:at=S][:for=W]            each step w.p. P delete one edge\n"
-      "  reset:k=K[:at=S][:every=E:times=T]      reset K random nodes to q0\n"
+      "  reset:k=K[:target=V][:at=S][:every=E:times=T]      reset K nodes to q0\n"
+      "victim targets V: random (default), max-degree, leader\n"
       "burst kinds without at/every fire once at first stabilization";
   return grammar;
 }

@@ -12,7 +12,16 @@
 //   edge-rate:p=1e-4               each step w.p. p delete one active edge,
 //                                  for a 16*n^2-step window (override: for=W)
 //   reset:k=3                      reset 3 random nodes to q0 at stabilization
+//   crash:k=1:target=max-degree    crash the highest-degree node (adversarial)
+//   crash:k=1:target=leader        crash a leader/walker node (adversarial)
 //   crash:k=1+edge-burst:f=0.2     '+' composes events into one plan
+//
+// Victim selection (crash and reset): `target=random` (the default) picks
+// uniformly among alive nodes; `target=max-degree` picks the k alive nodes
+// of highest active degree (ties by lowest id -- the adversary always hits
+// the hubs); `target=leader` picks among alive nodes whose state name
+// follows the library's leader convention (first letter 'l' or 'w'),
+// padding with random victims when fewer than k leaders exist.
 //
 // Trigger semantics: burst kinds (crash, edge-burst, reset) with neither
 // `at` nor `every` fire once at the first certified stabilization -- the
@@ -32,8 +41,14 @@ enum class FaultKind { Crash, EdgeBurst, EdgeRate, Reset };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
+/// How crash/reset victims are chosen (target=).
+enum class VictimTarget { Random, MaxDegree, Leader };
+
+[[nodiscard]] const char* to_string(VictimTarget target) noexcept;
+
 struct FaultEvent {
   FaultKind kind = FaultKind::Crash;
+  VictimTarget target = VictimTarget::Random;  ///< Crash/reset victim selector.
   int count = 1;          ///< Crash/reset victims per firing (k=).
   double fraction = 0.1;  ///< Edge-burst: fraction of active edges (f=).
   double rate = 1e-4;     ///< Edge-rate: per-step deletion probability (p=).

@@ -45,6 +45,51 @@ void select_prefix(std::vector<T>& pool, std::size_t count, Rng& rng) {
   }
 }
 
+/// The library's leader-naming convention: leader/walker states start with
+/// 'l' (l, l', l0.., la, lb..) or 'w' (the walking leader of the line
+/// protocols). See the target= grammar note in fault_plan.hpp.
+bool is_leader_state(const Protocol& protocol, StateId s) {
+  const std::string& name = protocol.state_name(s);
+  return !name.empty() && (name.front() == 'l' || name.front() == 'w');
+}
+
+/// Arrange `pool` so its first `count` entries are the chosen victims,
+/// honoring the event's target selector.
+void select_victims(std::vector<int>& pool, std::size_t count, VictimTarget target,
+                    const Protocol& protocol, const World& world, Rng& rng) {
+  switch (target) {
+    case VictimTarget::Random:
+      select_prefix(pool, count, rng);
+      return;
+    case VictimTarget::MaxDegree:
+      // The adversary always hits the hubs: highest active degree first,
+      // ties by lowest id (deterministic given the configuration).
+      std::sort(pool.begin(), pool.end(), [&world](int a, int b) {
+        const int da = world.active_degree(a);
+        const int db = world.active_degree(b);
+        return da != db ? da > db : a < b;
+      });
+      return;
+    case VictimTarget::Leader: {
+      // Leaders first (in random order among themselves), padded with
+      // random non-leaders when fewer than `count` leaders are alive.
+      const auto mid = std::stable_partition(pool.begin(), pool.end(), [&](int u) {
+        return is_leader_state(protocol, world.state(u));
+      });
+      const auto leaders = static_cast<std::size_t>(mid - pool.begin());
+      std::vector<int> head(pool.begin(), mid);
+      select_prefix(head, std::min(count, leaders), rng);
+      std::copy(head.begin(), head.end(), pool.begin());
+      if (count > leaders) {
+        std::vector<int> tail(mid, pool.end());
+        select_prefix(tail, count - leaders, rng);
+        std::copy(tail.begin(), tail.end(), mid);
+      }
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::uint64_t output_edge_count(const Protocol& protocol, const World& world) {
@@ -61,7 +106,7 @@ std::uint64_t output_edge_count(const Protocol& protocol, const World& world) {
 FaultSession::FaultSession(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), rng_(trial_seed(seed, kFaultSeedStream)) {}
 
-void FaultSession::ensure_armed(const Simulator& sim) {
+void FaultSession::ensure_armed(const Engine& sim) {
   if (armed_) return;
   armed_ = true;
   const auto n = static_cast<std::uint64_t>(sim.world().size());
@@ -86,7 +131,7 @@ bool FaultSession::armed_exhausted(const Armed& armed) const noexcept {
   return armed.fired >= armed.event.times;
 }
 
-void FaultSession::before_step(Simulator& sim) {
+void FaultSession::before_step(Engine& sim) {
   ensure_armed(sim);
   const std::uint64_t upcoming = sim.steps() + 1;
   for (Armed& armed : armed_events_) {
@@ -106,7 +151,7 @@ void FaultSession::before_step(Simulator& sim) {
   }
 }
 
-bool FaultSession::fire_on_stabilization(Simulator& sim) {
+bool FaultSession::fire_on_stabilization(Engine& sim) {
   ensure_armed(sim);
   bool fired = false;
   for (Armed& armed : armed_events_) {
@@ -132,7 +177,7 @@ bool FaultSession::stabilization_pending() const noexcept {
   return false;
 }
 
-std::optional<std::uint64_t> FaultSession::next_scheduled(const Simulator& sim) {
+std::optional<std::uint64_t> FaultSession::next_scheduled(const Engine& sim) {
   ensure_armed(sim);
   const std::uint64_t upcoming = sim.steps() + 1;
   std::optional<std::uint64_t> next;
@@ -151,7 +196,7 @@ std::optional<std::uint64_t> FaultSession::next_scheduled(const Simulator& sim) 
   return next;
 }
 
-bool FaultSession::exhausted(const Simulator& sim) {
+bool FaultSession::exhausted(const Engine& sim) {
   return !stabilization_pending() && !next_scheduled(sim).has_value();
 }
 
@@ -167,7 +212,7 @@ std::uint64_t FaultSession::episode_bound() const noexcept {
   return std::min<std::uint64_t>(episodes, 64);
 }
 
-void FaultSession::fire_burst(Simulator& sim, Armed& armed) {
+void FaultSession::fire_burst(Engine& sim, Armed& armed) {
   World& world = sim.mutable_world();
   const Protocol& protocol = sim.protocol();
   std::uint64_t deleted_output = 0;
@@ -180,7 +225,7 @@ void FaultSession::fire_burst(Simulator& sim, Armed& armed) {
       // Always leave at least one survivor so the population stays a system.
       victims = std::min<std::size_t>(static_cast<std::size_t>(armed.event.count),
                                       alive.empty() ? 0 : alive.size() - 1);
-      select_prefix(alive, victims, rng_);
+      select_victims(alive, victims, armed.event.target, protocol, world, rng_);
       for (std::size_t i = 0; i < victims; ++i) {
         const int u = alive[i];
         membership_changed = membership_changed || protocol.is_output_state(world.state(u));
@@ -208,7 +253,7 @@ void FaultSession::fire_burst(Simulator& sim, Armed& armed) {
     case FaultKind::Reset: {
       std::vector<int> alive = alive_nodes(world);
       victims = std::min<std::size_t>(static_cast<std::size_t>(armed.event.count), alive.size());
-      select_prefix(alive, victims, rng_);
+      select_victims(alive, victims, armed.event.target, protocol, world, rng_);
       const StateId q0 = protocol.initial_state();
       for (std::size_t i = 0; i < victims; ++i) {
         const int u = alive[i];
@@ -229,7 +274,7 @@ void FaultSession::fire_burst(Simulator& sim, Armed& armed) {
   if (victims > 0) record_firing(sim, deleted_output, membership_changed);
 }
 
-void FaultSession::delete_one_random_edge(Simulator& sim) {
+void FaultSession::delete_one_random_edge(Engine& sim) {
   World& world = sim.mutable_world();
   const std::vector<std::pair<int, int>> edges = active_edge_list(world);
   if (edges.empty()) return;  // nothing to delete; not a firing
@@ -239,7 +284,7 @@ void FaultSession::delete_one_random_edge(Simulator& sim) {
   record_firing(sim, output ? 1 : 0, false);
 }
 
-void FaultSession::record_firing(Simulator& sim, std::uint64_t deleted_output,
+void FaultSession::record_firing(Engine& sim, std::uint64_t deleted_output,
                                  bool membership_changed) {
   ++faults_injected_;
   last_fault_step_ = sim.steps();
@@ -248,19 +293,18 @@ void FaultSession::record_firing(Simulator& sim, std::uint64_t deleted_output,
   if (deleted_output > 0 || membership_changed) sim.note_output_change();
 }
 
-ConvergenceReport run_until_stable_with_faults(Simulator& sim, FaultSession& session,
-                                               const Simulator::StabilityOptions& options) {
+ConvergenceReport run_until_stable_with_faults(Engine& sim, FaultSession& session,
+                                               const Engine::StabilityOptions& options) {
   if (session.plan().empty()) return sim.run_until_stable(options);
 
-  const auto n = static_cast<std::uint64_t>(sim.world().size());
   const std::uint64_t phase_budget =
-      options.max_steps ? options.max_steps : std::max<std::uint64_t>(1'000'000, n * n * n * 64);
+      Engine::resolve_stability_budget(sim.world().size(), options).max_steps;
   const std::uint64_t total_cap = phase_budget * (session.episode_bound() + 1);
 
   sim.set_interceptor(&session);
   ConvergenceReport report;
   while (true) {
-    Simulator::StabilityOptions phase = options;
+    Engine::StabilityOptions phase = options;
     phase.max_steps = std::min(total_cap, sim.steps() + phase_budget);
     report = sim.run_until_stable(phase);
     if (!report.stabilized) break;

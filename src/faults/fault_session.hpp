@@ -1,4 +1,4 @@
-// Runtime execution of a FaultPlan against one Simulator: a StepInterceptor
+// Runtime execution of a FaultPlan against one Engine: a StepInterceptor
 // that fires step-scheduled events (periodic bursts, rate-based deletions)
 // from inside the step loop, plus an explicit entry point for
 // stabilization-triggered events, driven by the recovery loop below.
@@ -11,7 +11,7 @@
 // thread counts.
 #pragma once
 
-#include "core/simulator.hpp"
+#include "core/engine.hpp"
 #include "faults/fault_plan.hpp"
 
 #include <cstdint>
@@ -36,11 +36,11 @@ class FaultSession final : public StepInterceptor {
 
   /// Fires any step-scheduled event whose trigger has been reached, and
   /// rate-based deletions, before the simulator executes the next encounter.
-  void before_step(Simulator& sim) override;
+  void before_step(Engine& sim) override;
 
   /// Fire every pending stabilization-triggered event now. Returns true if
   /// at least one event fired.
-  bool fire_on_stabilization(Simulator& sim);
+  bool fire_on_stabilization(Engine& sim);
 
   [[nodiscard]] bool stabilization_pending() const noexcept;
 
@@ -49,10 +49,10 @@ class FaultSession final : public StepInterceptor {
   /// step-scheduled event is exhausted. Used by the recovery loop to run a
   /// quiescent simulator forward to its next perturbation. Non-const: arms
   /// the plan (resolving n-dependent defaults) on first use.
-  [[nodiscard]] std::optional<std::uint64_t> next_scheduled(const Simulator& sim);
+  [[nodiscard]] std::optional<std::uint64_t> next_scheduled(const Engine& sim);
 
   /// True once no event -- stabilization- or step-triggered -- can fire again.
-  [[nodiscard]] bool exhausted(const Simulator& sim);
+  [[nodiscard]] bool exhausted(const Engine& sim);
 
   /// Upper bound on the number of distinct firing episodes (used to scale
   /// the recovery loop's total step budget).
@@ -77,11 +77,11 @@ class FaultSession final : public StepInterceptor {
     std::uint64_t window_end = 0;  ///< Edge-rate: last active step.
   };
 
-  void ensure_armed(const Simulator& sim);
+  void ensure_armed(const Engine& sim);
   [[nodiscard]] bool armed_exhausted(const Armed& armed) const noexcept;
-  void fire_burst(Simulator& sim, Armed& armed);
-  void delete_one_random_edge(Simulator& sim);
-  void record_firing(Simulator& sim, std::uint64_t deleted_output, bool membership_changed);
+  void fire_burst(Engine& sim, Armed& armed);
+  void delete_one_random_edge(Engine& sim);
+  void record_firing(Engine& sim, std::uint64_t deleted_output, bool membership_changed);
 
   FaultPlan plan_;
   Rng rng_;
@@ -106,6 +106,6 @@ class FaultSession final : public StepInterceptor {
 /// and the damage ledger (output edges deleted by faults vs. rebuilt --
 /// by count -- vs. residual). An empty plan is exactly run_until_stable.
 [[nodiscard]] ConvergenceReport run_until_stable_with_faults(
-    Simulator& sim, FaultSession& session, const Simulator::StabilityOptions& options = {});
+    Engine& sim, FaultSession& session, const Engine::StabilityOptions& options = {});
 
 }  // namespace netcons::faults

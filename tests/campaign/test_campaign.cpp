@@ -130,6 +130,61 @@ TEST(Campaign, SchedulerAxisExpandsTheGrid) {
   for (const auto& point : result.points) EXPECT_EQ(point.failures, 0);
 }
 
+TEST(Campaign, EngineAxisExpandsTheGridInDeclaredOrder) {
+  CampaignSpec spec;
+  spec.units.push_back(Unit::protocol("global-star", protocols::global_star()));
+  spec.ns = {8, 12};
+  spec.trials = 5;
+  spec.engines.push_back(*make_engine("naive"));
+  spec.engines.push_back(*make_engine("census"));
+
+  const std::vector<GridPoint> grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].engine, "naive");
+  EXPECT_EQ(grid[0].n, 8);
+  EXPECT_EQ(grid[1].engine, "naive");
+  EXPECT_EQ(grid[1].n, 12);
+  EXPECT_EQ(grid[2].engine, "census");
+  EXPECT_EQ(grid[2].n, 8);
+  EXPECT_EQ(grid[3].engine, "census");
+  EXPECT_EQ(grid[3].n, 12);
+
+  const CampaignResult result = run(spec);
+  ASSERT_EQ(result.points.size(), 4u);
+  for (const auto& point : result.points) {
+    EXPECT_EQ(point.failures, 0) << point.engine << " n=" << point.n;
+    EXPECT_GT(point.convergence_steps.mean(), 0.0);
+  }
+  // Both engines stabilize the star; their per-point means live on the
+  // same scale (loose 3x sanity band -- the CI KS gate is the sharp check).
+  EXPECT_LT(result.points[0].convergence_steps.mean(),
+            3.0 * result.points[2].convergence_steps.mean());
+  EXPECT_LT(result.points[2].convergence_steps.mean(),
+            3.0 * result.points[0].convergence_steps.mean());
+}
+
+TEST(Campaign, OmittedEngineAxisKeepsGridPositionsAndSeeds) {
+  // A declared one-option naive axis must not move grid positions or
+  // per-trial seeds relative to a spec with no engine axis at all (the
+  // compatibility contract that keeps old record fingerprints meaningful).
+  CampaignSpec bare;
+  bare.units.push_back(Unit::protocol("cycle-cover", protocols::cycle_cover()));
+  bare.ns = {8, 12};
+  bare.trials = 3;
+  bare.base_seed = 99;
+
+  CampaignSpec declared = bare;
+  declared.engines.push_back(*make_engine("naive"));
+
+  const std::vector<GridPoint> bare_grid = expand_grid(bare);
+  const std::vector<GridPoint> declared_grid = expand_grid(declared);
+  ASSERT_EQ(bare_grid.size(), declared_grid.size());
+  for (std::size_t i = 0; i < bare_grid.size(); ++i) {
+    EXPECT_EQ(bare_grid[i], declared_grid[i]) << "grid point " << i;
+    EXPECT_EQ(bare_grid[i].engine, "naive");
+  }
+}
+
 TEST(Campaign, JsonRoundTripsBitExactly) {
   const CampaignResult result = run(small_mixed_campaign());
   const std::string json = to_json(result);
@@ -143,7 +198,7 @@ TEST(Campaign, CsvHasHeaderAndOneRowPerPoint) {
   std::size_t lines = 0;
   for (const char c : csv) lines += (c == '\n');
   EXPECT_EQ(lines, result.points.size() + 1);
-  EXPECT_EQ(csv.rfind("unit,scheduler,faults,n,", 0), 0u);
+  EXPECT_EQ(csv.rfind("unit,scheduler,faults,engine,n,", 0), 0u);
 }
 
 TEST(Campaign, ParseJsonRejectsGarbage) {
@@ -159,6 +214,22 @@ TEST(Seeds, StreamMatchesTrialSeedAndChildStreamsDiffer) {
   const SeedStream point1 = campaign_stream.child(1);
   EXPECT_NE(point0.at(0), point1.at(0));
   EXPECT_NE(point0.at(0), point0.at(1));
+}
+
+TEST(Registry, EngineRegistryResolvesAndRejects) {
+  EXPECT_EQ(engine_names().size(), 2u);
+  const auto naive = make_engine("naive");
+  ASSERT_TRUE(naive.has_value());
+  EXPECT_EQ(naive->name, "naive");
+  EXPECT_FALSE(naive->make);  // null factory: the reference engine
+  const auto census = make_engine("census");
+  ASSERT_TRUE(census.has_value());
+  EXPECT_EQ(census->name, "census");
+  ASSERT_TRUE(static_cast<bool>(census->make));
+  const auto engine = census->make(protocols::global_star().protocol, 8, 1, nullptr);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_STREQ(engine->engine_name(), "census");
+  EXPECT_FALSE(make_engine("warp").has_value());
 }
 
 TEST(Registry, ResolvesKnownNamesAndRejectsUnknown) {

@@ -291,6 +291,35 @@ TEST(TrialRecords, MismatchedSpecIsAHardErrorNamingTheField) {
   expect_mismatch(fewer_points, "points");
 }
 
+TEST(TrialRecords, EngineAxisIsPartOfTheFingerprint) {
+  // Records written under one engine must not resume or merge into a
+  // campaign declared with another: the mismatch is a hard error naming
+  // the engine field.
+  CampaignSpec census_spec = small_campaign();
+  census_spec.engines.push_back(*make_engine("census"));
+  const fs::path dir = scratch_dir("engine_fingerprint");
+  (void)run_recorded(census_spec, dir);
+
+  CampaignSpec naive_spec = small_campaign();
+  naive_spec.engines.push_back(*make_engine("naive"));
+  LoadedRecords loaded;
+  loaded.header = CampaignHeader::describe(naive_spec);
+  try {
+    load_records(dir.string(), loaded);
+    FAIL() << "expected a header mismatch on engine";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("engine"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("census"), std::string::npos) << e.what();
+  }
+
+  // And the header round-trips the engine name through its JSONL form.
+  const CampaignHeader header = CampaignHeader::describe(census_spec);
+  const CampaignHeader parsed = parse_header_line(header_line(header));
+  EXPECT_EQ(parsed, header);
+  ASSERT_FALSE(parsed.points.empty());
+  EXPECT_EQ(parsed.points[0].engine, "census");
+}
+
 TEST(TrialRecords, MalformedInteriorLineIsCorruptionNotACrash) {
   const CampaignSpec spec = small_campaign();
   const CampaignHeader header = CampaignHeader::describe(spec);

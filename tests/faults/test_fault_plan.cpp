@@ -54,6 +54,48 @@ TEST(FaultPlan, ComposesEventsWithPlus) {
   EXPECT_EQ(plan.events[1].kind, FaultKind::EdgeBurst);
 }
 
+TEST(FaultPlan, ParsesVictimTargets) {
+  EXPECT_EQ(parse_fault_plan("crash:k=1").events[0].target, VictimTarget::Random);
+  EXPECT_EQ(parse_fault_plan("crash:k=1:target=random").events[0].target,
+            VictimTarget::Random);
+  EXPECT_EQ(parse_fault_plan("crash:k=2:target=max-degree").events[0].target,
+            VictimTarget::MaxDegree);
+  EXPECT_EQ(parse_fault_plan("crash:target=leader:k=1").events[0].target,
+            VictimTarget::Leader);  // parameter order is free
+  EXPECT_EQ(parse_fault_plan("reset:k=1:target=max-degree").events[0].target,
+            VictimTarget::MaxDegree);
+  // Targeted events keep their trigger semantics.
+  const FaultPlan scheduled = parse_fault_plan("crash:k=1:target=leader:at=500");
+  EXPECT_EQ(scheduled.events[0].target, VictimTarget::Leader);
+  EXPECT_EQ(scheduled.events[0].at, 500u);
+  EXPECT_FALSE(scheduled.events[0].stabilization_triggered());
+  // And compose with other events.
+  const FaultPlan composed = parse_fault_plan("crash:k=1:target=max-degree+edge-burst:f=0.1");
+  ASSERT_EQ(composed.events.size(), 2u);
+  EXPECT_EQ(composed.events[0].target, VictimTarget::MaxDegree);
+}
+
+TEST(FaultPlan, RejectsBadVictimTargets) {
+  // Unknown selector, wrong kind, duplicate, and empty value all quote the
+  // grammar like every other parse error.
+  EXPECT_THROW((void)parse_fault_plan("crash:k=1:target=centroid"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("edge-burst:f=0.1:target=leader"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("edge-rate:p=1e-4:target=max-degree"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("crash:k=1:target=leader:target=leader"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("crash:k=1:target="), std::invalid_argument);
+  try {
+    (void)parse_fault_plan("crash:k=1:target=centroid");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("max-degree"), std::string::npos);
+    EXPECT_NE(message.find("grammar"), std::string::npos);
+  }
+}
+
 TEST(FaultPlan, RejectsBadSpecsWithGrammarInMessage) {
   EXPECT_THROW((void)parse_fault_plan("meteor:k=1"), std::invalid_argument);
   EXPECT_THROW((void)parse_fault_plan("crash:q=1"), std::invalid_argument);

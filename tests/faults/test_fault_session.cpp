@@ -169,6 +169,87 @@ TEST(FaultSession, FaultRngIsIndependentOfSimulatorStream) {
   EXPECT_EQ(crashed_set(1), crashed_set(2));
 }
 
+TEST(FaultSession, MaxDegreeTargetCrashesTheHub) {
+  // A stabilized star has one hub of degree n - 1; the adversarial
+  // selector must kill exactly it -- the one victim a random k=1 crash
+  // almost never picks, and the one Global-Star cannot repair (no rule
+  // mints a new center once every survivor is peripheral). The population
+  // still re-stabilizes (quiescent), just to a damaged topology.
+  const ProtocolSpec spec = protocols::global_star();
+  const int n = 14;
+  Simulator sim(spec.protocol, n, 9);
+  ASSERT_TRUE(sim.run_until_stable().stabilized);
+  int hub = 0;
+  for (int u = 0; u < n; ++u) {
+    if (sim.world().active_degree(u) > sim.world().active_degree(hub)) hub = u;
+  }
+  ASSERT_EQ(sim.world().active_degree(hub), n - 1);
+
+  FaultSession session(parse_fault_plan("crash:k=1:target=max-degree"), 9);
+  ASSERT_TRUE(session.fire_on_stabilization(sim));
+  EXPECT_FALSE(sim.world().alive(hub));
+  EXPECT_EQ(sim.world().alive_count(), n - 1);
+  const ConvergenceReport report = sim.run_until_stable();
+  EXPECT_TRUE(report.stabilized);
+  EXPECT_FALSE(is_spanning_star(sim.world().output_graph(spec.protocol)));
+}
+
+TEST(FaultSession, LeaderTargetCrashesALeaderStateNode) {
+  // A stabilized Simple-Global-Line has exactly one node in the leader
+  // state 'l'; target=leader must pick it over the q1/q2 followers.
+  const ProtocolSpec spec = protocols::simple_global_line();
+  const int n = 12;
+  Simulator sim(spec.protocol, n, 33);
+  Simulator::StabilityOptions options;
+  options.max_steps = spec.max_steps(n);
+  ASSERT_TRUE(sim.run_until_stable(options).stabilized);
+  const StateId l = *spec.protocol.state_by_name("l");
+  const std::vector<int> leaders =
+      sim.world().nodes_where([l](StateId s) { return s == l; });
+  ASSERT_EQ(leaders.size(), 1u);
+
+  FaultSession session(parse_fault_plan("crash:k=1:target=leader"), 33);
+  ASSERT_TRUE(session.fire_on_stabilization(sim));
+  EXPECT_FALSE(sim.world().alive(leaders[0]));
+}
+
+TEST(FaultSession, LeaderTargetPadsWithRandomVictimsWhenLeadersRunOut) {
+  // k = 3 against a single-leader line: the leader plus two random others.
+  const ProtocolSpec spec = protocols::simple_global_line();
+  const int n = 10;
+  Simulator sim(spec.protocol, n, 21);
+  Simulator::StabilityOptions options;
+  options.max_steps = spec.max_steps(n);
+  ASSERT_TRUE(sim.run_until_stable(options).stabilized);
+  const StateId l = *spec.protocol.state_by_name("l");
+  const std::vector<int> leaders =
+      sim.world().nodes_where([l](StateId s) { return s == l; });
+  ASSERT_EQ(leaders.size(), 1u);
+
+  FaultSession session(parse_fault_plan("crash:k=3:target=leader"), 21);
+  ASSERT_TRUE(session.fire_on_stabilization(sim));
+  EXPECT_FALSE(sim.world().alive(leaders[0]));
+  EXPECT_EQ(sim.world().alive_count(), n - 3);
+}
+
+TEST(FaultSession, TargetedSelectionIsDeterministicPerSeed) {
+  // Same plan + seed -> same victims, on any engine (the selector draws
+  // only from the session's own stream and the world configuration).
+  const ProtocolSpec spec = protocols::global_star();
+  std::vector<int> dead_a;
+  std::vector<int> dead_b;
+  for (int run = 0; run < 2; ++run) {
+    Simulator sim(spec.protocol, 16, 5);
+    ASSERT_TRUE(sim.run_until_stable().stabilized);
+    FaultSession session(parse_fault_plan("crash:k=2:target=max-degree"), 5);
+    ASSERT_TRUE(session.fire_on_stabilization(sim));
+    for (int u = 0; u < 16; ++u) {
+      if (!sim.world().alive(u)) (run == 0 ? dead_a : dead_b).push_back(u);
+    }
+  }
+  EXPECT_EQ(dead_a, dead_b);
+}
+
 TEST(OutputEdgeCount, CountsAliveOutputPairsOnly) {
   const ProtocolSpec spec = protocols::global_star();
   Simulator sim(spec.protocol, 10, 21);

@@ -7,13 +7,16 @@
 //   netcons_campaign --protocols all --ns 16 --trials 20
 //   netcons_campaign --protocols simple-global-line --ns 32 --trials 100
 //       --faults none,crash:k=1,edge-burst:f=0.1 --threads 8 --json out.json
+//   netcons_campaign --protocols simple-global-line --ns 64,128 --trials 200
+//       --engine naive,census --json engines.json   # engine-equivalence grid
+//   netcons_campaign --engine list                  # registered engines
 //   netcons_campaign --protocols cycle-cover --ns 64 --trials 100000
 //       --shard 0/3 --records shard0/          # machine 0 of a 3-way fan-out
 //   netcons_campaign --protocols cycle-cover --ns 64 --trials 100000
 //       --resume records/ --json out.json      # finish an interrupted run
 //   netcons_campaign --list
 //
-// Every (unit, scheduler, faults, n) grid point runs `--trials` independent trials
+// Every (unit, scheduler, faults, engine, n) grid point runs `--trials` independent trials
 // as sharded jobs on a thread pool. Per-trial seeds are pure functions of
 // (--seed, grid position), so the aggregates are bit-identical for any
 // --threads value. Results print as a table and optionally export to
@@ -55,6 +58,7 @@ struct Options {
   std::vector<int> ns;
   std::vector<std::string> schedulers;
   std::vector<std::string> faults;
+  std::vector<std::string> engines;
   int trials = 20;
   int threads = 0;  // all cores
   std::uint64_t seed = 1;
@@ -103,7 +107,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--protocols a,b|all] [--processes a,b|all] --ns N1,N2,...\n"
                "       [--trials T] [--threads K] [--seed S] [--schedulers s1,s2]\n"
-               "       [--faults none,crash:k=1,...] [--k K] [--c C] [--d D]\n"
+               "       [--faults none,crash:k=1,...] [--engine naive,census|list]\n"
+               "       [--k K] [--c C] [--d D]\n"
                "       [--json FILE] [--csv FILE] [--quiet]\n"
                "       [--records DIR] [--shard I/K] [--resume DIR] [--trial-cap N]\n"
                "       "
@@ -149,14 +154,15 @@ std::optional<Options> parse(int argc, char** argv) {
       }
       opt.trial_cap = cap;
     } else if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
-               arg == "--faults" || arg == "--ns" || arg == "--json" || arg == "--csv" ||
-               arg == "--records" || arg == "--resume") {
+               arg == "--faults" || arg == "--engine" || arg == "--ns" || arg == "--json" ||
+               arg == "--csv" || arg == "--records" || arg == "--resume") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--protocols") opt.protocols = split_list(v);
       if (arg == "--processes") opt.processes = split_list(v);
       if (arg == "--schedulers") opt.schedulers = split_list(v);
       if (arg == "--faults") opt.faults = split_list(v);
+      if (arg == "--engine") opt.engines = split_list(v);
       if (arg == "--json") opt.json_path = v;
       if (arg == "--csv") opt.csv_path = v;
       if (arg == "--records") opt.records_dir = v;
@@ -205,6 +211,12 @@ std::optional<Options> parse(int argc, char** argv) {
   return opt;
 }
 
+int list_engines() {
+  std::cout << "engines:\n";
+  for (const auto& name : campaign::engine_names()) std::cout << "  " << name << '\n';
+  return 0;
+}
+
 int list_registry() {
   std::cout << "protocols:\n";
   for (const auto& name : campaign::protocol_names()) std::cout << "  " << name << '\n';
@@ -212,6 +224,8 @@ int list_registry() {
   for (const auto& name : campaign::process_names()) std::cout << "  " << name << '\n';
   std::cout << "schedulers:\n";
   for (const auto& name : campaign::scheduler_names()) std::cout << "  " << name << '\n';
+  std::cout << "engines:\n";
+  for (const auto& name : campaign::engine_names()) std::cout << "  " << name << '\n';
   std::cout << "fault plans (examples; see the grammar for the full space):\n";
   for (const auto& name : campaign::fault_plan_examples()) std::cout << "  " << name << '\n';
   std::cout << faults::fault_plan_grammar() << '\n';
@@ -235,6 +249,8 @@ int main(int argc, char** argv) {
   if (!parsed) return usage(argv[0]);
   const Options& opt = *parsed;
   if (opt.list) return list_registry();
+  // `--engine list` prints the engine registry, mirroring --list's other axes.
+  if (opt.engines.size() == 1 && opt.engines[0] == "list") return list_engines();
 
   campaign::CampaignSpec spec;
   spec.ns = opt.ns;
@@ -284,6 +300,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     spec.faults.push_back(std::move(*plan));
+  }
+  for (const std::string& name : opt.engines) {
+    auto engine = campaign::make_engine(name);
+    if (!engine) {
+      std::cerr << "unknown engine '" << name
+                << "'; registered engines: " << joined(campaign::engine_names()) << "\n";
+      return 2;
+    }
+    spec.engines.push_back(std::move(*engine));
   }
 
   if (spec.units.empty() || spec.ns.empty()) {
@@ -376,10 +401,10 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.quiet) {
-    TextTable table({"unit", "scheduler", "faults", "n", "trials", "failures", "damaged",
-                     "mean", "median", "recovery", "residual"});
+    TextTable table({"unit", "scheduler", "faults", "engine", "n", "trials", "failures",
+                     "damaged", "mean", "median", "recovery", "residual"});
     for (const auto& point : result.points) {
-      table.add_row({point.unit, point.scheduler, point.faults,
+      table.add_row({point.unit, point.scheduler, point.faults, point.engine,
                      TextTable::integer(static_cast<std::uint64_t>(point.n)),
                      TextTable::integer(static_cast<std::uint64_t>(point.trials)),
                      TextTable::integer(static_cast<std::uint64_t>(point.failures)),

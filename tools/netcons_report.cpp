@@ -6,6 +6,7 @@
 //   netcons_report shard0/ shard1/ shard2/ --bins 32 --json report.json
 //   netcons_report records/ --metrics convergence_steps,recovery_steps
 //   netcons_report --compare fault-free/ faulted/ --json compare.json
+//   netcons_report --compare naive/ census/ --max-ks 0.2   # equivalence gate
 //
 // Inputs are trial-record .jsonl files and/or directories of them (see
 // netcons_merge); all must carry the same campaign fingerprint. Records
@@ -51,6 +52,7 @@ struct Options {
   std::optional<std::string> ecdf_csv_path;
   std::vector<analysis::Metric> metrics;  // Empty: all, in canonical order.
   int bins = 0;                           // <= 0: Freedman–Diaconis.
+  double max_ks = -1.0;                   // < 0: report only, never gate.
   bool compare = false;
   bool allow_partial = false;
   bool quiet = false;
@@ -62,7 +64,7 @@ int usage(const char* argv0) {
                "       [--bins N|fd] [--metrics m1,m2,...] [--allow-partial] [--quiet]\n"
                "       "
             << argv0
-            << " --compare A B [--json FILE] [--quiet]\n"
+            << " --compare A B [--max-ks D] [--json FILE] [--quiet]\n"
                "       RECORDS: trial-record .jsonl files and/or directories of them\n"
                "       metrics: convergence_steps, steps_executed, recovery_steps, "
                "edges_residual\n";
@@ -80,6 +82,17 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.allow_partial = true;
     } else if (arg == "--compare") {
       opt.compare = true;
+    } else if (arg == "--max-ks") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      char* end = nullptr;
+      errno = 0;
+      const double max_ks = std::strtod(v, &end);
+      if (end == v || *end != '\0' || errno == ERANGE || !(max_ks >= 0.0) || max_ks > 1.0) {
+        std::cerr << "--max-ks expects a threshold in [0, 1], got '" << v << "'\n";
+        return std::nullopt;
+      }
+      opt.max_ks = max_ks;
     } else if (arg == "--json" || arg == "--csv" || arg == "--ecdf-csv") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -137,6 +150,11 @@ std::optional<Options> parse(int argc, char** argv) {
       std::cerr << "--compare expects exactly two record sets\n";
       return std::nullopt;
     }
+  } else if (opt.max_ks >= 0.0) {
+    std::cerr << "--max-ks only applies to --compare\n";
+    return std::nullopt;
+  }
+  if (opt.compare) {
     // Refuse flags compare mode would silently ignore: a requested output
     // file that never appears is a broken pipeline, not a no-op.
     if (opt.csv_path || opt.ecdf_csv_path || opt.bins != 0) {
@@ -235,6 +253,8 @@ std::string report_json(const analysis::RecordDistributionBuilder& builder,
     campaign::json::append_escaped(out, point.scheduler);
     out += ", \"faults\": ";
     campaign::json::append_escaped(out, point.faults);
+    out += ", \"engine\": ";
+    campaign::json::append_escaped(out, point.engine);
     out += ", \"n\": " + std::to_string(point.n);
     out += ", \"seed\": " + std::to_string(point.seed);
     out += ",\n     \"metrics\": [\n";
@@ -256,14 +276,15 @@ std::string report_json(const analysis::RecordDistributionBuilder& builder,
 void append_point_prefix(std::string& out, const campaign::GridPoint& point,
                          analysis::Metric metric) {
   out += campaign::csv_field(point.unit) + ',' + campaign::csv_field(point.scheduler) + ',' +
-         campaign::csv_field(point.faults) + ',' + std::to_string(point.n) + ',';
+         campaign::csv_field(point.faults) + ',' + campaign::csv_field(point.engine) + ',' +
+         std::to_string(point.n) + ',';
   out += analysis::metric_name(metric);
 }
 
 std::string histogram_csv(const campaign::CampaignHeader& header,
                           const std::vector<analysis::PointDistributions>& dists,
                           const Options& opt) {
-  std::string out = "unit,scheduler,faults,n,metric,bin,lo,hi,count\n";
+  std::string out = "unit,scheduler,faults,engine,n,metric,bin,lo,hi,count\n";
   for (std::size_t p = 0; p < header.points.size(); ++p) {
     for (const analysis::Metric metric : opt.metrics) {
       if (!metric_applicable(metric, header.points[p].faulted)) continue;
@@ -284,7 +305,7 @@ std::string histogram_csv(const campaign::CampaignHeader& header,
 std::string ecdf_csv(const campaign::CampaignHeader& header,
                      const std::vector<analysis::PointDistributions>& dists,
                      const Options& opt) {
-  std::string out = "unit,scheduler,faults,n,metric,value,cumulative,fraction\n";
+  std::string out = "unit,scheduler,faults,engine,n,metric,value,cumulative,fraction\n";
   for (std::size_t p = 0; p < header.points.size(); ++p) {
     for (const analysis::Metric metric : opt.metrics) {
       if (!metric_applicable(metric, header.points[p].faulted)) continue;
@@ -331,14 +352,14 @@ int run_report(const Options& opt) {
     std::cout << "report over " << builder.filled() << " trials ("
               << builder.duplicates() << " superseded duplicates, " << builder.missing()
               << " missing)\n";
-    TextTable table({"unit", "scheduler", "faults", "n", "metric", "count", "mean", "p50",
-                     "p90", "p99", "max"});
+    TextTable table({"unit", "scheduler", "faults", "engine", "n", "metric", "count", "mean",
+                     "p50", "p90", "p99", "max"});
     for (std::size_t p = 0; p < header.points.size(); ++p) {
       for (const analysis::Metric metric : opt.metrics) {
         if (!metric_applicable(metric, header.points[p].faulted)) continue;
         const analysis::ValueDistribution& dist = dists[p].metric(metric);
         table.add_row({header.points[p].unit, header.points[p].scheduler,
-                       header.points[p].faults,
+                       header.points[p].faults, header.points[p].engine,
                        TextTable::integer(static_cast<std::uint64_t>(header.points[p].n)),
                        std::string(analysis::metric_name(metric)),
                        TextTable::integer(dist.count()), TextTable::num(dist.mean()),
@@ -366,6 +387,17 @@ int run_report(const Options& opt) {
 int run_compare(const Options& opt) {
   const analysis::RecordDistributionBuilder a = load({opt.inputs[0]});
   const analysis::RecordDistributionBuilder b = load({opt.inputs[1]});
+  // An incomplete stream would make the comparison (and especially a
+  // --max-ks gate) vacuously optimistic: missing trials contribute no
+  // samples, and an all-header record set would "pass" with ks = 0.
+  for (const auto* side : {&a, &b}) {
+    if (side->missing() > 0 && !opt.allow_partial) {
+      std::cerr << "incomplete record stream (" << side->missing() << " of "
+                << side->filled() + side->missing()
+                << " trials missing); complete it or pass --allow-partial\n";
+      return 1;
+    }
+  }
   const std::vector<analysis::PointDistributions> dists_a = a.build();
   const std::vector<analysis::PointDistributions> dists_b = b.build();
 
@@ -393,9 +425,12 @@ int run_compare(const Options& opt) {
   }
 
   std::string json = "{\n  \"schema\": \"netcons-compare-v1\",\n  \"pairs\": [\n";
-  TextTable table({"unit", "scheduler", "n", "faults a", "faults b", "metric", "count a",
-                   "count b", "ks"});
+  TextTable table({"unit", "scheduler", "n", "faults a", "faults b", "engine a", "engine b",
+                   "metric", "count a", "count b", "ks"});
   bool first = true;
+  double worst_ks = 0.0;
+  std::string worst_label;
+  std::size_t compared = 0;
   for (const Pair& pair : pairs) {
     const campaign::GridPoint& pa = a.header().points[pair.a];
     const campaign::GridPoint& pb = b.header().points[pair.b];
@@ -403,6 +438,7 @@ int run_compare(const Options& opt) {
       const analysis::ValueDistribution& da = dists_a[pair.a].metric(metric);
       const analysis::ValueDistribution& db = dists_b[pair.b].metric(metric);
       if (da.count() == 0 || db.count() == 0) continue;
+      ++compared;
       const double ks = analysis::ks_distance(da, db);
       if (!first) json += ",\n";
       first = false;
@@ -415,6 +451,10 @@ int run_compare(const Options& opt) {
       campaign::json::append_escaped(json, pa.faults);
       json += ", \"faults_b\": ";
       campaign::json::append_escaped(json, pb.faults);
+      json += ", \"engine_a\": ";
+      campaign::json::append_escaped(json, pa.engine);
+      json += ", \"engine_b\": ";
+      campaign::json::append_escaped(json, pb.engine);
       json += ", \"metric\": ";
       campaign::json::append_escaped(json, std::string(analysis::metric_name(metric)));
       json += ", \"count_a\": " + std::to_string(da.count());
@@ -423,15 +463,36 @@ int run_compare(const Options& opt) {
       campaign::json::append_double(json, ks);
       json += "}";
       table.add_row({pa.unit, pa.scheduler, TextTable::integer(static_cast<std::uint64_t>(pa.n)),
-                     pa.faults, pb.faults, std::string(analysis::metric_name(metric)),
+                     pa.faults, pb.faults, pa.engine, pb.engine,
+                     std::string(analysis::metric_name(metric)),
                      TextTable::integer(da.count()), TextTable::integer(db.count()),
                      TextTable::num(ks)});
+      if (ks > worst_ks) {
+        worst_ks = ks;
+        worst_label = pa.unit + " n=" + std::to_string(pa.n) + " " +
+                      std::string(analysis::metric_name(metric)) + " (" + pa.engine + "/" +
+                      pa.faults + " vs " + pb.engine + "/" + pb.faults + ")";
+      }
     }
   }
   json += "\n  ]\n}\n";
 
   if (!opt.quiet) std::cout << table;
   if (opt.json_path && !write_file(*opt.json_path, json, opt.quiet)) return 1;
+  if (compared == 0) {
+    // Matched grid points but no metric had samples on both sides -- a
+    // comparison that compared nothing must not read as agreement.
+    std::cerr << "no metric had samples on both sides for any matched grid point\n";
+    return 1;
+  }
+  if (opt.max_ks >= 0.0 && worst_ks > opt.max_ks) {
+    std::cerr << "KS gate failed: worst distance " << worst_ks << " > --max-ks " << opt.max_ks
+              << " at " << worst_label << "\n";
+    return 1;
+  }
+  if (opt.max_ks >= 0.0 && !opt.quiet) {
+    std::cout << "KS gate passed: worst distance " << worst_ks << " <= " << opt.max_ks << '\n';
+  }
   return 0;
 }
 

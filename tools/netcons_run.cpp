@@ -2,6 +2,7 @@
 //
 //   netcons_run --protocol global-star --n 50 --seed 7
 //   netcons_run --protocol fast-global-line --n 30 --trials 10
+//   netcons_run --protocol simple-global-line --n 256 --engine census
 //   netcons_run --protocol krc --k 3 --n 16 --dot out.dot
 //   netcons_run --protocol c-cliques --c 4 --n 20 --ascii
 //   netcons_run --list
@@ -12,6 +13,7 @@
 // of the convergence time instead.
 #include "analysis/experiment.hpp"
 #include "campaign/registry.hpp"
+#include "core/census_engine.hpp"
 #include "graph/render.hpp"
 #include "protocols/protocols.hpp"
 #include "util/table.hpp"
@@ -27,6 +29,7 @@ using namespace netcons;
 
 struct Options {
   std::string protocol;
+  std::string engine = "naive";
   int n = 20;
   std::uint64_t seed = 1;
   int trials = 1;
@@ -56,7 +59,8 @@ std::vector<std::string> spec_names() {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --protocol <name> [--n N] [--seed S] [--trials T]\n"
-               "       [--k K] [--c C] [--d D] [--dot FILE] [--ascii] [--describe]\n"
+               "       [--engine naive|census] [--k K] [--c C] [--d D]\n"
+               "       [--dot FILE] [--ascii] [--describe]\n"
                "       " << argv0 << " --list\n";
   return 2;
 }
@@ -76,6 +80,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.protocol = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.engine = v;
     } else if (arg == "--dot") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -124,8 +132,17 @@ int main(int argc, char** argv) {
   const ProtocolSpec& spec = *maybe_spec;
   if (opt.describe) std::cout << spec.protocol.describe() << '\n';
 
+  const auto engine_option = campaign::make_engine(opt.engine);
+  if (!engine_option) {
+    std::cerr << "unknown engine '" << opt.engine << "'; registered engines:";
+    for (const auto& name : campaign::engine_names()) std::cerr << ' ' << name;
+    std::cerr << "\n";
+    return 2;
+  }
+
   if (opt.trials > 1) {
-    const auto point = analysis::measure(spec, opt.n, opt.trials, opt.seed);
+    const auto point =
+        analysis::measure(spec, opt.n, opt.trials, opt.seed, 0, {}, *engine_option);
     TextTable table({"n", "trials", "failures", "mean steps", "median", "ci95", "min", "max"});
     table.add_row({TextTable::integer(static_cast<std::uint64_t>(point.n)),
                    TextTable::integer(static_cast<std::uint64_t>(point.trials)),
@@ -139,16 +156,19 @@ int main(int argc, char** argv) {
     return point.failures == 0 ? 0 : 1;
   }
 
-  Simulator sim(spec.protocol, opt.n, opt.seed);
+  const std::unique_ptr<Engine> engine =
+      campaign::instantiate_engine(engine_option->make, spec.protocol, opt.n, opt.seed, {});
+  Engine& sim = *engine;
   if (spec.initialize) spec.initialize(sim.mutable_world());
-  Simulator::StabilityOptions options;
+  Engine::StabilityOptions options;
   if (spec.max_steps) options.max_steps = spec.max_steps(opt.n);
   options.certificate = spec.certificate;
   const ConvergenceReport report = sim.run_until_stable(options);
   const Graph output = sim.world().output_graph(spec.protocol);
   const bool ok = report.stabilized && (!spec.target || spec.target(output));
 
-  std::cout << spec.protocol.name() << " on n = " << opt.n << ", seed = " << opt.seed << '\n'
+  std::cout << spec.protocol.name() << " on n = " << opt.n << " [" << sim.engine_name()
+            << " engine], seed = " << opt.seed << '\n'
             << "stabilized: " << (report.stabilized ? "yes" : "NO")
             << (report.quiescent ? " (quiescent)" : report.certified ? " (certified)" : "")
             << ", convergence step: " << report.convergence_step << '\n'
