@@ -3,6 +3,8 @@
 #include "campaign/job_queue.hpp"
 #include "campaign/seeds.hpp"
 #include "faults/fault_session.hpp"
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -170,6 +172,7 @@ ProtocolTrialReport run_protocol_trial_report(const ProtocolSpec& spec, int n,
   } else {
     out.target_ok = report.stabilized;
   }
+  if (telemetry::Registry* reg = telemetry::registry()) sim.publish_metrics(*reg);
   return out;
 }
 
@@ -212,6 +215,7 @@ TrialOutcome run_process_trial(const ProcessSpec& spec, int n, std::uint64_t see
     }
     const auto finished = sim.run_until(spec.done, process_step_budget(spec, n));
     sim.set_interceptor(nullptr);
+    if (telemetry::Registry* reg = telemetry::registry()) sim.publish_metrics(*reg);
     outcome.steps_executed = sim.steps();
     outcome.faults_injected = session.faults_injected();
     if (outcome.faults_injected > 0) {
@@ -356,7 +360,13 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> started{0};
 
+  if (options.monitor) {
+    options.monitor->begin(static_cast<std::uint64_t>(tasks.size()), threads);
+  }
+
   run_jobs(chunks.size(), threads, [&](std::size_t job) {
+    NETCONS_TM_SPAN(job_span, "job", "campaign");
+    const auto job_start = std::chrono::steady_clock::now();
     const Chunk& chunk = chunks[job];
     std::uint64_t executed_here = 0;
     for (std::size_t i = chunk.task_begin; i < chunk.task_end; ++i) {
@@ -372,6 +382,7 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
       const Point& point = points[task.point];
       const std::uint64_t seed =
           SeedStream(point.seed).at(static_cast<std::uint64_t>(task.trial));
+      NETCONS_TM_SAMPLED_SPAN(trial_span, "trial", "campaign");
       TrialOutcome outcome = run_unit_trial(*point.unit, point.n, seed,
                                             point.scheduler->make, *point.fault_plan,
                                             point.engine->make);
@@ -380,12 +391,20 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
       if (options.on_trial) options.on_trial(task.point, task.trial, seed, outcome);
       ++executed_here;
     }
+    if (options.monitor && executed_here > 0) {
+      options.monitor->record_job(
+          executed_here,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - job_start)
+              .count());
+    }
     if (options.progress && executed_here > 0) {
       const auto done = completed.fetch_add(executed_here, std::memory_order_relaxed) +
                         executed_here;
       options.progress(done, static_cast<std::uint64_t>(tasks.size()));
     }
   });
+
+  if (options.monitor) options.monitor->end();
 
   std::uint64_t filled_count = 0;
   for (const char f : filled) filled_count += static_cast<std::uint64_t>(f);

@@ -33,6 +33,10 @@
 #include <variant>
 #include <vector>
 
+namespace netcons::telemetry {
+class CampaignMonitor;
+}  // namespace netcons::telemetry
+
 namespace netcons::campaign {
 
 /// Creates a fresh scheduler per trial; a null factory means the
@@ -212,6 +216,12 @@ struct RunOptions {
   std::function<void(std::size_t point, int trial, std::uint64_t seed,
                      const TrialOutcome& outcome)>
       on_trial;
+  /// Optional progress/heartbeat monitor (telemetry/heartbeat.hpp): run()
+  /// calls begin() with this invocation's scheduled trial count and worker
+  /// count, record_job() from every worker, and end() when the pool drains.
+  /// Not owned; must outlive run(). Purely observational -- attaching a
+  /// monitor never changes outcomes or summary bytes.
+  telemetry::CampaignMonitor* monitor = nullptr;
 };
 
 struct CampaignResult {

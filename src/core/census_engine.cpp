@@ -1,26 +1,40 @@
 #include "core/census_engine.hpp"
 
 #include "graph/graph.hpp"
+#include "telemetry/telemetry.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string>
 
 namespace netcons {
 
 namespace {
 
-/// One stderr line per process per fallback reason: a campaign constructs
-/// thousands of engines, and one identical note per trial would drown the
-/// console without saying anything new.
-void note_fallback_once(std::atomic<bool>& noted, const char* reason) {
+/// Report a naive fallback. With an ambient telemetry registry the event is
+/// structured -- the census.fallback counter plus a per-reason counter
+/// (census.fallback.scheduler / census.fallback.interceptor) count every
+/// occurrence, and a trace instant marks when it happened -- and stderr
+/// stays quiet. Without telemetry, one stderr line per process per reason:
+/// a campaign constructs thousands of engines, and one identical note per
+/// trial would drown the console without saying anything new.
+void note_fallback(std::atomic<bool>& noted, const char* reason_key, const char* reason_text) {
+  if (telemetry::Registry* reg = telemetry::registry()) {
+    reg->add("census.fallback");
+    reg->add(std::string("census.fallback.") + reason_key);
+    if (telemetry::Tracer* tracer = telemetry::tracer()) {
+      tracer->instant("census.fallback", "engine");
+    }
+    return;
+  }
   if (noted.exchange(true)) return;
   std::fprintf(stderr,
                "census engine: cannot honor %s exactly; falling back to naive "
                "per-step execution\n",
-               reason);
+               reason_text);
 }
 
 std::atomic<bool> g_noted_scheduler{false};
@@ -51,7 +65,9 @@ CensusEngine::CensusEngine(Protocol protocol, int n, std::uint64_t seed,
   // by default or passed explicitly). Anything else gets the naive path.
   const auto* uniform = dynamic_cast<const UniformRandomScheduler*>(Simulator::scheduler());
   custom_scheduler_ = uniform == nullptr;
-  if (custom_scheduler_) note_fallback_once(g_noted_scheduler, "a non-uniform scheduler");
+  if (custom_scheduler_) {
+    note_fallback(g_noted_scheduler, "scheduler", "a non-uniform scheduler");
+  }
 }
 
 World& CensusEngine::mutable_world() noexcept {
@@ -61,7 +77,7 @@ World& CensusEngine::mutable_world() noexcept {
 
 void CensusEngine::set_interceptor(StepInterceptor* interceptor) noexcept {
   if (interceptor != nullptr && !custom_scheduler_) {
-    note_fallback_once(g_noted_interceptor, "a step interceptor");
+    note_fallback(g_noted_interceptor, "interceptor", "a step interceptor");
   }
   interceptor_installed_ = interceptor != nullptr;
   // The interceptor mutates the world between steps; whatever it did while
@@ -97,6 +113,7 @@ void CensusEngine::ensure_tables() {
 }
 
 void CensusEngine::rebuild_tables() {
+  ++rebuilds_;
   const World& w = world();
   const int q = protocol().state_count();
   const int n = w.size();
@@ -323,9 +340,11 @@ bool CensusEngine::census_step(std::uint64_t budget) {
     // engine would have burned the rest of it on ineffective steps. The
     // discarded geometric tail is redrawn by the next call -- exact, since
     // the geometric distribution is memoryless.
+    geometric_skipped_ += budget - at;
     skip_steps(budget - at);
     return false;
   }
+  geometric_skipped_ += skips;
   skip_steps(skips + 1);
 
   std::uint64_t r = rng().below(weight);
@@ -334,6 +353,7 @@ bool CensusEngine::census_step(std::uint64_t budget) {
     if (r < multiplicity) {
       const BucketEdge pair = sample_pair(classes_[i], multiplicity);
       execute_and_update(pair.u, pair.v);
+      ++effective_samples_;
       return true;
     }
     r -= multiplicity;
@@ -378,6 +398,47 @@ std::optional<std::uint64_t> CensusEngine::run_until(
     if (census_step(max_steps) && pred(world())) return steps();
   }
   return std::nullopt;
+}
+
+void CensusEngine::publish_metrics(telemetry::Registry& registry) {
+  Simulator::publish_metrics(registry);
+  // Per-(thread, registry) handle cache, same rationale as the base class:
+  // one name lookup per campaign worker instead of one per trial.
+  struct Handles {
+    std::uint64_t registry_id = 0;
+    std::uint64_t publishes = 0;
+    telemetry::Counter* rebuilds = nullptr;
+    telemetry::Counter* skips = nullptr;
+    telemetry::Counter* samples = nullptr;
+    telemetry::Histogram* occupancy = nullptr;
+  };
+  thread_local Handles handles;
+  if (handles.registry_id != registry.id()) {
+    handles.rebuilds = &registry.counter("census.rebuilds");
+    handles.skips = &registry.counter("census.geometric_skips");
+    handles.samples = &registry.counter("census.effective_samples");
+    handles.occupancy = &registry.histogram("census.bucket_occupancy",
+                                            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    handles.registry_id = registry.id();
+  }
+  handles.rebuilds->add(rebuilds_);
+  handles.skips->add(geometric_skipped_);
+  handles.samples->add(effective_samples_);
+  if (fallback_active()) return;  // the tables may be stale; occupancy would lie
+  // The occupancy distribution is sampled 1-in-8 publishes: q(q+1)/2
+  // histogram records per trial would be the single largest telemetry cost
+  // on small-n campaigns, and a campaign publishing thousands of trials
+  // still lands thousands of samples at 1-in-8.
+  constexpr std::uint64_t kOccupancySampleEvery = 8;
+  if (handles.publishes++ % kOccupancySampleEvery != 0) return;
+  ensure_tables();
+  const int q = protocol().state_count();
+  for (int a = 0; a < q; ++a) {
+    for (int b = a; b < q; ++b) {
+      handles.occupancy->record(static_cast<double>(
+          edge_buckets_[bucket_key(static_cast<StateId>(a), static_cast<StateId>(b))].size()));
+    }
+  }
 }
 
 ConvergenceReport CensusEngine::run_until_stable(const StabilityOptions& options) {

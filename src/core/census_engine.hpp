@@ -104,6 +104,14 @@ class CensusEngine final : public Simulator {
   /// quiescent -- the O(1) form of Engine::is_quiescent.
   [[nodiscard]] std::uint64_t effective_pair_weight();
 
+  /// Publishes the inherited engine.* counters plus census.rebuilds /
+  /// census.geometric_skips / census.effective_samples and the
+  /// census.bucket_occupancy histogram (active-edge bucket sizes over the
+  /// current configuration; sampled 1-in-8 publishes to keep per-trial
+  /// cost inside the telemetry overhead budget, and omitted while the
+  /// naive fallback is active, when the tables may be stale).
+  void publish_metrics(telemetry::Registry& registry) override;
+
  private:
   struct BucketEdge {
     int u = 0;
@@ -160,6 +168,12 @@ class CensusEngine final : public Simulator {
   bool custom_scheduler_ = false;
   bool interceptor_installed_ = false;
   bool tables_dirty_ = true;
+  // Internals counters surfaced by publish_metrics (single-threaded: an
+  // engine lives on one worker thread; the registry does the cross-thread
+  // merging).
+  std::uint64_t rebuilds_ = 0;           ///< Full census-table rebuilds.
+  std::uint64_t geometric_skipped_ = 0;  ///< Ineffective steps skipped wholesale.
+  std::uint64_t effective_samples_ = 0;  ///< Census-sampled effective encounters.
   /// Cached per-class multiplicities + their sum, recomputed once per
   /// configuration change (effective step, rebuild, external mutation).
   bool weight_valid_ = false;

@@ -32,6 +32,10 @@
 #include <functional>
 #include <optional>
 
+namespace netcons::telemetry {
+class Registry;
+}  // namespace netcons::telemetry
+
 namespace netcons {
 
 /// Sound recognizer of output-stable configurations (beyond quiescence).
@@ -156,6 +160,13 @@ class Engine {
   /// inside certificates; NOT sufficient for stability on its own since
   /// node dynamics may re-enable edge rules).
   [[nodiscard]] virtual bool is_edge_quiescent() const = 0;
+
+  /// Publish this engine's internal counters into a telemetry registry
+  /// (engine.* / census.* metric names; see README "Observability"). Called
+  /// by trial drivers after a run completes, never on the hot path. The
+  /// default publishes nothing, so Engine implementations outside this repo
+  /// stay source-compatible.
+  virtual void publish_metrics(telemetry::Registry& /*registry*/) {}
 };
 
 }  // namespace netcons

@@ -1,5 +1,7 @@
 #include "core/simulator.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <stdexcept>
 
 namespace netcons {
@@ -128,6 +130,32 @@ bool Simulator::is_quiescent() const {
     }
   }
   return true;
+}
+
+void Simulator::publish_metrics(telemetry::Registry& registry) {
+  // Campaigns publish once per trial; at tens of microseconds per trial the
+  // name lookups themselves would show up in the overhead gate, so resolve
+  // the handles once per (thread, registry) and reuse them (handles are
+  // stable for the registry's lifetime; the id is never reused).
+  struct Handles {
+    std::uint64_t registry_id = 0;
+    telemetry::Counter* steps = nullptr;
+    telemetry::Counter* effective = nullptr;
+    telemetry::Counter* ineffective = nullptr;
+  };
+  thread_local Handles handles;
+  if (handles.registry_id != registry.id()) {
+    handles.steps = &registry.counter("engine.steps");
+    handles.effective = &registry.counter("engine.effective_steps");
+    handles.ineffective = &registry.counter("engine.ineffective_steps");
+    handles.registry_id = registry.id();
+  }
+  handles.steps->add(steps_);
+  handles.effective->add(effective_steps_);
+  // Clock steps that changed nothing. The naive engine *executed* all of
+  // them; CensusEngine mostly skipped them wholesale (its share of skips is
+  // broken out separately as census.geometric_skips).
+  handles.ineffective->add(steps_ - effective_steps_);
 }
 
 bool Simulator::is_edge_quiescent() const {

@@ -80,6 +80,10 @@ class Simulator : public Engine {
   /// configuration.
   [[nodiscard]] bool is_edge_quiescent() const override;
 
+  /// Publishes engine.steps / engine.effective_steps /
+  /// engine.ineffective_steps into the registry.
+  void publish_metrics(telemetry::Registry& registry) override;
+
  protected:
   // Hooks for engines layered on the naive core (CensusEngine): execute a
   // chosen encounter exactly as a scheduled step would, and advance the

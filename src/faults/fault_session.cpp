@@ -1,5 +1,7 @@
 #include "faults/fault_session.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -287,6 +289,7 @@ void FaultSession::delete_one_random_edge(Engine& sim) {
 void FaultSession::record_firing(Engine& sim, std::uint64_t deleted_output,
                                  bool membership_changed) {
   ++faults_injected_;
+  NETCONS_TM_COUNT("faults.injected", 1);
   last_fault_step_ = sim.steps();
   output_edges_deleted_ += deleted_output;
   output_edges_after_damage_ = output_edge_count(sim.protocol(), sim.world());

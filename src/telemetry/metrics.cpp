@@ -1,0 +1,159 @@
+#include "telemetry/metrics.hpp"
+
+#include "campaign/json.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+namespace netcons::telemetry {
+
+namespace {
+
+/// Relaxed double accumulation (std::atomic<double> has no fetch_add until
+/// C++20's atomic<floating>; a CAS loop is portable and uncontended in
+/// practice because histogram records are spread across metrics).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Registry::Registry() : id_([] {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}()) {}
+
+std::size_t Counter::shard_index() noexcept {
+  thread_local const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      static_cast<std::size_t>(kCounterShards);
+  return index;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::record(double value) noexcept {
+  // First bucket whose upper bound admits the sample; everything above the
+  // last bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);  // heterogeneous: no key allocation on the hit path
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += "{\n  \"schema\": \"netcons-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    campaign::json::append_escaped(out, name);
+    out += ": " + std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    campaign::json::append_escaped(out, name);
+    out += ": ";
+    campaign::json::append_double(out, gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    campaign::json::append_escaped(out, name);
+    out += ": {\"bounds\": [";
+    const auto& bounds = histogram->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      campaign::json::append_double(out, bounds[i]);
+    }
+    out += "], \"counts\": [";
+    const std::vector<std::uint64_t> counts = histogram->counts();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(counts[i]);
+      total += counts[i];
+    }
+    out += "], \"count\": " + std::to_string(total) + ", \"sum\": ";
+    campaign::json::append_double(out, histogram->sum());
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::write_snapshot(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << snapshot_json();
+  file.flush();
+  if (!file) throw std::runtime_error("telemetry: cannot write metrics snapshot to " + path);
+}
+
+}  // namespace netcons::telemetry

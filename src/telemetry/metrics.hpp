@@ -1,0 +1,135 @@
+// Lock-cheap metrics registry: counters, gauges, and fixed-bucket
+// histograms, designed so the campaign thread pool can write from every
+// worker without serializing on a shared lock.
+//
+// Counters are sharded: each increment lands on one of kCounterShards
+// cache-line-isolated atomic slots chosen by a hash of the calling thread's
+// id, so concurrent writers almost never touch the same line; a snapshot
+// merges the shards. Histograms keep one relaxed atomic per bucket (bucket
+// increments are already spread across addresses), and gauges are single
+// relaxed atomics (set/load, no read-modify-write races to amortize).
+//
+// The JSON snapshot is byte-stable: metric names iterate in sorted order
+// (std::map), integers print canonically, and doubles go through the same
+// shortest-round-trip printer as the campaign summary documents
+// (campaign/json.hpp). Two snapshots of the same registry state are
+// byte-identical, which the telemetry tests enforce.
+//
+// Registration (name -> metric) takes a mutex, so call sites on hot paths
+// should resolve their handle once and keep the reference; handles are
+// stable for the registry's lifetime. The convenience add()/set() forms
+// re-resolve per call and are meant for end-of-trial publication, not
+// per-step loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netcons::telemetry {
+
+/// Monotone event count. add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged total over all shards.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr int kCounterShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Stable per-thread shard choice (cached in a thread_local so the hash
+  /// is computed once per thread, not once per increment).
+  [[nodiscard]] static std::size_t shard_index() noexcept;
+
+  Shard shards_[kCounterShards];
+};
+
+/// Last-write-wins instantaneous value (trials/sec, queue depth, ...).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples v <= bounds[i] (first
+/// matching bound), with one implicit overflow bucket for v > bounds.back().
+/// Bounds are sorted at construction and immutable afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metrics, created on first use and stable for the registry's
+/// lifetime. Thread-safe; see the header comment for the locking contract.
+class Registry {
+ public:
+  // Lookups are heterogeneous (string_view against a std::less<> map): the
+  // hot-path literals ("engine.steps", ...) never allocate a key string --
+  // per-trial publication costs a mutex and a map walk, nothing more.
+  Registry();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Returns the existing histogram if `name` is already registered (the
+  /// first registration's bounds win; campaigns publish the same shapes
+  /// every trial).
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Convenience forms (per-call name lookup; fine off the hot path).
+  void add(std::string_view name, std::uint64_t delta = 1) { counter(name).add(delta); }
+  void set(std::string_view name, double value) { gauge(name).set(value); }
+
+  /// Byte-stable JSON document of every metric's current value (sorted
+  /// names, canonical number formatting).
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Write snapshot_json() to `path`. Throws std::runtime_error on failure.
+  void write_snapshot(const std::string& path) const;
+
+  /// Process-unique, never-reused registry identity. Callers that publish
+  /// the same metric names every trial key a thread_local handle cache on
+  /// this id (an address would be unsafe: a new registry can reuse a freed
+  /// one's address, and handles die with their registry).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  const std::uint64_t id_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace netcons::telemetry

@@ -1,0 +1,30 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+
+#if !defined(NETCONS_TELEMETRY_DISABLED)
+
+namespace netcons::telemetry {
+
+namespace {
+
+std::atomic<Registry*> g_registry{nullptr};
+std::atomic<Tracer*> g_tracer{nullptr};
+
+}  // namespace
+
+Registry* registry() noexcept { return g_registry.load(std::memory_order_relaxed); }
+
+Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+void set_registry(Registry* registry) noexcept {
+  g_registry.store(registry, std::memory_order_relaxed);
+}
+
+void set_tracer(Tracer* tracer) noexcept {
+  g_tracer.store(tracer, std::memory_order_relaxed);
+}
+
+}  // namespace netcons::telemetry
+
+#endif

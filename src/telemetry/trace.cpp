@@ -1,0 +1,110 @@
+#include "telemetry/trace.hpp"
+
+#include "campaign/json.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace netcons::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // Cache (tracer id, buffer) per thread: the id check is what keeps a
+  // stale cache from a destroyed tracer (possibly reallocated at the same
+  // address) from being dereferenced.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Buffer* cached = nullptr;
+  if (cached_id != id_) {
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffers_.back()->tid = static_cast<int>(buffers_.size()) - 1;
+    cached = buffers_.back().get();
+    cached_id = id_;
+  }
+  return *cached;
+}
+
+bool Tracer::sample() noexcept {
+  thread_local std::uint64_t phase = 0;
+  const std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  return phase++ % every == 0;
+}
+
+void Tracer::complete(const char* name, const char* cat, double ts_us, double dur_us) {
+  Buffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(Event{name, cat, ts_us, dur_us, 'X'});
+}
+
+void Tracer::instant(const char* name, const char* cat) {
+  Buffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(Event{name, cat, now_us(), 0.0, 'i'});
+}
+
+std::string Tracer::to_json() const {
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& event) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += event;
+  };
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    // One metadata record per track so Perfetto shows a readable name.
+    std::string meta = "{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(buffer->tid) +
+                       ", \"name\": \"thread_name\", \"args\": {\"name\": \"worker-" +
+                       std::to_string(buffer->tid) + "\"}}";
+    append(meta);
+    for (const Event& event : buffer->events) {
+      std::string line = "{\"ph\": \"";
+      line += event.phase;
+      line += "\", \"pid\": 1, \"tid\": " + std::to_string(buffer->tid) + ", \"name\": ";
+      campaign::json::append_escaped(line, event.name);
+      line += ", \"cat\": ";
+      campaign::json::append_escaped(line, event.cat);
+      line += ", \"ts\": ";
+      campaign::json::append_double(line, event.ts_us);
+      if (event.phase == 'X') {
+        line += ", \"dur\": ";
+        campaign::json::append_double(line, event.dur_us);
+      } else if (event.phase == 'i') {
+        line += ", \"s\": \"g\"";
+      }
+      line += "}";
+      append(line);
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+void Tracer::write_json(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << to_json();
+  file.flush();
+  if (!file) throw std::runtime_error("telemetry: cannot write trace to " + path);
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+}  // namespace netcons::telemetry

@@ -1,0 +1,119 @@
+// Scoped-span tracer emitting Chrome trace-event JSON.
+//
+// The output is the Trace Event Format's JSON-object form
+// ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing: complete ("ph":"X") spans with microsecond timestamps
+// relative to the tracer's construction, instant ("ph":"i") markers, and
+// one metadata record per thread naming its track. Every thread that
+// records through a tracer gets its own track (a small sequential tid
+// assigned on first use — NOT the OS thread id, so traces are stable and
+// compact across runs).
+//
+// Concurrency: each thread appends to its own buffer; the per-buffer mutex
+// exists only so collection (to_json/write_json) can run while worker
+// threads are still alive — appends never contend with each other. Span
+// names/categories are expected to be string literals (the tracer stores
+// the pointers).
+//
+// Sampling: set_sample_every(n) makes Tracer::sample() admit every n-th
+// call per thread. Plain Span records unconditionally; sampled call sites
+// (e.g. the per-trial span in the campaign hot loop) go through the
+// NETCONS_TM_SAMPLED_SPAN macro in telemetry.hpp, which consults sample().
+// The knob never draws from any Rng: telemetry must not perturb the
+// simulation's seed streams.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netcons::telemetry {
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// Record every n-th sampled span per thread (0 and 1 both mean "all").
+  void set_sample_every(std::uint64_t n) noexcept {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  /// Whether this thread's next sampled span should be recorded (advances
+  /// the thread's sampling phase; uses no randomness).
+  [[nodiscard]] bool sample() noexcept;
+
+  /// Microseconds since tracer construction (the trace's time origin).
+  [[nodiscard]] double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Record a complete span on the calling thread's track. `name` and
+  /// `cat` must outlive the tracer (string literals in practice).
+  void complete(const char* name, const char* cat, double ts_us, double dur_us);
+
+  /// Record an instant (zero-duration) marker on the calling thread's track.
+  void instant(const char* name, const char* cat);
+
+  /// The whole trace as a Chrome trace-event JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`. Throws std::runtime_error on failure.
+  void write_json(const std::string& path) const;
+
+  /// Total events recorded so far (tests and capacity diagnostics).
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    char phase = 'X';
+  };
+
+  struct Buffer {
+    std::mutex mutex;  ///< Taken per append and during collection.
+    int tid = 0;
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] Buffer& local_buffer();
+
+  const std::uint64_t id_;  ///< Distinguishes tracer instances in thread_local caches.
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::uint64_t> sample_every_{1};
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) as a complete event on
+/// the calling thread's track. A null tracer makes every operation a no-op,
+/// so call sites can pass telemetry::tracer() unconditionally.
+class Span {
+ public:
+  explicit Span(Tracer* tracer, const char* name, const char* cat = "netcons") noexcept
+      : tracer_(tracer), name_(name), cat_(cat) {
+    if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->complete(name_, cat_, start_us_, tracer_->now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace netcons::telemetry

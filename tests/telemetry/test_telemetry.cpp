@@ -1,0 +1,261 @@
+// Telemetry contracts: registry merge exactness under concurrent writers,
+// histogram bucket-edge semantics, snapshot byte-stability, trace-JSON
+// well-formedness (parsed with the same JSON reader the campaign uses),
+// sampling cadence, and the heartbeat JSONL schema.
+#include "campaign/json.hpp"
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace netcons::telemetry {
+namespace {
+
+TEST(Counter, ConcurrentWritersMergeExactly) {
+  Registry registry;
+  Counter& counter = registry.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Registry, ConcurrentRegistrationYieldsOneMetricPerName) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &handles, t] {
+      handles[static_cast<std::size_t>(t)] = &registry.counter("race.shared");
+      registry.add("race.shared", 1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0], handles[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(handles[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(Registry, IdsAreUniquePerInstance) {
+  Registry a;
+  Registry b;
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), 0u);  // 0 is the thread_local handle caches' "unset"
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.latency", {1.0, 2.0, 4.0});
+  histogram.record(0.5);  // <= 1          -> bucket 0
+  histogram.record(1.0);  // == 1 (edge)   -> bucket 0
+  histogram.record(1.5);  // <= 2          -> bucket 1
+  histogram.record(4.0);  // == 4 (edge)   -> bucket 2
+  histogram.record(9.0);  // > 4           -> overflow
+  const std::vector<std::uint64_t> counts = histogram.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduplicated) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.unsorted", {4.0, 1.0, 2.0, 1.0});
+  EXPECT_EQ(histogram.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(Histogram, ConcurrentRecordsKeepCountAndSumConsistent) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.conc", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.record(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SnapshotIsByteStableAndInsertionOrderIndependent) {
+  const auto build = [](bool reversed) {
+    auto registry = std::make_unique<Registry>();
+    const std::vector<std::string> names = {"alpha.count", "beta.count", "gamma.count"};
+    if (reversed) {
+      for (auto it = names.rbegin(); it != names.rend(); ++it) registry->add(*it, 7);
+    } else {
+      for (const std::string& name : names) registry->add(name, 7);
+    }
+    registry->set("rate.gauge", 2.5);
+    registry->histogram("occ.hist", {1.0, 2.0}).record(1.5);
+    return registry;
+  };
+  const auto forward = build(false);
+  const auto reverse = build(true);
+  const std::string snapshot = forward->snapshot_json();
+  EXPECT_EQ(snapshot, forward->snapshot_json());  // same state -> same bytes
+  EXPECT_EQ(snapshot, reverse->snapshot_json());  // registration order is invisible
+}
+
+TEST(Registry, SnapshotParsesWithTheCampaignJsonReader) {
+  Registry registry;
+  registry.add("engine.steps", 42);
+  registry.set("campaign.trials_per_sec", 123.5);
+  registry.histogram("census.bucket_occupancy", {1.0, 2.0}).record(0.0);
+  const campaign::json::Value document = campaign::json::parse(registry.snapshot_json());
+  const campaign::json::Object& object = document.as_object();
+  EXPECT_EQ(campaign::json::field(object, "schema").as_string(), "netcons-metrics-v1");
+  const campaign::json::Object& counters =
+      campaign::json::field(object, "counters").as_object();
+  EXPECT_EQ(campaign::json::field(counters, "engine.steps").as_u64(), 42u);
+  const campaign::json::Object& histograms =
+      campaign::json::field(object, "histograms").as_object();
+  const campaign::json::Object& occupancy =
+      campaign::json::field(histograms, "census.bucket_occupancy").as_object();
+  EXPECT_EQ(campaign::json::field(occupancy, "counts").as_array().size(), 3u);
+  EXPECT_EQ(campaign::json::field(occupancy, "count").as_u64(), 1u);
+}
+
+TEST(Tracer, MultiThreadedTraceIsWellFormedWithPerThreadTracks) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      { Span span(&tracer, "work", "test"); }
+      tracer.instant("marker", "test");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const campaign::json::Value document = campaign::json::parse(tracer.to_json());
+  const campaign::json::Array& events =
+      campaign::json::field(document.as_object(), "traceEvents").as_array();
+  // Per thread: one thread_name metadata record, one complete span, one
+  // instant marker.
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(3 * kThreads));
+  std::set<std::uint64_t> span_tids;
+  int spans = 0;
+  int instants = 0;
+  int metadata = 0;
+  for (const campaign::json::Value& event : events) {
+    const campaign::json::Object& fields = event.as_object();
+    const std::string& phase = campaign::json::field(fields, "ph").as_string();
+    EXPECT_EQ(campaign::json::field(fields, "pid").as_u64(), 1u);
+    if (phase == "X") {
+      ++spans;
+      span_tids.insert(campaign::json::field(fields, "tid").as_u64());
+      EXPECT_GE(campaign::json::field(fields, "dur").as_double(), 0.0);
+    } else if (phase == "i") {
+      ++instants;
+    } else {
+      EXPECT_EQ(phase, "M");
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(spans, kThreads);
+  EXPECT_EQ(instants, kThreads);
+  EXPECT_EQ(metadata, kThreads);
+  EXPECT_EQ(span_tids.size(), static_cast<std::size_t>(kThreads));  // one track per thread
+}
+
+TEST(Tracer, SampleEveryNAdmitsOneInN) {
+  Tracer tracer;
+  tracer.set_sample_every(4);
+  int admitted = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (tracer.sample()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);
+}
+
+TEST(Span, NullTracerIsANoOp) {
+  { Span span(nullptr, "nothing", "test"); }  // must not crash or record
+  Registry* ambient = registry();
+  EXPECT_EQ(ambient, nullptr);  // tests run without ambient telemetry
+}
+
+TEST(CampaignMonitor, HeartbeatStreamMatchesSchema) {
+  std::ostringstream stream;
+  CampaignMonitor::Options options;
+  options.period_seconds = 0.0;  // no ticker: begin() and end() emit
+  options.heartbeat = &stream;
+  options.progress_stderr = false;
+  Registry registry;
+  options.registry = &registry;
+  {
+    CampaignMonitor monitor(options);
+    monitor.begin(100, 2);
+    monitor.record_job(40, 0.25);
+    monitor.emit_now();
+    monitor.end();
+  }
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::vector<campaign::json::Value> points;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) points.push_back(campaign::json::parse(line));
+  }
+  ASSERT_GE(points.size(), 3u);  // begin, emit_now, final
+  std::uint64_t expected_seq = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const campaign::json::Object& point = points[i].as_object();
+    EXPECT_EQ(campaign::json::field(point, "schema").as_string(), "netcons-heartbeat-v1");
+    EXPECT_EQ(campaign::json::field(point, "type").as_string(),
+              i + 1 == points.size() ? "final" : "heartbeat");
+    EXPECT_EQ(campaign::json::field(point, "seq").as_u64(), expected_seq++);
+    EXPECT_GE(campaign::json::field(point, "elapsed_s").as_double(), 0.0);
+    EXPECT_EQ(campaign::json::field(point, "trials_total").as_u64(), 100u);
+    EXPECT_EQ(campaign::json::field(point, "workers").as_u64(), 2u);
+    EXPECT_EQ(campaign::json::field(point, "utilization").as_array().size(), 2u);
+    const std::uint64_t done = campaign::json::field(point, "trials_done").as_u64();
+    EXPECT_EQ(campaign::json::field(point, "queue_depth").as_u64(), 100u - done);
+  }
+  const campaign::json::Object& last = points.back().as_object();
+  EXPECT_EQ(campaign::json::field(last, "trials_done").as_u64(), 40u);
+  // The monitor also mirrors its state into the registry.
+  EXPECT_EQ(registry.counter("campaign.trials_done").value(), 40u);
+  EXPECT_DOUBLE_EQ(registry.gauge("campaign.trials_total").value(), 100.0);
+}
+
+TEST(CampaignMonitor, EndIsIdempotent) {
+  std::ostringstream stream;
+  CampaignMonitor::Options options;
+  options.period_seconds = 0.0;
+  options.heartbeat = &stream;
+  CampaignMonitor monitor(options);
+  monitor.begin(10, 1);
+  monitor.end();
+  const std::string after_first_end = stream.str();
+  monitor.end();  // second end() (and the destructor later) must not re-emit
+  EXPECT_EQ(stream.str(), after_first_end);
+}
+
+}  // namespace
+}  // namespace netcons::telemetry

@@ -22,6 +22,13 @@ def bench_doc(value):
     return {"benches": {"scaling": {"throughput": {"trials_per_second": value}}}}
 
 
+def overhead_doc(throughput, overhead=None):
+    document = {"benches": {"telemetry": {"throughput": {"on_trials_per_second": throughput}}}}
+    if overhead is not None:
+        document["benches"]["telemetry"]["overhead"] = {"telemetry_fraction": overhead}
+    return document
+
+
 class CompareBenchTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory(prefix="netcons_compare_bench_")
@@ -68,11 +75,11 @@ class CompareBenchTest(unittest.TestCase):
         self.assertNotIn("Traceback", result.stderr)
 
     def test_schema_mismatched_baseline_is_status_3(self):
-        # Valid JSON, but nothing under a "throughput" object.
+        # Valid JSON, but nothing under a "throughput" or "overhead" object.
         result = self.run_compare(self.write("base.json", {"other_schema": [1, 2, 3]}),
                                   self.write("cur.json", bench_doc(100.0)))
         self.assertEqual(result.returncode, 3)
-        self.assertIn("no throughput metrics", result.stderr)
+        self.assertIn("no throughput or overhead metrics", result.stderr)
 
     def test_missing_current_is_status_2(self):
         result = self.run_compare(self.write("base.json", bench_doc(100.0)),
@@ -95,6 +102,36 @@ class CompareBenchTest(unittest.TestCase):
         result = self.run_compare(self.write("base.json", bench_doc(100.0)),
                                   self.write("cur.json", bench_doc(90.0)),
                                   "--threshold", "0.05")
+        self.assertEqual(result.returncode, 1)
+
+    def test_overhead_within_tolerance_passes(self):
+        result = self.run_compare(self.write("base.json", overhead_doc(100.0, 0.010)),
+                                  self.write("cur.json", overhead_doc(100.0, 0.025)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_overhead_jump_beyond_tolerance_is_a_regression(self):
+        result = self.run_compare(self.write("base.json", overhead_doc(100.0, 0.010)),
+                                  self.write("cur.json", overhead_doc(100.0, 0.050)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_overhead_improvement_never_fails(self):
+        result = self.run_compare(self.write("base.json", overhead_doc(100.0, 0.050)),
+                                  self.write("cur.json", overhead_doc(100.0, 0.001)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_baseline_without_overhead_key_skips_with_notice(self):
+        # An older baseline written before the overhead bench existed must
+        # not fail the gate when the current run reports overhead metrics.
+        result = self.run_compare(self.write("base.json", overhead_doc(100.0)),
+                                  self.write("cur.json", overhead_doc(100.0, 0.015)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("NEW", result.stdout)
+
+    def test_overhead_threshold_flag_is_respected(self):
+        result = self.run_compare(self.write("base.json", overhead_doc(100.0, 0.010)),
+                                  self.write("cur.json", overhead_doc(100.0, 0.025)),
+                                  "--overhead-threshold", "0.005")
         self.assertEqual(result.returncode, 1)
 
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""End-to-end telemetry file contract, registered with ctest.
+
+Drives the real binaries (paths passed as argv: netcons_campaign,
+netcons_run, netcons_top) and checks the observability guarantees CI
+relies on:
+
+  * the campaign summary JSON and trial-record CSV are byte-identical
+    with and without --telemetry/--progress (telemetry must never perturb
+    results);
+  * metrics.json parses, carries the metrics schema, and contains the
+    campaign.* and engine.* metrics;
+  * trace.json parses as Chrome trace-event JSON (the form Perfetto
+    loads) with at least one complete span;
+  * heartbeat.jsonl is schema-conformant JSONL ending in a "final" point
+    whose trials_done matches the campaign size;
+  * netcons_top renders the heartbeat file and exits 0;
+  * the campaign always reports a final trials/s line on stderr, with or
+    without telemetry.
+
+Stdlib only.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+# Absolute paths: the tools run from per-test working directories.
+CAMPAIGN, RUN, TOP = (str(pathlib.Path(p).resolve()) for p in sys.argv[1:4])
+
+CAMPAIGN_ARGS = ["--protocols", "cycle-cover,global-star", "--ns", "16,32",
+                 "--trials", "10", "--engine", "census", "--seed", "7"]
+
+
+def run_tool(args, cwd):
+    return subprocess.run(args, cwd=cwd, capture_output=True, text=True, timeout=240)
+
+
+class TelemetryFilesTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.dir = tempfile.TemporaryDirectory(prefix="netcons_telemetry_")
+        cls.root = pathlib.Path(cls.dir.name)
+
+        plain = cls.root / "plain"
+        instrumented = cls.root / "instrumented"
+        plain.mkdir()
+        instrumented.mkdir()
+        cls.telemetry_dir = instrumented / "telemetry"
+
+        cls.plain_result = run_tool(
+            [CAMPAIGN, *CAMPAIGN_ARGS, "--json", "summary.json", "--csv", "records.csv"],
+            plain)
+        cls.instrumented_result = run_tool(
+            [CAMPAIGN, *CAMPAIGN_ARGS, "--json", "summary.json", "--csv", "records.csv",
+             "--telemetry", str(cls.telemetry_dir), "--progress", "1"],
+            instrumented)
+        cls.plain_dir = plain
+        cls.instrumented_dir = instrumented
+
+    @classmethod
+    def tearDownClass(cls):
+        cls.dir.cleanup()
+
+    def setUp(self):
+        self.assertEqual(self.plain_result.returncode, 0, self.plain_result.stderr)
+        self.assertEqual(self.instrumented_result.returncode, 0,
+                         self.instrumented_result.stderr)
+
+    def test_summaries_are_byte_identical_with_and_without_telemetry(self):
+        for name in ("summary.json", "records.csv"):
+            plain = (self.plain_dir / name).read_bytes()
+            instrumented = (self.instrumented_dir / name).read_bytes()
+            self.assertEqual(plain, instrumented,
+                             f"{name} differs when telemetry is enabled")
+
+    def test_metrics_json_parses_and_carries_engine_and_campaign_metrics(self):
+        document = json.loads((self.telemetry_dir / "metrics.json").read_text())
+        self.assertEqual(document["schema"], "netcons-metrics-v1")
+        counters = document["counters"]
+        self.assertGreater(counters["engine.steps"], 0)
+        self.assertGreater(counters["engine.effective_steps"], 0)
+        self.assertGreater(counters["census.effective_samples"], 0)
+        self.assertEqual(counters["campaign.trials_done"], 40)  # 2 protocols x 2 ns x 10
+        gauges = document["gauges"]
+        self.assertEqual(gauges["campaign.trials_total"], 40)
+        histogram = document["histograms"]["census.bucket_occupancy"]
+        self.assertEqual(len(histogram["counts"]), len(histogram["bounds"]) + 1)
+        self.assertEqual(histogram["count"], sum(histogram["counts"]))
+
+    def test_trace_json_is_chrome_trace_event_format(self):
+        document = json.loads((self.telemetry_dir / "trace.json").read_text())
+        events = document["traceEvents"]
+        self.assertTrue(events, "trace has no events")
+        phases = {event["ph"] for event in events}
+        self.assertIn("X", phases)  # at least one complete span
+        for event in events:
+            self.assertEqual(event["pid"], 1)
+            self.assertIn("tid", event)
+            if event["ph"] == "X":
+                self.assertGreaterEqual(event["dur"], 0.0)
+
+    def test_heartbeat_jsonl_is_schema_conformant_and_ends_final(self):
+        lines = [line for line in
+                 (self.telemetry_dir / "heartbeat.jsonl").read_text().splitlines() if line]
+        self.assertGreaterEqual(len(lines), 2)  # at least the begin and final points
+        points = [json.loads(line) for line in lines]
+        for seq, point in enumerate(points):
+            self.assertEqual(point["schema"], "netcons-heartbeat-v1")
+            self.assertEqual(point["seq"], seq)
+            self.assertEqual(point["trials_total"], 40)
+            self.assertEqual(point["queue_depth"],
+                             point["trials_total"] - point["trials_done"])
+            self.assertEqual(len(point["utilization"]), point["workers"])
+        self.assertEqual([p for p in points if p["type"] == "final"], [points[-1]])
+        self.assertEqual(points[-1]["trials_done"], 40)
+
+    def test_progress_lines_reach_stderr(self):
+        self.assertIn("[campaign]", self.instrumented_result.stderr)
+        self.assertIn(", done", self.instrumented_result.stderr)
+
+    def test_final_rate_line_prints_with_and_without_telemetry(self):
+        for result in (self.plain_result, self.instrumented_result):
+            self.assertRegex(result.stderr,
+                             r"netcons_campaign: \d+ trials in \d+\.\d+ s \([\d.]+ trials/s\)")
+
+    def test_netcons_top_renders_the_heartbeat_file(self):
+        result = run_tool([TOP, str(self.telemetry_dir / "heartbeat.jsonl")], self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("done", result.stdout)
+        result_dir = run_tool([TOP, str(self.telemetry_dir)], self.root)  # dir resolves too
+        self.assertEqual(result_dir.returncode, 0, result_dir.stderr)
+
+    def test_netcons_run_writes_telemetry(self):
+        out = self.root / "run_telemetry"
+        result = run_tool([RUN, "--protocol", "global-star", "--n", "24", "--seed", "3",
+                           "--telemetry", str(out)], self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        metrics = json.loads((out / "metrics.json").read_text())
+        self.assertGreater(metrics["counters"]["engine.steps"], 0)
+        trace = json.loads((out / "trace.json").read_text())
+        names = {event.get("name") for event in trace["traceEvents"]}
+        self.assertIn("run_until_stable", names)
+
+
+if __name__ == "__main__":
+    sys.argv = sys.argv[:1]  # unittest.main must not see the binary paths
+    unittest.main()

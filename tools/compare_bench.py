@@ -2,24 +2,33 @@
 """Regression gate for the nightly bench workflow.
 
 Compares two bench JSON documents (as written by bench_campaign_scaling
---json / bench_fault_recovery --json, or the combined BENCH_<sha>.json the
-workflow assembles from them). Every numeric value found under a
-"throughput" object, anywhere in the document, is treated as
-higher-is-better; the gate fails if any current value falls more than
---threshold (default 25%) below its baseline.
+--json / bench_fault_recovery --json / bench_telemetry_overhead --json, or
+the combined BENCH_<sha>.json the workflow assembles from them). Two metric
+families are recognized, anywhere in the document:
+
+  * every numeric under a "throughput" object is higher-is-better; the gate
+    fails if a current value falls more than --threshold (default 25%)
+    below its baseline (relative);
+  * every numeric under an "overhead" object is lower-is-better; the gate
+    fails if a current value exceeds its baseline by more than
+    --overhead-threshold (default 0.02, absolute -- overheads are small
+    fractions, where relative comparison would amplify noise).
 
 Metrics present in only one of the two files are reported but never fail
-the gate, so adding a new bench does not brick CI on its first night.
+the gate, so adding a new bench (or a new metric family) does not brick CI
+on its first night -- older baselines without "overhead" objects simply
+report the new metrics as NEW.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+           [--overhead-threshold 0.02]
 
 Exit status:
     0  within threshold
     1  regression beyond threshold
     2  the CURRENT file is missing/unreadable/malformed (this run's bug)
-    3  the BASELINE is missing, unreadable, or carries no throughput
-       metrics (schema mismatch) -- "seed a fresh baseline", never a
-       traceback; the nightly workflow treats 3 as first-run success
+    3  the BASELINE is missing, unreadable, or carries no gated metrics
+       (schema mismatch) -- "seed a fresh baseline", never a traceback;
+       the nightly workflow treats 3 as first-run success
 
 Stdlib only -- CI runners need nothing installed.
 """
@@ -29,22 +38,51 @@ import json
 import sys
 
 
-def throughput_metrics(document, prefix=""):
-    """Flatten every numeric under any "throughput" object into {path: value}."""
+def tagged_metrics(document, tag, prefix=""):
+    """Flatten every numeric under any `tag` object into {path: value}."""
     metrics = {}
     if isinstance(document, dict):
         for key, value in document.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key == "throughput" and isinstance(value, dict):
+            if key == tag and isinstance(value, dict):
                 for name, metric in value.items():
                     if isinstance(metric, (int, float)) and not isinstance(metric, bool):
                         metrics[f"{path}.{name}"] = float(metric)
             else:
-                metrics.update(throughput_metrics(value, path))
+                metrics.update(tagged_metrics(value, tag, path))
     elif isinstance(document, list):
         for index, value in enumerate(document):
-            metrics.update(throughput_metrics(value, f"{prefix}[{index}]"))
+            metrics.update(tagged_metrics(value, tag, f"{prefix}[{index}]"))
     return metrics
+
+
+def throughput_metrics(document, prefix=""):
+    """Higher-is-better metrics (kept as a named entry point for tests)."""
+    return tagged_metrics(document, "throughput", prefix)
+
+
+def overhead_metrics(document, prefix=""):
+    """Lower-is-better metrics (absolute-tolerance gate)."""
+    return tagged_metrics(document, "overhead", prefix)
+
+
+def compare_family(baseline, current, *, regressed, describe):
+    """Print one family's comparison; return the regressed metric names."""
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"  NEW      {name} = {current[name]:.4f} (no baseline yet)")
+            continue
+        if name not in current:
+            print(f"  MISSING  {name} (baseline {baseline[name]:.4f}; not failing the gate)")
+            continue
+        base, cur = baseline[name], current[name]
+        status = "ok"
+        if regressed(base, cur):
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"  {status:10s} {name}: {base:.4f} -> {cur:.4f} ({describe(base, cur)})")
+    return regressions
 
 
 def main():
@@ -52,14 +90,18 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="maximum tolerated fractional slowdown (default 0.25)")
+                        help="maximum tolerated fractional slowdown of a throughput "
+                             "metric (default 0.25)")
+    parser.add_argument("--overhead-threshold", type=float, default=0.02,
+                        help="maximum tolerated absolute increase of an overhead "
+                             "metric (default 0.02)")
     args = parser.parse_args()
 
     # The current document is this run's output: failing to read it is a
     # bug in the run itself.
     try:
         with open(args.current) as f:
-            current = throughput_metrics(json.load(f))
+            current_doc = json.load(f)
     except (OSError, json.JSONDecodeError) as error:
         print(f"compare_bench: cannot read current metrics: {error}", file=sys.stderr)
         return 2
@@ -69,36 +111,31 @@ def main():
     # report distinctly (exit 3) so the caller can seed a fresh baseline.
     try:
         with open(args.baseline) as f:
-            baseline = throughput_metrics(json.load(f))
+            baseline_doc = json.load(f)
     except (OSError, json.JSONDecodeError) as error:
         print(f"compare_bench: no usable baseline ({error}); "
               "this run should seed a fresh baseline", file=sys.stderr)
         return 3
-    if not baseline:
-        print(f"compare_bench: baseline {args.baseline} has no throughput metrics "
-              "(schema mismatch?); this run should seed a fresh baseline",
+    baseline_throughput = throughput_metrics(baseline_doc)
+    baseline_overhead = overhead_metrics(baseline_doc)
+    if not baseline_throughput and not baseline_overhead:
+        print(f"compare_bench: baseline {args.baseline} has no throughput or overhead "
+              "metrics (schema mismatch?); this run should seed a fresh baseline",
               file=sys.stderr)
         return 3
 
-    regressions = []
-    for name in sorted(set(baseline) | set(current)):
-        if name not in baseline:
-            print(f"  NEW      {name} = {current[name]:.1f} (no baseline yet)")
-            continue
-        if name not in current:
-            print(f"  MISSING  {name} (baseline {baseline[name]:.1f}; not failing the gate)")
-            continue
-        base, cur = baseline[name], current[name]
-        change = (cur - base) / base if base > 0 else 0.0
-        status = "ok"
-        if base > 0 and cur < base * (1.0 - args.threshold):
-            status = "REGRESSION"
-            regressions.append(name)
-        print(f"  {status:10s} {name}: {base:.1f} -> {cur:.1f} ({change:+.1%})")
+    regressions = compare_family(
+        baseline_throughput, throughput_metrics(current_doc),
+        regressed=lambda base, cur: base > 0 and cur < base * (1.0 - args.threshold),
+        describe=lambda base, cur: f"{(cur - base) / base:+.1%}" if base > 0 else "n/a")
+    regressions += compare_family(
+        baseline_overhead, overhead_metrics(current_doc),
+        regressed=lambda base, cur: cur > base + args.overhead_threshold,
+        describe=lambda base, cur: f"{cur - base:+.4f} absolute")
 
     if regressions:
-        print(f"compare_bench: {len(regressions)} metric(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        print(f"compare_bench: {len(regressions)} metric(s) regressed beyond the gate: "
+              f"{', '.join(regressions)}", file=sys.stderr)
         return 1
     print("compare_bench: within threshold")
     return 0

@@ -30,14 +30,24 @@
 // every trial already recorded in DIR (validating that the records match
 // this campaign spec) and completes the rest. --trial-cap N stops after N
 // executed trials (a deterministic stand-in for "the process was killed").
+// --telemetry DIR writes machine-readable observability artifacts into DIR:
+// metrics.json (counter/gauge/histogram snapshot), trace.json (Chrome
+// trace-event JSON, loadable in Perfetto), and heartbeat.jsonl (one
+// progress point per period; tail it live with netcons_top). --progress N
+// prints a human-readable progress line to stderr every N seconds.
+// Telemetry is purely observational: summary documents are byte-identical
+// with or without it (CI-gated).
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/result_sink.hpp"
 #include "campaign/trial_record.hpp"
 #include "faults/fault_plan.hpp"
+#include "telemetry/heartbeat.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -70,6 +80,9 @@ struct Options {
   int shard_index = 0;
   int shard_count = 1;
   std::uint64_t trial_cap = 0;
+  std::optional<std::string> telemetry_dir;
+  int progress = 0;       // stderr progress period in seconds; 0: off
+  int trace_sample = 16;  // record every k-th per-trial span
   bool list = false;
   bool quiet = false;
 };
@@ -111,6 +124,7 @@ int usage(const char* argv0) {
                "       [--k K] [--c C] [--d D]\n"
                "       [--json FILE] [--csv FILE] [--quiet]\n"
                "       [--records DIR] [--shard I/K] [--resume DIR] [--trial-cap N]\n"
+               "       [--telemetry DIR] [--progress SECONDS] [--trace-sample K]\n"
                "       "
             << argv0 << " --list\n";
   return 2;
@@ -155,7 +169,8 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.trial_cap = cap;
     } else if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
                arg == "--faults" || arg == "--engine" || arg == "--ns" || arg == "--json" ||
-               arg == "--csv" || arg == "--records" || arg == "--resume") {
+               arg == "--csv" || arg == "--records" || arg == "--resume" ||
+               arg == "--telemetry") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--protocols") opt.protocols = split_list(v);
@@ -167,6 +182,7 @@ std::optional<Options> parse(int argc, char** argv) {
       if (arg == "--csv") opt.csv_path = v;
       if (arg == "--records") opt.records_dir = v;
       if (arg == "--resume") opt.resume_dir = v;
+      if (arg == "--telemetry") opt.telemetry_dir = v;
       if (arg == "--ns") {
         for (const std::string& item : split_list(v)) {
           const auto n = parse_bounded_int(item);
@@ -178,7 +194,7 @@ std::optional<Options> parse(int argc, char** argv) {
         }
       }
     } else if (arg == "--trials" || arg == "--threads" || arg == "--seed" || arg == "--k" ||
-               arg == "--c" || arg == "--d") {
+               arg == "--c" || arg == "--d" || arg == "--progress" || arg == "--trace-sample") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--seed") {
@@ -203,6 +219,20 @@ std::optional<Options> parse(int argc, char** argv) {
       if (arg == "--k") opt.params.k = *value;
       if (arg == "--c") opt.params.c = *value;
       if (arg == "--d") opt.params.d = *value;
+      if (arg == "--progress") {
+        if (*value <= 0) {
+          std::cerr << "--progress expects a positive period in seconds, got '" << v << "'\n";
+          return std::nullopt;
+        }
+        opt.progress = *value;
+      }
+      if (arg == "--trace-sample") {
+        if (*value <= 0) {
+          std::cerr << "--trace-sample expects a positive integer, got '" << v << "'\n";
+          return std::nullopt;
+        }
+        opt.trace_sample = *value;
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return std::nullopt;
@@ -247,7 +277,7 @@ std::string joined(const std::vector<std::string>& names) {
 int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed) return usage(argv[0]);
-  const Options& opt = *parsed;
+  Options opt = *parsed;  // mutable: the compiled-out-telemetry path clears flags
   if (opt.list) return list_registry();
   // `--engine list` prints the engine registry, mirroring --list's other axes.
   if (opt.engines.size() == 1 && opt.engines[0] == "list") return list_engines();
@@ -369,6 +399,54 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Telemetry stack: registry/tracer published process-wide (the engines
+  // and the campaign hot path read the ambient pointers), monitor handed to
+  // run(). All stack-owned; the ambient pointers are cleared before the
+  // snapshot so nothing writes during serialization.
+  std::optional<telemetry::Registry> registry;
+  std::optional<telemetry::Tracer> tracer;
+  std::optional<telemetry::CampaignMonitor> monitor;
+  std::ofstream heartbeat_file;
+#if defined(NETCONS_TELEMETRY_DISABLED)
+  // Honest failure beats empty artifacts: with the instrumentation compiled
+  // out, nothing would ever reach the registry or the tracer.
+  if (opt.telemetry_dir || opt.progress > 0) {
+    std::cerr << "netcons_campaign: telemetry support was compiled out "
+                 "(NETCONS_TELEMETRY=OFF); ignoring --telemetry/--progress\n";
+    opt.telemetry_dir.reset();
+    opt.progress = 0;
+  }
+#endif
+  if (opt.telemetry_dir) {
+    try {
+      std::filesystem::create_directories(*opt.telemetry_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "--telemetry: " << e.what() << '\n';
+      return 1;
+    }
+    registry.emplace();
+    tracer.emplace();
+    tracer->set_sample_every(static_cast<std::uint64_t>(opt.trace_sample));
+    telemetry::set_registry(&*registry);
+    telemetry::set_tracer(&*tracer);
+    const std::string heartbeat_path =
+        (std::filesystem::path(*opt.telemetry_dir) / "heartbeat.jsonl").string();
+    heartbeat_file.open(heartbeat_path, std::ios::binary | std::ios::trunc);
+    if (!heartbeat_file) {
+      std::cerr << "--telemetry: cannot write " << heartbeat_path << '\n';
+      return 1;
+    }
+  }
+  if (opt.telemetry_dir || opt.progress > 0) {
+    telemetry::CampaignMonitor::Options monitor_options;
+    monitor_options.period_seconds = opt.progress > 0 ? opt.progress : 2.0;
+    monitor_options.heartbeat = heartbeat_file.is_open() ? &heartbeat_file : nullptr;
+    monitor_options.progress_stderr = opt.progress > 0;
+    monitor_options.registry = registry ? &*registry : nullptr;
+    monitor.emplace(monitor_options);
+    run_options.monitor = &*monitor;
+  }
+
   campaign::CampaignResult result;
   try {
     result = campaign::run(spec, run_options);
@@ -378,6 +456,32 @@ int main(int argc, char** argv) {
     // into per-point failure counts and never land here.
     std::cerr << e.what() << '\n';
     return 1;
+  }
+
+  // Always tell stderr what the run cost, telemetry or not: the cheapest
+  // observability there is, and the line scripts grep for.
+  {
+    const double rate =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.executed_trials) / result.wall_seconds
+            : 0.0;
+    std::fprintf(stderr, "netcons_campaign: %llu trials in %.3f s (%.1f trials/s)\n",
+                 static_cast<unsigned long long>(result.executed_trials),
+                 result.wall_seconds, rate);
+  }
+
+  if (opt.telemetry_dir) {
+    telemetry::set_registry(nullptr);
+    telemetry::set_tracer(nullptr);
+    try {
+      registry->write_snapshot(
+          (std::filesystem::path(*opt.telemetry_dir) / "metrics.json").string());
+      tracer->write_json((std::filesystem::path(*opt.telemetry_dir) / "trace.json").string());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 1;
+    }
+    if (!opt.quiet) std::cout << "wrote telemetry to " << *opt.telemetry_dir << '\n';
   }
 
   if (!result.complete) {

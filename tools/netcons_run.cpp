@@ -11,14 +11,19 @@
 // paper's target topology, and optionally exports the constructed network
 // as Graphviz DOT or ASCII art. With --trials > 1, reports mean/median/CI
 // of the convergence time instead.
+// --telemetry DIR writes metrics.json (engine internals: effective vs.
+// skipped steps, census rebuilds, ...) and trace.json (Perfetto-loadable)
+// into DIR after the run.
 #include "analysis/experiment.hpp"
 #include "campaign/registry.hpp"
 #include "core/census_engine.hpp"
 #include "graph/render.hpp"
 #include "protocols/protocols.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +42,7 @@ struct Options {
   int c = 3;
   int d = 3;
   std::optional<std::string> dot_path;
+  std::optional<std::string> telemetry_dir;
   bool ascii = false;
   bool list = false;
   bool describe = false;
@@ -60,7 +66,7 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --protocol <name> [--n N] [--seed S] [--trials T]\n"
                "       [--engine naive|census] [--k K] [--c C] [--d D]\n"
-               "       [--dot FILE] [--ascii] [--describe]\n"
+               "       [--dot FILE] [--ascii] [--describe] [--telemetry DIR]\n"
                "       " << argv0 << " --list\n";
   return 2;
 }
@@ -88,6 +94,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.dot_path = v;
+    } else if (arg == "--telemetry") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.telemetry_dir = v;
     } else if (arg == "--n" || arg == "--seed" || arg == "--trials" || arg == "--k" ||
                arg == "--c" || arg == "--d") {
       const char* v = next();
@@ -112,7 +122,7 @@ std::optional<Options> parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed) return usage(argv[0]);
-  const Options& opt = *parsed;
+  Options opt = *parsed;  // mutable: the compiled-out-telemetry path clears flags
 
   if (opt.list) {
     std::cout << "available protocols:\n";
@@ -140,6 +150,47 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry: ambient registry/tracer for the run (the trial drivers and
+  // engines publish through them), snapshotted to DIR before exit.
+  std::optional<telemetry::Registry> registry;
+  std::optional<telemetry::Tracer> tracer;
+#if defined(NETCONS_TELEMETRY_DISABLED)
+  // Honest failure beats empty artifacts: with the instrumentation compiled
+  // out, nothing would ever reach the registry or the tracer.
+  if (opt.telemetry_dir) {
+    std::cerr << "netcons_run: telemetry support was compiled out "
+                 "(NETCONS_TELEMETRY=OFF); ignoring --telemetry\n";
+    opt.telemetry_dir.reset();
+  }
+#endif
+  if (opt.telemetry_dir) {
+    try {
+      std::filesystem::create_directories(*opt.telemetry_dir);
+    } catch (const std::exception& e) {
+      std::cerr << "--telemetry: " << e.what() << '\n';
+      return 1;
+    }
+    registry.emplace();
+    tracer.emplace();
+    telemetry::set_registry(&*registry);
+    telemetry::set_tracer(&*tracer);
+  }
+  const auto flush_telemetry = [&]() -> bool {
+    if (!opt.telemetry_dir) return true;
+    telemetry::set_registry(nullptr);
+    telemetry::set_tracer(nullptr);
+    try {
+      registry->write_snapshot(
+          (std::filesystem::path(*opt.telemetry_dir) / "metrics.json").string());
+      tracer->write_json((std::filesystem::path(*opt.telemetry_dir) / "trace.json").string());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return false;
+    }
+    std::cout << "wrote telemetry to " << *opt.telemetry_dir << '\n';
+    return true;
+  };
+
   if (opt.trials > 1) {
     const auto point =
         analysis::measure(spec, opt.n, opt.trials, opt.seed, 0, {}, *engine_option);
@@ -153,6 +204,7 @@ int main(int argc, char** argv) {
                    TextTable::num(point.convergence_steps.min()),
                    TextTable::num(point.convergence_steps.max())});
     std::cout << table;
+    if (!flush_telemetry()) return 1;
     return point.failures == 0 ? 0 : 1;
   }
 
@@ -163,7 +215,12 @@ int main(int argc, char** argv) {
   Engine::StabilityOptions options;
   if (spec.max_steps) options.max_steps = spec.max_steps(opt.n);
   options.certificate = spec.certificate;
-  const ConvergenceReport report = sim.run_until_stable(options);
+  ConvergenceReport report;
+  {
+    NETCONS_TM_SPAN(run_span, "run_until_stable", "run");
+    report = sim.run_until_stable(options);
+  }
+  if (registry) sim.publish_metrics(*registry);
   const Graph output = sim.world().output_graph(spec.protocol);
   const bool ok = report.stabilized && (!spec.target || spec.target(output));
 
@@ -187,5 +244,6 @@ int main(int argc, char** argv) {
     file << to_dot(output, dot);
     std::cout << "wrote " << *opt.dot_path << '\n';
   }
+  if (!flush_telemetry()) return 1;
   return ok ? 0 : 1;
 }

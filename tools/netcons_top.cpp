@@ -1,0 +1,165 @@
+// netcons_top: tail a campaign's heartbeat stream as a live progress view.
+//
+//   netcons_top telemetry-dir/                # reads DIR/heartbeat.jsonl
+//   netcons_top telemetry-dir/heartbeat.jsonl # or the file directly
+//   netcons_top --follow telemetry-dir/       # poll until the final point
+//
+// The heartbeat stream is the JSONL file netcons_campaign --telemetry
+// writes (schema "netcons-heartbeat-v1", one object per line; see
+// telemetry/heartbeat.hpp). Each point prints as one table row: elapsed
+// wall time, trials done/total, throughput, ETA, mean worker utilization,
+// and worker count. --follow re-polls the file (~2x a second) until a
+// "final" point arrives, so it can watch a campaign that is still running.
+//
+// Robustness: a line that fails to parse -- typically the torn tail of a
+// heartbeat being written right now -- ends the current scan instead of
+// aborting; --follow simply retries it on the next poll.
+#include "campaign/json.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using netcons::campaign::json::field;
+using netcons::campaign::json::parse;
+using netcons::campaign::json::Value;
+
+struct Heartbeat {
+  bool final = false;
+  std::uint64_t seq = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  double trials_per_sec = 0.0;
+  double eta_s = 0.0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t workers = 0;
+  double mean_utilization = 0.0;
+};
+
+std::optional<Heartbeat> parse_heartbeat(const std::string& line) {
+  try {
+    const Value document = parse(line);
+    const auto& object = document.as_object();
+    if (field(object, "schema").as_string() != "netcons-heartbeat-v1") return std::nullopt;
+    Heartbeat hb;
+    hb.final = field(object, "type").as_string() == "final";
+    hb.seq = field(object, "seq").as_u64();
+    hb.elapsed_s = field(object, "elapsed_s").as_double();
+    hb.trials_done = field(object, "trials_done").as_u64();
+    hb.trials_total = field(object, "trials_total").as_u64();
+    hb.trials_per_sec = field(object, "trials_per_sec").as_double();
+    hb.eta_s = field(object, "eta_s").as_double();
+    hb.queue_depth = field(object, "queue_depth").as_u64();
+    hb.workers = field(object, "workers").as_u64();
+    const auto& utilization = field(object, "utilization").as_array();
+    double sum = 0.0;
+    for (const Value& u : utilization) sum += u.as_double();
+    hb.mean_utilization =
+        utilization.empty() ? 0.0 : sum / static_cast<double>(utilization.size());
+    return hb;
+  } catch (const std::exception&) {
+    return std::nullopt;  // torn tail or foreign line
+  }
+}
+
+void print_header() {
+  std::printf("%10s %18s %6s %12s %10s %6s %8s\n", "elapsed", "trials", "%", "trials/s",
+              "eta", "util", "workers");
+}
+
+void print_row(const Heartbeat& hb) {
+  const double percent = hb.trials_total > 0
+                             ? 100.0 * static_cast<double>(hb.trials_done) /
+                                   static_cast<double>(hb.trials_total)
+                             : 100.0;
+  std::string trials = std::to_string(hb.trials_done) + "/" + std::to_string(hb.trials_total);
+  std::printf("%9.1fs %18s %5.1f%% %12.1f %9.0fs %5.0f%% %8llu%s\n", hb.elapsed_s,
+              trials.c_str(), percent, hb.trials_per_sec, hb.eta_s,
+              100.0 * hb.mean_utilization, static_cast<unsigned long long>(hb.workers),
+              hb.final ? "  done" : "");
+}
+
+/// DIR -> DIR/heartbeat.jsonl; a file path passes through.
+std::string resolve_path(const std::string& arg) {
+  if (std::filesystem::is_directory(arg)) {
+    return (std::filesystem::path(arg) / "heartbeat.jsonl").string();
+  }
+  return arg;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--follow] DIR|heartbeat.jsonl\n"
+            << "  DIR: a netcons_campaign --telemetry output directory\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  std::string target;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--follow") {
+      follow = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      std::cerr << "only one heartbeat source expected\n";
+      return usage(argv[0]);
+    }
+  }
+  if (target.empty()) return usage(argv[0]);
+  const std::string path = resolve_path(target);
+
+  print_header();
+  std::uint64_t printed = 0;  // lines already consumed across polls
+  bool saw_final = false;
+  while (true) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      if (!follow) {
+        std::cerr << "cannot read " << path << "\n";
+        return 1;
+      }
+      // The campaign may not have written its first heartbeat yet.
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      continue;
+    }
+    std::string line;
+    std::uint64_t index = 0;
+    while (std::getline(file, line)) {
+      if (index++ < printed) continue;
+      if (line.empty()) {
+        ++printed;
+        continue;
+      }
+      const auto hb = parse_heartbeat(line);
+      if (!hb) break;  // torn tail: retry this line on the next poll
+      ++printed;
+      print_row(*hb);
+      if (hb->final) saw_final = true;
+    }
+    if (!follow || saw_final) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+
+  if (printed == 0) {
+    std::cerr << "no heartbeat points in " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
