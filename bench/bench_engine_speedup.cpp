@@ -1,32 +1,312 @@
-// Engine speedup gate: CensusEngine vs NaiveEngine on Simple-Global-Line
-// to stabilization.
+// Engine speedup and scaling gates for the census engine.
 //
-// Simple-Global-Line is the paper's Omega(n^4) protocol: at n = 256 the
-// naive engine executes tens of millions of scheduler calls per trial,
-// almost all of them ineffective, while the census engine samples only the
-// effective encounters and advances the step clock over the rest. Both
-// engines run the same per-trial seed stream; every trial must stabilize
-// to the spanning line, and the two engines' mean convergence steps are
-// printed side by side (they agree in distribution -- the CI KS gate
-// enforces that property on recorded campaigns; this bench enforces the
-// speed claim).
+// Default mode -- CensusEngine vs NaiveEngine on Simple-Global-Line to
+// stabilization. Simple-Global-Line is the paper's Omega(n^4) protocol: at
+// n = 256 the naive engine executes tens of millions of scheduler calls
+// per trial, almost all of them ineffective, while the census engine
+// samples only the effective encounters and advances the step clock over
+// the rest. Both engines run the same per-trial seed stream; every trial
+// must stabilize to the spanning line, and the two engines' mean
+// convergence steps are printed side by side (they agree in distribution
+// -- the CI KS gate enforces that property on recorded campaigns; this
+// bench enforces the speed claim). Under ctest (--min-speedup 5) the
+// census engine must be at least 5x faster in wall-clock per trial;
+// --min-speedup 0 disables the gate.
 //
-// Exit status: under ctest (--min-speedup 5) the census engine must be at
-// least 5x faster in wall-clock per trial; --min-speedup 0 disables the
-// gate. --json FILE writes throughput metrics for the nightly bench
-// workflow's regression gate (tools/compare_bench.py).
+// --scaling -- the web-scale curve: ns per effective interaction for the
+// census and census-leap engines on Simple-Global-Line over
+// n in {2^8 .. 2^16}, each point a run bounded to --scaling-eff effective
+// interactions (the whole curve costs seconds; the top points cross
+// World::kDenseNodeLimit, so the sparse edge storage is on the measured
+// path). A near-flat curve is the point: per-interaction cost must not
+// grow with the population. The in-binary gate fails if the largest-n
+// point exceeds --flat-factor times the n = 1024 point; the nightly
+// workflow additionally gates every point against the cached baseline
+// ("scaling_curve" family in tools/compare_bench.py).
+//
+// --web-scale N -- nightly stabilization carry: Simple-Global-Line and
+// Cycle-Cover to stabilization at n = N (default 100000) under the census
+// engine, stabilization enforced in-binary. The step budget is passed
+// saturated: Simple-Global-Line's own O(n^5) budget formula overflows
+// uint64 past n ~ 2^12, and at n = 10^5 even the paper clock itself
+// (Theta(n^4) ~ 10^20 steps) exceeds 2^64 -- the step counter wraps, so
+// only quiescence (W == 0, clock-independent) certifies the run and the
+// printed step figures are mod 2^64.
+//
+// --smoke N -- web-scale smoke (default 1000000): Cycle-Cover to
+// stabilization at n = N plus a bounded-effective-interaction
+// Simple-Global-Line run, proving the sparse world and census tables
+// operate at 10^6 nodes without carrying the full Simple-Global-Line
+// stabilization cost.
+//
+// --json FILE writes the mode's metrics for the nightly bench workflow's
+// regression gate (tools/compare_bench.py).
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
+#include "core/census_engine.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
+
+namespace {
+
+using namespace netcons;
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct CurvePoint {
+  int n = 0;
+  std::uint64_t effective = 0;
+  double ns_per_effective = 0.0;
+};
+
+/// One bounded run: construct the engine, execute until `eff_budget`
+/// effective interactions (or quiescence, whichever first -- small
+/// populations stabilize inside the budget), and price each one.
+CurvePoint measure_once(const ProtocolSpec& spec, int n, std::uint64_t eff_budget,
+                        std::uint64_t seed, bool leap_enabled) {
+  CensusLeapOptions leap;
+  leap.enabled = leap_enabled;
+  CensusEngine engine(spec.protocol, n, seed, nullptr, leap);
+  const auto budget_reached = [&engine, eff_budget](const World&) {
+    return engine.effective_steps() >= eff_budget;
+  };
+  const auto start = std::chrono::steady_clock::now();
+  (void)engine.run_until(budget_reached, std::numeric_limits<std::uint64_t>::max());
+  const double wall = seconds_since(start);
+  CurvePoint point;
+  point.n = n;
+  point.effective = engine.effective_steps();
+  point.ns_per_effective =
+      point.effective > 0 ? wall * 1e9 / static_cast<double>(point.effective) : 0.0;
+  return point;
+}
+
+/// Min-of-`repeats` wrapper: the minimum is the standard noise-robust
+/// estimator of intrinsic cost on a shared machine -- scheduler
+/// preemptions and cache pollution only ever push a timing up.
+CurvePoint measure_point(const ProtocolSpec& spec, int n, std::uint64_t eff_budget,
+                         std::uint64_t seed, bool leap_enabled, int repeats = 3) {
+  CurvePoint best = measure_once(spec, n, eff_budget, seed, leap_enabled);
+  for (int r = 1; r < repeats; ++r) {
+    const CurvePoint next =
+        measure_once(spec, n, eff_budget, seed + static_cast<std::uint64_t>(r), leap_enabled);
+    if (next.ns_per_effective < best.ns_per_effective) best = next;
+  }
+  return best;
+}
+
+int run_scaling(int min_exp, int max_exp, std::uint64_t eff_budget, double flat_factor,
+                std::uint64_t seed, const std::string& json_path) {
+  const ProtocolSpec spec = *campaign::make_protocol("simple-global-line");
+  std::cout << "=== Census scaling curve: Simple-Global-Line, " << eff_budget
+            << " effective interactions per point ===\n\n";
+
+  std::vector<CurvePoint> census_curve;
+  std::vector<CurvePoint> leap_curve;
+  TextTable table({"n", "storage", "census ns/eff", "census-leap ns/eff", "eff (census)"});
+  for (int exp = min_exp; exp <= max_exp; ++exp) {
+    const int n = 1 << exp;
+    const std::uint64_t point_seed = trial_seed(seed, static_cast<std::uint64_t>(exp));
+    census_curve.push_back(measure_point(spec, n, eff_budget, point_seed, false));
+    leap_curve.push_back(measure_point(spec, n, eff_budget, point_seed, true));
+    table.add_row({TextTable::integer(static_cast<std::uint64_t>(n)),
+                   n > World::kDenseNodeLimit ? "sparse" : "dense",
+                   TextTable::num(census_curve.back().ns_per_effective, 1),
+                   TextTable::num(leap_curve.back().ns_per_effective, 1),
+                   TextTable::integer(census_curve.back().effective)});
+  }
+  std::cout << table << '\n';
+
+  const auto point_at = [](const std::vector<CurvePoint>& curve, int n) -> const CurvePoint* {
+    for (const CurvePoint& point : curve) {
+      if (point.n == n) return &point;
+    }
+    return nullptr;
+  };
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"bench\": \"engine_scaling\",\n"
+         << "  \"protocol\": \"simple-global-line\",\n"
+         << "  \"effective_budget\": " << eff_budget << ",\n"
+         << "  \"scaling_curve\": {\n";
+    const auto emit = [&file](const char* name, const std::vector<CurvePoint>& curve,
+                              bool last) {
+      file << "    \"" << name << "\": {\n";
+      for (std::size_t i = 0; i < curve.size(); ++i) {
+        file << "      \"n_" << curve[i].n << "\": " << curve[i].ns_per_effective
+             << (i + 1 < curve.size() ? ",\n" : "\n");
+      }
+      file << "    }" << (last ? "\n" : ",\n");
+    };
+    emit("census_ns_per_effective", census_curve, false);
+    emit("census_leap_ns_per_effective", leap_curve, true);
+    file << "  }\n}\n";
+    file.flush();
+    if (!file) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
+
+  bool ok = true;
+  if (flat_factor > 0.0) {
+    const int reference_n = 1 << std::min(std::max(10, min_exp), max_exp);
+    for (const auto* curve : {&census_curve, &leap_curve}) {
+      const CurvePoint* reference = point_at(*curve, reference_n);
+      const CurvePoint& top = curve->back();
+      const char* name = curve == &census_curve ? "census" : "census-leap";
+      if (reference == nullptr || reference->ns_per_effective <= 0.0) {
+        std::cout << "FAIL: " << name << " curve has no usable n = " << reference_n
+                  << " reference point\n";
+        ok = false;
+        continue;
+      }
+      const double ratio = top.ns_per_effective / reference->ns_per_effective;
+      if (ratio > flat_factor) {
+        std::cout << "FAIL: " << name << " ns/effective at n = " << top.n << " is "
+                  << TextTable::num(ratio, 2) << "x the n = " << reference_n
+                  << " figure (flat-curve gate: " << TextTable::num(flat_factor, 1) << "x)\n";
+        ok = false;
+      } else {
+        std::cout << "PASS: " << name << " curve is flat to " << TextTable::num(ratio, 2)
+                  << "x across n = " << (1 << min_exp) << " .. " << top.n << " (gate "
+                  << TextTable::num(flat_factor, 1) << "x)\n";
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+struct StabilizationRun {
+  std::string protocol;
+  bool stabilized = false;
+  bool target_ok = false;
+  std::uint64_t effective = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Census-engine run to stabilization with a saturated step budget:
+/// termination comes from quiescence (W == 0), never the clock, which may
+/// wrap past 2^64 total steps at these populations. The target predicate
+/// takes a dense triangular Graph (n^2/2 bits: 625 MB at 10^5, 62 GB at
+/// 10^6), so callers past the web-scale leg pass check_target = false and
+/// let quiescence alone certify.
+StabilizationRun stabilize(const std::string& name, int n, std::uint64_t seed,
+                           bool check_target = true) {
+  const ProtocolSpec spec = *campaign::make_protocol(name);
+  CensusEngine engine(spec.protocol, n, seed);
+  Engine::StabilityOptions options;
+  options.max_steps = std::numeric_limits<std::uint64_t>::max();
+  options.certificate = spec.certificate;
+  const auto start = std::chrono::steady_clock::now();
+  const ConvergenceReport report = engine.run_until_stable(options);
+  StabilizationRun run;
+  run.protocol = name;
+  run.wall_seconds = seconds_since(start);
+  run.stabilized = report.stabilized;
+  run.effective = engine.effective_steps();
+  run.target_ok = report.stabilized &&
+                  (!check_target || spec.target(engine.world().output_graph(spec.protocol)));
+  return run;
+}
+
+void print_stabilization(const std::vector<StabilizationRun>& runs, int n) {
+  TextTable table({"protocol", "stabilized", "target", "effective", "wall s", "eff/s"});
+  for (const StabilizationRun& run : runs) {
+    table.add_row({run.protocol, run.stabilized ? "yes" : "NO", run.target_ok ? "ok" : "NO",
+                   TextTable::integer(run.effective), TextTable::num(run.wall_seconds, 2),
+                   TextTable::num(run.wall_seconds > 0.0
+                                      ? static_cast<double>(run.effective) / run.wall_seconds
+                                      : 0.0,
+                                  0)});
+  }
+  std::cout << "n = " << n << " (storage: "
+            << (n > World::kDenseNodeLimit ? "sparse" : "dense") << ")\n"
+            << table << '\n';
+}
+
+int run_web_scale(int n, std::uint64_t seed, const std::string& json_path) {
+  std::cout << "=== Web-scale stabilization: census engine, n = " << n << " ===\n\n";
+  std::vector<StabilizationRun> runs;
+  runs.push_back(stabilize("cycle-cover", n, trial_seed(seed, 1)));
+  runs.push_back(stabilize("simple-global-line", n, trial_seed(seed, 2)));
+  print_stabilization(runs, n);
+
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    file << "{\n  \"bench\": \"web_scale\",\n  \"n\": " << n << ",\n  \"throughput\": {\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::string key = runs[i].protocol;
+      for (char& c : key) {
+        if (c == '-') c = '_';
+      }
+      file << "    \"" << key << "_effective_per_second\": "
+           << (runs[i].wall_seconds > 0.0
+                   ? static_cast<double>(runs[i].effective) / runs[i].wall_seconds
+                   : 0.0)
+           << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    file << "  }\n}\n";
+    file.flush();
+    if (!file) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << json_path << '\n';
+  }
+
+  bool ok = true;
+  for (const StabilizationRun& run : runs) {
+    if (!run.stabilized || !run.target_ok) {
+      std::cout << "FAIL: " << run.protocol << " did not stabilize to its target at n = " << n
+                << '\n';
+      ok = false;
+    }
+  }
+  if (ok) std::cout << "PASS: both protocols stabilized to their targets at n = " << n << '\n';
+  return ok ? 0 : 1;
+}
+
+int run_smoke(int n, std::uint64_t eff_budget, std::uint64_t seed) {
+  std::cout << "=== Web-scale smoke: census engine, n = " << n << " ===\n\n";
+  std::vector<StabilizationRun> runs;
+  runs.push_back(stabilize("cycle-cover", n, trial_seed(seed, 1), /*check_target=*/false));
+
+  // Simple-Global-Line needs ~n^1.5 effective interactions to stabilize --
+  // too many to carry at 10^6 nightly, so the smoke only proves the
+  // machinery runs: a bounded slice of effective interactions.
+  const ProtocolSpec sgl = *campaign::make_protocol("simple-global-line");
+  const CurvePoint slice = measure_point(sgl, n, eff_budget, trial_seed(seed, 2), false);
+  StabilizationRun sgl_run;
+  sgl_run.protocol = "simple-global-line (bounded)";
+  sgl_run.stabilized = slice.effective >= eff_budget;  // "ran the full slice"
+  sgl_run.target_ok = sgl_run.stabilized;
+  sgl_run.effective = slice.effective;
+  sgl_run.wall_seconds = slice.ns_per_effective * static_cast<double>(slice.effective) / 1e9;
+  runs.push_back(sgl_run);
+  print_stabilization(runs, n);
+
+  const bool ok = runs[0].stabilized && runs[0].target_ok && slice.effective >= eff_budget;
+  std::cout << (ok ? "PASS" : "FAIL") << ": cycle-cover stabilized and simple-global-line ran "
+            << slice.effective << " effective interactions at n = " << n << '\n';
+  return ok ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace netcons;
@@ -35,6 +315,13 @@ int main(int argc, char** argv) {
   int trials = 5;
   std::uint64_t seed = 0x5eedull;
   double min_speedup = 5.0;
+  bool scaling = false;
+  int scaling_min_exp = 8;
+  int scaling_max_exp = 16;
+  std::uint64_t scaling_eff = 150000;
+  double flat_factor = 2.0;
+  int web_scale_n = 0;
+  int smoke_n = 0;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) n = std::atoi(argv[++i]);
@@ -45,8 +332,30 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--scaling") == 0) scaling = true;
+    if (std::strcmp(argv[i], "--scaling-min-exp") == 0 && i + 1 < argc) {
+      scaling_min_exp = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--scaling-max-exp") == 0 && i + 1 < argc) {
+      scaling_max_exp = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--scaling-eff") == 0 && i + 1 < argc) {
+      scaling_eff = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--flat-factor") == 0 && i + 1 < argc) {
+      flat_factor = std::atof(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--web-scale") == 0 && i + 1 < argc) {
+      web_scale_n = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--smoke") == 0 && i + 1 < argc) smoke_n = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
+
+  if (scaling) return run_scaling(scaling_min_exp, scaling_max_exp, scaling_eff, flat_factor,
+                                  seed, json_path);
+  if (web_scale_n > 0) return run_web_scale(web_scale_n, seed, json_path);
+  if (smoke_n > 0) return run_smoke(smoke_n, scaling_eff, seed);
 
   const ProtocolSpec spec = *campaign::make_protocol("simple-global-line");
 
@@ -73,8 +382,7 @@ int main(int argc, char** argv) {
       if (!report.stabilized || !report.target_ok) ++run.failures;
       total_convergence += static_cast<double>(report.convergence_step);
     }
-    run.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    run.wall_seconds = seconds_since(start);
     run.mean_convergence = trials > 0 ? total_convergence / trials : 0.0;
     runs.push_back(run);
   }

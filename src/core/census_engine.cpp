@@ -58,8 +58,8 @@ std::vector<EffectiveClass> effective_state_classes(const Protocol& protocol) {
 }
 
 CensusEngine::CensusEngine(Protocol protocol, int n, std::uint64_t seed,
-                           std::unique_ptr<Scheduler> scheduler)
-    : Simulator(std::move(protocol), n, seed, std::move(scheduler)) {
+                           std::unique_ptr<Scheduler> scheduler, CensusLeapOptions leap)
+    : Simulator(std::move(protocol), n, seed, std::move(scheduler)), leap_(leap) {
   // Census sampling assumes every unordered pair is equally likely each
   // step; that is exactly the uniform random scheduler (whether installed
   // by default or passed explicitly). Anything else gets the naive path.
@@ -67,12 +67,12 @@ CensusEngine::CensusEngine(Protocol protocol, int n, std::uint64_t seed,
   custom_scheduler_ = uniform == nullptr;
   if (custom_scheduler_) {
     note_fallback(g_noted_scheduler, "scheduler", "a non-uniform scheduler");
+    return;  // the tables are never built; no journal needed
   }
-}
-
-World& CensusEngine::mutable_world() noexcept {
-  mark_dirty();
-  return Simulator::mutable_world();
+  // Journal capacity: past ~2 entries per node, replaying costs about as
+  // much as the full rebuild the overflow falls back to.
+  log_.capacity = std::max<std::size_t>(1024, static_cast<std::size_t>(n) * 2);
+  Simulator::mutable_world().set_mutation_log(&log_);
 }
 
 void CensusEngine::set_interceptor(StepInterceptor* interceptor) noexcept {
@@ -80,20 +80,21 @@ void CensusEngine::set_interceptor(StepInterceptor* interceptor) noexcept {
     note_fallback(g_noted_interceptor, "interceptor", "a step interceptor");
   }
   interceptor_installed_ = interceptor != nullptr;
-  // The interceptor mutates the world between steps; whatever it did while
-  // installed invalidates the tables for when census sampling resumes.
-  mark_dirty();
+  // Everything the interceptor (and the naive per-step phase under it)
+  // mutates lands in the journal; census sampling resumes with an exact
+  // delta replay, or one full rebuild if the phase overflowed it.
   Simulator::set_interceptor(interceptor);
 }
 
-std::size_t CensusEngine::bucket_key(StateId a, StateId b) const noexcept {
+std::uint32_t CensusEngine::bucket_key(StateId a, StateId b) const noexcept {
   // a <= b by normalization; one slot per unordered state pair.
-  return static_cast<std::size_t>(a) * static_cast<std::size_t>(protocol().state_count()) +
-         static_cast<std::size_t>(b);
+  return static_cast<std::uint32_t>(a) *
+             static_cast<std::uint32_t>(protocol().state_count()) +
+         static_cast<std::uint32_t>(b);
 }
 
 std::uint64_t CensusEngine::class_multiplicity(const EffectiveClass& cls) const noexcept {
-  const std::uint64_t active = edge_buckets_[bucket_key(cls.a, cls.b)].size();
+  const std::uint64_t active = buckets_[bucket_key(cls.a, cls.b)].size();
   if (cls.c) return active;
   const std::uint64_t cnt_a = nodes_by_state_[cls.a].size();
   std::uint64_t pairs = 0;
@@ -105,134 +106,344 @@ std::uint64_t CensusEngine::class_multiplicity(const EffectiveClass& cls) const 
   return pairs - active;
 }
 
-void CensusEngine::ensure_tables() {
+void CensusEngine::rebuild_tables() {
+  ++stats_.full_rebuilds;
+  const World& w = world();
+  const int q = protocol().state_count();
+  const int n = w.size();
+
+  classes_ = effective_state_classes(protocol());
+  const std::size_t c = classes_.size();
+  classes_by_state_.assign(static_cast<std::size_t>(q), {});
+  for (std::uint32_t i = 0; i < c; ++i) {
+    classes_by_state_[classes_[i].a].push_back(i);
+    if (classes_[i].b != classes_[i].a) classes_by_state_[classes_[i].b].push_back(i);
+  }
+  weight_.assign(c, 0);
+  snapshot_.assign(c, 0);
+  snapshot_total_ = 0;
+  alias_height_.assign(c, 0);
+  alias_other_.assign(c, 0);
+  class_dirty_.assign(c, 0);
+  dirty_.clear();
+  surplus_total_ = 0;
+  total_weight_ = 0;
+  weights_stale_ = true;
+  alias_built_ = false;
+
+  nodes_by_state_.assign(static_cast<std::size_t>(q), {});
+  node_pos_.assign(static_cast<std::size_t>(n), -1);
+  buckets_.assign(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), {});
+  adj_inline_.assign(static_cast<std::size_t>(n) * kInlineAdj, 0);
+  adj_len_.assign(static_cast<std::size_t>(n), 0);
+  adj_over_.assign(static_cast<std::size_t>(n), {});
+  edges_.clear();
+  free_slots_.clear();
+
+  for (int u = 0; u < n; ++u) {
+    if (!w.alive(u)) continue;  // crashed nodes leave the sampling support
+    auto& list = nodes_by_state_[w.state(u)];
+    node_pos_[static_cast<std::size_t>(u)] = static_cast<std::int32_t>(list.size());
+    list.push_back(u);
+  }
+  // The kill() invariant guarantees dead nodes are edge-free, so every
+  // active edge has two alive endpoints.
+  w.for_each_active_edge([this](int u, int v) { insert_edge(u, v); });
+  log_.clear();
+}
+
+void CensusEngine::sync_tables() {
+  if (tables_dirty_ || log_.overflowed) {
+    rebuild_tables();
+    tables_dirty_ = false;
+    return;
+  }
+  if (log_.entries.empty()) return;
+  for (const auto& entry : log_.entries) {
+    apply_log_entry(entry);
+    if (tables_dirty_) break;  // inconsistent journal; resync from scratch
+  }
+  log_.clear();
   if (tables_dirty_) {
     rebuild_tables();
     tables_dirty_ = false;
   }
 }
 
-void CensusEngine::rebuild_tables() {
-  ++rebuilds_;
-  const World& w = world();
-  const int q = protocol().state_count();
-  const int n = w.size();
-
-  classes_ = effective_state_classes(protocol());
-  nodes_by_state_.assign(static_cast<std::size_t>(q), {});
-  node_pos_.assign(static_cast<std::size_t>(n), -1);
-  edge_buckets_.assign(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), {});
-  adj_.assign(static_cast<std::size_t>(n), {});
-  edges_.clear();
-
-  for (int u = 0; u < n; ++u) {
-    if (!w.alive(u)) continue;  // crashed nodes leave the sampling support
-    auto& list = nodes_by_state_[w.state(u)];
-    node_pos_[static_cast<std::size_t>(u)] = static_cast<int>(list.size());
-    list.push_back(u);
-  }
-  // The kill() invariant guarantees dead nodes are edge-free, so every
-  // active edge has two alive endpoints.
-  for (int v = 1; v < n; ++v) {
-    for (int u = 0; u < v; ++u) {
-      if (w.edge(u, v)) insert_edge(u, v);
+void CensusEngine::apply_log_entry(const WorldMutationLog::Entry& entry) {
+  ++stats_.delta_updates;
+  const int u = entry.u;
+  const int v = entry.v;
+  switch (entry.kind) {
+    case WorldMutationLog::Kind::kSetState: {
+      node_list_move(u, entry.prev, entry.next);
+      // Rebucketing reads the world's *final* endpoint states; any
+      // endpoint whose state differs mid-journal has its own later
+      // kSetState entry that rebuckets the edge again, so the replayed
+      // tables land exactly on the world's final configuration.
+      for (std::uint32_t pos = 0; pos < adj_len_[static_cast<std::size_t>(u)]; ++pos) {
+        rebucket_edge(adj_at(u, pos));
+      }
+      touch_state_classes(entry.prev);
+      if (entry.next != entry.prev) touch_state_classes(entry.next);
+      break;
+    }
+    case WorldMutationLog::Kind::kEdgeOn: {
+      insert_edge(u, v);
+      const StateId a = world().state(u);
+      const StateId b = world().state(v);
+      touch_state_classes(a);
+      if (b != a) touch_state_classes(b);
+      break;
+    }
+    case WorldMutationLog::Kind::kEdgeOff: {
+      const std::uint32_t slot = find_edge_slot(u, v);
+      if (slot == kNoSlot) {
+        tables_dirty_ = true;  // journal out of sync with the tables
+        return;
+      }
+      const auto q = static_cast<std::uint32_t>(protocol().state_count());
+      const std::uint32_t key = edges_[slot].bucket;
+      erase_edge(slot);
+      touch_state_classes(static_cast<StateId>(key / q));
+      if (key / q != key % q) touch_state_classes(static_cast<StateId>(key % q));
+      break;
+    }
+    case WorldMutationLog::Kind::kKill: {
+      if (adj_len_[static_cast<std::size_t>(u)] != 0) {
+        tables_dirty_ = true;  // kill's incident kEdgeOff entries must precede it
+        return;
+      }
+      node_list_remove(u, entry.prev);
+      touch_state_classes(entry.prev);
+      break;
     }
   }
 }
 
 void CensusEngine::insert_edge(int u, int v) {
-  const World& w = world();
-  const std::size_t key = Graph::pair_index(u, v);
-  EdgeRec rec;
-  rec.u = u;
-  rec.v = v;
-  const StateId su = w.state(u);
-  const StateId sv = w.state(v);
-  rec.ba = std::min(su, sv);
-  rec.bb = std::max(su, sv);
-  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
-  rec.bucket_pos = static_cast<std::uint32_t>(bucket.size());
-  bucket.push_back(key);
-  rec.pos_u = static_cast<std::uint32_t>(adj_[static_cast<std::size_t>(u)].size());
-  adj_[static_cast<std::size_t>(u)].push_back(key);
-  rec.pos_v = static_cast<std::uint32_t>(adj_[static_cast<std::size_t>(v)].size());
-  adj_[static_cast<std::size_t>(v)].push_back(key);
-  edges_[key] = rec;
+  if (u > v) std::swap(u, v);
+  std::uint32_t slot = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(edges_.size());
+    edges_.emplace_back();
+  }
+  EdgeSlot& e = edges_[slot];
+  e.u = u;
+  e.v = v;
+  const StateId su = world().state(u);
+  const StateId sv = world().state(v);
+  const std::uint32_t key = bucket_key(std::min(su, sv), std::max(su, sv));
+  e.bucket = key;
+  auto& bucket = buckets_[key];
+  e.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(slot);
+  e.pos_u = adj_push(u, slot);
+  e.pos_v = adj_push(v, slot);
 }
 
-void CensusEngine::erase_edge(std::size_t key) {
-  const EdgeRec rec = edges_.at(key);
-
-  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
-  const std::size_t moved_bucket = bucket.back();
-  bucket[rec.bucket_pos] = moved_bucket;
+void CensusEngine::erase_edge(std::uint32_t slot) {
+  const EdgeSlot e = edges_[slot];  // by value: adj_swap_remove mutates edges_
+  auto& bucket = buckets_[e.bucket];
+  const std::uint32_t moved_b = bucket.back();
+  bucket[e.bucket_pos] = moved_b;
   bucket.pop_back();
-  if (moved_bucket != key) edges_.at(moved_bucket).bucket_pos = rec.bucket_pos;
+  if (moved_b != slot) edges_[moved_b].bucket_pos = e.bucket_pos;
 
-  const auto adj_remove = [this, key](int node, std::uint32_t pos) {
-    auto& list = adj_[static_cast<std::size_t>(node)];
-    const std::size_t moved = list.back();
-    list[pos] = moved;
-    list.pop_back();
-    if (moved == key) return;
-    EdgeRec& mr = edges_.at(moved);
-    if (mr.u == node) {
-      mr.pos_u = pos;
-    } else {
-      mr.pos_v = pos;
-    }
-  };
-  adj_remove(rec.u, rec.pos_u);
-  adj_remove(rec.v, rec.pos_v);
-
-  edges_.erase(key);
+  adj_swap_remove(e.u, e.pos_u);
+  // The first removal may have moved this very slot within v's list; its
+  // stored position is only stale if the moved entry was `slot` itself,
+  // which adj_swap_remove keeps coherent by updating edges_[slot].pos_v.
+  adj_swap_remove(e.v, edges_[slot].pos_v);
+  free_slots_.push_back(slot);
 }
 
-void CensusEngine::rebucket_edge(std::size_t key) {
-  EdgeRec& rec = edges_.at(key);
-  auto& old_bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
-  const std::size_t moved = old_bucket.back();
-  old_bucket[rec.bucket_pos] = moved;
+void CensusEngine::rebucket_edge(std::uint32_t slot) {
+  EdgeSlot& e = edges_[slot];
+  auto& old_bucket = buckets_[e.bucket];
+  const std::uint32_t moved = old_bucket.back();
+  old_bucket[e.bucket_pos] = moved;
   old_bucket.pop_back();
-  if (moved != key) edges_.at(moved).bucket_pos = rec.bucket_pos;
+  if (moved != slot) edges_[moved].bucket_pos = e.bucket_pos;
 
-  const StateId su = world().state(rec.u);
-  const StateId sv = world().state(rec.v);
-  rec.ba = std::min(su, sv);
-  rec.bb = std::max(su, sv);
-  auto& bucket = edge_buckets_[bucket_key(rec.ba, rec.bb)];
-  rec.bucket_pos = static_cast<std::uint32_t>(bucket.size());
-  bucket.push_back(key);
+  const StateId su = world().state(e.u);
+  const StateId sv = world().state(e.v);
+  const std::uint32_t key = bucket_key(std::min(su, sv), std::max(su, sv));
+  e.bucket = key;
+  auto& bucket = buckets_[key];
+  e.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(slot);
+}
+
+std::uint32_t CensusEngine::find_edge_slot(int u, int v) const noexcept {
+  if (u > v) std::swap(u, v);
+  const std::uint32_t lu = adj_len_[static_cast<std::size_t>(u)];
+  const std::uint32_t lv = adj_len_[static_cast<std::size_t>(v)];
+  const int node = lu <= lv ? u : v;
+  const std::uint32_t len = lu <= lv ? lu : lv;
+  for (std::uint32_t pos = 0; pos < len; ++pos) {
+    const std::uint32_t slot = adj_at(node, pos);
+    if (edges_[slot].u == u && edges_[slot].v == v) return slot;
+  }
+  return kNoSlot;
 }
 
 void CensusEngine::node_list_move(int u, StateId from, StateId to) {
   auto& old_list = nodes_by_state_[from];
-  const int pos = node_pos_[static_cast<std::size_t>(u)];
-  const int moved = old_list.back();
+  const std::int32_t pos = node_pos_[static_cast<std::size_t>(u)];
+  const std::int32_t moved = old_list.back();
   old_list[static_cast<std::size_t>(pos)] = moved;
   old_list.pop_back();
   node_pos_[static_cast<std::size_t>(moved)] = pos;
 
   auto& new_list = nodes_by_state_[to];
-  node_pos_[static_cast<std::size_t>(u)] = static_cast<int>(new_list.size());
+  node_pos_[static_cast<std::size_t>(u)] = static_cast<std::int32_t>(new_list.size());
   new_list.push_back(u);
 }
 
-std::uint64_t CensusEngine::effective_pair_weight() {
-  ensure_tables();
-  // One scan serves the caller's quiescence guard, census_step's skip
-  // probability, AND the class-selection walk (class_mults_): the cache is
-  // invalidated only when the configuration actually changes.
-  if (!weight_valid_) {
-    class_mults_.resize(classes_.size());
-    cached_weight_ = 0;
-    for (std::size_t i = 0; i < classes_.size(); ++i) {
-      class_mults_[i] = class_multiplicity(classes_[i]);
-      cached_weight_ += class_mults_[i];
+void CensusEngine::node_list_remove(int u, StateId from) {
+  auto& list = nodes_by_state_[from];
+  const std::int32_t pos = node_pos_[static_cast<std::size_t>(u)];
+  const std::int32_t moved = list.back();
+  list[static_cast<std::size_t>(pos)] = moved;
+  list.pop_back();
+  node_pos_[static_cast<std::size_t>(moved)] = pos;
+  node_pos_[static_cast<std::size_t>(u)] = -1;
+}
+
+void CensusEngine::touch_class(std::uint32_t ci) {
+  const std::uint64_t now = class_multiplicity(classes_[ci]);
+  const std::uint64_t old = weight_[ci];
+  if (now == old) return;
+  if (alias_built_) {
+    const std::uint64_t snap = snapshot_[ci];
+    if (class_dirty_[ci] == 0) {
+      class_dirty_[ci] = 1;
+      dirty_.push_back(ci);
     }
-    weight_valid_ = true;
+    surplus_total_ += now > snap ? now - snap : 0;
+    surplus_total_ -= old > snap ? old - snap : 0;
   }
-  return cached_weight_;
+  total_weight_ += now;
+  total_weight_ -= old;
+  weight_[ci] = now;
+}
+
+void CensusEngine::touch_state_classes(StateId q) {
+  // During a leap batch the whole weight array is wholesale-stale and
+  // refreshes at batch end; incremental maintenance would only corrupt the
+  // running totals.
+  if (weights_stale_) return;
+  for (const std::uint32_t ci : classes_by_state_[q]) touch_class(ci);
+}
+
+void CensusEngine::refresh_weights() {
+  total_weight_ = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    weight_[i] = class_multiplicity(classes_[i]);
+    total_weight_ += weight_[i];
+  }
+  for (const std::uint32_t ci : dirty_) class_dirty_[ci] = 0;
+  dirty_.clear();
+  surplus_total_ = 0;
+  weights_stale_ = false;
+  alias_built_ = false;  // the old snapshot's bookkeeping no longer applies
+}
+
+void CensusEngine::rebuild_alias() {
+  ++stats_.alias_rebuilds;
+  const std::size_t c = classes_.size();
+  snapshot_ = weight_;
+  snapshot_total_ = total_weight_;
+  for (const std::uint32_t ci : dirty_) class_dirty_[ci] = 0;
+  dirty_.clear();
+  surplus_total_ = 0;
+  alias_height_.assign(c, 0);
+  alias_other_.resize(c);
+  for (std::size_t i = 0; i < c; ++i) alias_other_[i] = static_cast<std::uint32_t>(i);
+  alias_built_ = true;
+  if (snapshot_total_ == 0 || c == 0) return;
+
+  // Integer Vose construction: class i owns h_i = w_i * |C| of the S * |C|
+  // total tokens (S = snapshot_total_); each of the |C| columns holds
+  // exactly S tokens from at most two classes. Exact in uint64 (w_i <=
+  // n^2/2 and |C| is protocol-table-sized), so draws need no
+  // floating-point correction.
+  std::vector<std::uint64_t> h(c);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < c; ++i) {
+    h[i] = snapshot_[i] * static_cast<std::uint64_t>(c);
+    (h[i] < snapshot_total_ ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    alias_height_[s] = h[s];
+    alias_other_[s] = l;
+    h[l] -= snapshot_total_ - h[s];
+    if (h[l] < snapshot_total_) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Exact-integer token conservation: every leftover column is full.
+  for (const std::uint32_t i : large) alias_height_[i] = snapshot_total_;
+  for (const std::uint32_t i : small) alias_height_[i] = snapshot_total_;
+}
+
+bool CensusEngine::alias_rebuild_due() const noexcept {
+  if (!alias_built_) return true;
+  // Bounded dirty set keeps the surplus walk short; bounded surplus and
+  // capped mass keep both mixture branches O(1) expected per draw.
+  if (dirty_.size() >= std::max<std::size_t>(32, classes_.size() / 8)) return true;
+  if (surplus_total_ * 2 >= total_weight_) return true;
+  const std::uint64_t capped = total_weight_ - surplus_total_;
+  return capped * 2 < snapshot_total_;
+}
+
+std::size_t CensusEngine::alias_only_draw() {
+  const std::uint32_t col = static_cast<std::uint32_t>(rng().below(classes_.size()));
+  const std::uint64_t r = rng().below(snapshot_total_);
+  return r < alias_height_[col] ? col : alias_other_[col];
+}
+
+std::size_t CensusEngine::draw_class() {
+  if (alias_rebuild_due()) rebuild_alias();
+  // Mixture decomposition against the snapshot: with probability
+  // surplus/W resolve from the dirty classes' weight *gains*; otherwise
+  // propose from the alias table (~ snapshot) and accept with
+  // min(w, s)/s, so P(i) = (surplus_i + min(w_i, s_i)) / W = w_i / W --
+  // exact against the current weights, in integers.
+  const std::uint64_t r = rng().below(total_weight_);
+  if (r < surplus_total_) {
+    std::uint64_t acc = 0;
+    for (const std::uint32_t ci : dirty_) {
+      const std::uint64_t w = weight_[ci];
+      const std::uint64_t snap = snapshot_[ci];
+      acc += w > snap ? w - snap : 0;
+      if (r < acc) return ci;
+    }
+  }
+  while (true) {
+    const std::size_t ci = alias_only_draw();
+    if (class_dirty_[ci] == 0) return ci;  // weight unchanged since snapshot
+    const std::uint64_t w = weight_[ci];
+    const std::uint64_t snap = snapshot_[ci];
+    if (w >= snap) return ci;
+    if (w > 0 && rng().below(snap) < w) return ci;  // accept with exactly w/s
+  }
+}
+
+std::uint64_t CensusEngine::effective_pair_weight() {
+  end_leap_batch();
+  sync_tables();
+  if (weights_stale_) refresh_weights();
+  return total_weight_;
 }
 
 std::uint64_t CensusEngine::geometric_skips(double p) {
@@ -253,13 +464,13 @@ CensusEngine::BucketEdge CensusEngine::sample_pair(const EffectiveClass& cls,
     // symmetry-breaking coin in Simulator::apply assigns asymmetric
     // same-state outcomes equiprobably regardless of argument order, and
     // for a != b the rule table resolves orientation from the states.
-    const auto& bucket = edge_buckets_[bucket_key(cls.a, cls.b)];
-    const EdgeRec& rec = edges_.at(bucket[rng().below(bucket.size())]);
-    return {rec.u, rec.v};
+    const auto& bucket = buckets_[bucket_key(cls.a, cls.b)];
+    const std::uint32_t slot = bucket[rng().below(bucket.size())];
+    return {edges_[slot].u, edges_[slot].v, slot};
   }
 
-  const std::vector<int>& as = nodes_by_state_[cls.a];
-  const std::vector<int>& bs = nodes_by_state_[cls.b];
+  const std::vector<std::int32_t>& as = nodes_by_state_[cls.a];
+  const std::vector<std::int32_t>& bs = nodes_by_state_[cls.b];
   // Rejection over the (a, b) node product is uniform over the non-edge
   // pairs; it only degenerates when almost every such pair is an active
   // edge, so a capped loop with an exact O(|a||b|) fallback keeps the
@@ -302,72 +513,158 @@ CensusEngine::BucketEdge CensusEngine::sample_pair(const EffectiveClass& cls,
   return {as.front(), cls.a == cls.b ? as[1] : bs.front()};
 }
 
-void CensusEngine::execute_and_update(int u, int v) {
+void CensusEngine::execute_and_update(int u, int v, std::uint32_t slot_hint) {
   const World& w = world();
   const StateId sa = w.state(u);
   const StateId sb = w.state(v);
-  const std::size_t uv_key = Graph::pair_index(u, v);
-  if (w.edge(u, v)) erase_edge(uv_key);
+  // The slot scan doubles as the edge-existence probe; no World query.
+  const std::uint32_t slot = slot_hint != kNoSlot ? slot_hint : find_edge_slot(u, v);
+  const bool had_edge = slot != kNoSlot;
 
-  if (!execute_encounter(u, v)) mark_dirty();  // impossible if the tables are sound
+  // Leave the journal recording: the log is clean here (census_step syncs
+  // on entry), so the encounter's own <= 3 entries are ours to consume --
+  // reading the edge outcome from them beats re-probing the world.
+  const bool effective = execute_encounter(u, v, had_edge);
+  if (!effective) tables_dirty_ = true;  // impossible if the tables are sound
+
+  bool has_edge = had_edge;
+  for (const WorldMutationLog::Entry& entry : log_.entries) {
+    if (entry.kind == WorldMutationLog::Kind::kEdgeOn) has_edge = true;
+    if (entry.kind == WorldMutationLog::Kind::kEdgeOff) has_edge = false;
+  }
+  log_.clear();
 
   const StateId na = w.state(u);
   const StateId nb = w.state(v);
+  // A surviving edge keeps its adjacency membership; it only needs a
+  // rebucket (covered by the incident-edge sweeps below, which read the
+  // world's post-encounter states, so (u, v) lands on its final key).
+  if (had_edge && !has_edge) erase_edge(slot);
   if (sa != na) {
     node_list_move(u, sa, na);
-    // (u, v) itself was pulled out above, so every incident edge here has
-    // its other endpoint's state unchanged by this encounter.
-    for (const std::size_t key : adj_[static_cast<std::size_t>(u)]) rebucket_edge(key);
+    for (std::uint32_t pos = 0; pos < adj_len_[static_cast<std::size_t>(u)]; ++pos) {
+      rebucket_edge(adj_at(u, pos));
+    }
   }
   if (sb != nb) {
     node_list_move(v, sb, nb);
-    for (const std::size_t key : adj_[static_cast<std::size_t>(v)]) rebucket_edge(key);
+    for (std::uint32_t pos = 0; pos < adj_len_[static_cast<std::size_t>(v)]; ++pos) {
+      const std::uint32_t s = adj_at(v, pos);
+      // (u, v) was already rebucketed in u's sweep when sa changed too.
+      if (sa != na && s == slot) continue;
+      rebucket_edge(s);
+    }
   }
-  if (w.edge(u, v)) insert_edge(u, v);
-  weight_valid_ = false;  // the configuration changed
+  if (!had_edge && has_edge) insert_edge(u, v);
+
+  // Every class whose multiplicity this encounter can change contains one
+  // of the four touched states (counts: sa/na/sb/nb; buckets: edges moved
+  // between (old-state, x) and (new-state, x) slots).
+  touch_state_classes(sa);
+  if (sb != sa) touch_state_classes(sb);
+  if (na != sa && na != sb) touch_state_classes(na);
+  if (nb != sa && nb != sb && nb != na) touch_state_classes(nb);
 }
 
-bool CensusEngine::census_step(std::uint64_t budget) {
-  const std::uint64_t weight = effective_pair_weight();
+std::uint32_t CensusEngine::leap_batch_size(std::uint64_t weight) const noexcept {
+  // One encounter changes the effectiveness triple of at most the 2n - 3
+  // unordered pairs containing one of its endpoints, so K draws drift W by
+  // at most K * (2n - 3): K = staleness * W / (2n) keeps every frozen
+  // within-batch weight inside the configured relative staleness bound.
+  const double bound = 2.0 * static_cast<double>(world().size());
+  const double k = leap_.staleness * static_cast<double>(weight) / bound;
+  if (k >= static_cast<double>(leap_.max_batch)) return leap_.max_batch;
+  if (k <= 0.0) return 0;
+  return static_cast<std::uint32_t>(k);
+}
+
+CensusEngine::StepOutcome CensusEngine::census_step(std::uint64_t budget) {
+  if (tables_dirty_ || !log_.clean()) {
+    end_leap_batch();  // external interference invalidates the frozen table
+    sync_tables();
+  }
+
+  bool batching = leap_.enabled && leap_remaining_ > 0;
+  std::uint64_t weight = 0;
+  if (batching) {
+    weight = leap_frozen_weight_;
+  } else {
+    if (weights_stale_) refresh_weights();
+    weight = total_weight_;
+    if (weight == 0) return StepOutcome::kQuiescent;
+    if (leap_.enabled) {
+      const std::uint32_t k = leap_batch_size(weight);
+      if (k >= 2) {
+        if (!alias_built_ || !dirty_.empty()) rebuild_alias();
+        leap_remaining_ = k;
+        leap_frozen_weight_ = weight;
+        weights_stale_ = true;  // frozen table: suspend per-step maintenance
+        ++stats_.leap_batches;
+        batching = true;
+      }
+    }
+  }
+
+  // Class selection precedes the clock draw (they are independent, so the
+  // joint law is unchanged) so that a frozen draw landing on a dried-up
+  // class can abort to exact sampling before any steps are skipped.
+  std::size_t ci = 0;
+  std::uint64_t multiplicity = 0;
+  if (batching) {
+    ci = alias_only_draw();
+    multiplicity = class_multiplicity(classes_[ci]);
+    if (multiplicity == 0) {
+      ++stats_.leap_aborts;
+      end_leap_batch();
+      refresh_weights();
+      weight = total_weight_;
+      if (weight == 0) return StepOutcome::kQuiescent;
+      batching = false;
+    }
+  }
+  if (!batching) {
+    ci = draw_class();
+    multiplicity = weight_[ci];
+  }
+
   const auto nodes = static_cast<std::uint64_t>(world().size());
   const std::uint64_t total_pairs = nodes * (nodes - 1) / 2;
   const double p = static_cast<double>(weight) / static_cast<double>(total_pairs);
-
   const std::uint64_t skips = geometric_skips(p);
   const std::uint64_t at = steps();
   if (skips >= budget - at) {
     // The next effective interaction falls beyond the budget: the naive
     // engine would have burned the rest of it on ineffective steps. The
-    // discarded geometric tail is redrawn by the next call -- exact, since
-    // the geometric distribution is memoryless.
-    geometric_skipped_ += budget - at;
+    // discarded geometric tail (and the unused class draw) is redrawn by
+    // the next call -- exact, since both draws are independent and the
+    // geometric distribution is memoryless.
+    stats_.geometric_skips += budget - at;
     skip_steps(budget - at);
-    return false;
+    return StepOutcome::kBudgetExhausted;
   }
-  geometric_skipped_ += skips;
+  stats_.geometric_skips += skips;
   skip_steps(skips + 1);
 
-  std::uint64_t r = rng().below(weight);
-  for (std::size_t i = 0; i < classes_.size(); ++i) {
-    const std::uint64_t multiplicity = class_mults_[i];
-    if (r < multiplicity) {
-      const BucketEdge pair = sample_pair(classes_[i], multiplicity);
-      execute_and_update(pair.u, pair.v);
-      ++effective_samples_;
-      return true;
-    }
-    r -= multiplicity;
+  const BucketEdge pair = sample_pair(classes_[ci], multiplicity);
+  execute_and_update(pair.u, pair.v, pair.slot);
+  ++stats_.effective_samples;
+  if (batching) {
+    ++stats_.leap_batched_steps;
+    --leap_remaining_;
+  } else if (leap_.enabled) {
+    ++stats_.leap_exact_steps;
   }
-  return false;  // unreachable: weight is the sum of the multiplicities
+  return StepOutcome::kExecuted;
 }
 
 bool CensusEngine::step() {
   if (fallback_active()) return naive_step();
-  if (effective_pair_weight() == 0) {
+  const StepOutcome out = census_step(std::numeric_limits<std::uint64_t>::max());
+  if (out == StepOutcome::kQuiescent) {
     skip_steps(1);  // a quiescent configuration wastes the interaction
     return false;
   }
-  return census_step(std::numeric_limits<std::uint64_t>::max());
+  return out == StepOutcome::kExecuted;
 }
 
 void CensusEngine::run(std::uint64_t count) {
@@ -377,11 +674,10 @@ void CensusEngine::run(std::uint64_t count) {
   }
   const std::uint64_t target = steps() + count;
   while (steps() < target) {
-    if (effective_pair_weight() == 0) {
+    if (census_step(target) == StepOutcome::kQuiescent) {
       skip_steps(target - steps());
       return;
     }
-    census_step(target);
   }
 }
 
@@ -390,55 +686,15 @@ std::optional<std::uint64_t> CensusEngine::run_until(
   if (fallback_active()) return Simulator::run_until(pred, max_steps);
   if (pred(world())) return steps();
   while (steps() < max_steps) {
-    if (effective_pair_weight() == 0) {
+    const StepOutcome out = census_step(max_steps);
+    if (out == StepOutcome::kQuiescent) {
       // The world can no longer change, so neither can the predicate.
       skip_steps(max_steps - steps());
       return std::nullopt;
     }
-    if (census_step(max_steps) && pred(world())) return steps();
+    if (out == StepOutcome::kExecuted && pred(world())) return steps();
   }
   return std::nullopt;
-}
-
-void CensusEngine::publish_metrics(telemetry::Registry& registry) {
-  Simulator::publish_metrics(registry);
-  // Per-(thread, registry) handle cache, same rationale as the base class:
-  // one name lookup per campaign worker instead of one per trial.
-  struct Handles {
-    std::uint64_t registry_id = 0;
-    std::uint64_t publishes = 0;
-    telemetry::Counter* rebuilds = nullptr;
-    telemetry::Counter* skips = nullptr;
-    telemetry::Counter* samples = nullptr;
-    telemetry::Histogram* occupancy = nullptr;
-  };
-  thread_local Handles handles;
-  if (handles.registry_id != registry.id()) {
-    handles.rebuilds = &registry.counter("census.rebuilds");
-    handles.skips = &registry.counter("census.geometric_skips");
-    handles.samples = &registry.counter("census.effective_samples");
-    handles.occupancy = &registry.histogram("census.bucket_occupancy",
-                                            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
-    handles.registry_id = registry.id();
-  }
-  handles.rebuilds->add(rebuilds_);
-  handles.skips->add(geometric_skipped_);
-  handles.samples->add(effective_samples_);
-  if (fallback_active()) return;  // the tables may be stale; occupancy would lie
-  // The occupancy distribution is sampled 1-in-8 publishes: q(q+1)/2
-  // histogram records per trial would be the single largest telemetry cost
-  // on small-n campaigns, and a campaign publishing thousands of trials
-  // still lands thousands of samples at 1-in-8.
-  constexpr std::uint64_t kOccupancySampleEvery = 8;
-  if (handles.publishes++ % kOccupancySampleEvery != 0) return;
-  ensure_tables();
-  const int q = protocol().state_count();
-  for (int a = 0; a < q; ++a) {
-    for (int b = a; b < q; ++b) {
-      handles.occupancy->record(static_cast<double>(
-          edge_buckets_[bucket_key(static_cast<StateId>(a), static_cast<StateId>(b))].size()));
-    }
-  }
 }
 
 ConvergenceReport CensusEngine::run_until_stable(const StabilityOptions& options) {
@@ -464,13 +720,135 @@ ConvergenceReport CensusEngine::run_until_stable(const StabilityOptions& options
     // amortization grid the naive engine uses.
     const std::uint64_t checkpoint =
         options.certificate ? std::min(max_steps, steps() + check_interval) : max_steps;
-    while (steps() < checkpoint && effective_pair_weight() != 0) {
-      census_step(checkpoint);
+    while (steps() < checkpoint) {
+      if (census_step(checkpoint) == StepOutcome::kQuiescent) break;
     }
   }
   report.steps_executed = steps();
   report.convergence_step = last_output_change();
   return report;
+}
+
+void CensusEngine::publish_metrics(telemetry::Registry& registry) {
+  Simulator::publish_metrics(registry);
+  // Per-(thread, registry) handle cache, same rationale as the base class:
+  // one name lookup per campaign worker instead of one per trial.
+  struct Handles {
+    std::uint64_t registry_id = 0;
+    std::uint64_t publishes = 0;
+    telemetry::Counter* full_rebuilds = nullptr;
+    telemetry::Counter* delta_updates = nullptr;
+    telemetry::Counter* alias_rebuilds = nullptr;
+    telemetry::Counter* skips = nullptr;
+    telemetry::Counter* samples = nullptr;
+    telemetry::Counter* leap_batches = nullptr;
+    telemetry::Counter* leap_batched = nullptr;
+    telemetry::Counter* leap_exact = nullptr;
+    telemetry::Counter* leap_aborts = nullptr;
+    telemetry::Histogram* occupancy = nullptr;
+    telemetry::Histogram* batch_size = nullptr;
+  };
+  thread_local Handles handles;
+  if (handles.registry_id != registry.id()) {
+    handles.full_rebuilds = &registry.counter("census.full_rebuilds");
+    handles.delta_updates = &registry.counter("census.delta_updates");
+    handles.alias_rebuilds = &registry.counter("census.alias_rebuilds");
+    handles.skips = &registry.counter("census.geometric_skips");
+    handles.samples = &registry.counter("census.effective_samples");
+    handles.leap_batches = &registry.counter("census.leap.batches");
+    handles.leap_batched = &registry.counter("census.leap.batched_steps");
+    handles.leap_exact = &registry.counter("census.leap.exact_steps");
+    handles.leap_aborts = &registry.counter("census.leap.aborts");
+    handles.occupancy = &registry.histogram("census.bucket_occupancy",
+                                            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    handles.batch_size = &registry.histogram(
+        "census.leap.batch_size", {0.0, 2.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0});
+    handles.registry_id = registry.id();
+  }
+  handles.full_rebuilds->add(stats_.full_rebuilds);
+  handles.delta_updates->add(stats_.delta_updates);
+  handles.alias_rebuilds->add(stats_.alias_rebuilds);
+  handles.skips->add(stats_.geometric_skips);
+  handles.samples->add(stats_.effective_samples);
+  if (leap_.enabled) {
+    handles.leap_batches->add(stats_.leap_batches);
+    handles.leap_batched->add(stats_.leap_batched_steps);
+    handles.leap_exact->add(stats_.leap_exact_steps);
+    handles.leap_aborts->add(stats_.leap_aborts);
+    if (stats_.leap_batches > 0) {
+      handles.batch_size->record(static_cast<double>(stats_.leap_batched_steps) /
+                                 static_cast<double>(stats_.leap_batches));
+    }
+  }
+  if (fallback_active()) return;  // the tables may be stale; occupancy would lie
+  // The occupancy distribution is sampled 1-in-8 publishes: q(q+1)/2
+  // histogram records per trial would be the single largest telemetry cost
+  // on small-n campaigns, and a campaign publishing thousands of trials
+  // still lands thousands of samples at 1-in-8.
+  constexpr std::uint64_t kOccupancySampleEvery = 8;
+  if (handles.publishes++ % kOccupancySampleEvery != 0) return;
+  end_leap_batch();
+  sync_tables();
+  const int q = protocol().state_count();
+  for (int a = 0; a < q; ++a) {
+    for (int b = a; b < q; ++b) {
+      handles.occupancy->record(static_cast<double>(
+          buckets_[bucket_key(static_cast<StateId>(a), static_cast<StateId>(b))].size()));
+    }
+  }
+}
+
+std::size_t CensusEngine::debug_draw_class() {
+  if (effective_pair_weight() == 0) return classes_.size();
+  return draw_class();
+}
+
+const std::vector<EffectiveClass>& CensusEngine::debug_classes() {
+  end_leap_batch();
+  sync_tables();
+  return classes_;
+}
+
+std::vector<std::uint64_t> CensusEngine::debug_class_weights() {
+  (void)effective_pair_weight();
+  return weight_;
+}
+
+std::string CensusEngine::debug_table_snapshot() {
+  (void)effective_pair_weight();
+  std::string out;
+  for (std::size_t q = 0; q < nodes_by_state_.size(); ++q) {
+    std::vector<std::int32_t> nodes = nodes_by_state_[q];
+    std::sort(nodes.begin(), nodes.end());
+    out += "s" + std::to_string(q) + ":";
+    for (const std::int32_t u : nodes) out += " " + std::to_string(u);
+    out += "\n";
+  }
+  for (std::size_t key = 0; key < buckets_.size(); ++key) {
+    if (buckets_[key].empty()) continue;
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(buckets_[key].size());
+    for (const std::uint32_t slot : buckets_[key]) {
+      pairs.emplace_back(edges_[slot].u, edges_[slot].v);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    out += "b" + std::to_string(key) + ":";
+    for (const auto& [u, v] : pairs) {
+      out += " (" + std::to_string(u) + "," + std::to_string(v) + ")";
+    }
+    out += "\n";
+  }
+  out += "w:";
+  for (const std::uint64_t w : weight_) out += " " + std::to_string(w);
+  out += "\n";
+  return out;
+}
+
+void CensusEngine::debug_force_full_rebuild() {
+  end_leap_batch();
+  tables_dirty_ = true;
+  sync_tables();
+  refresh_weights();
 }
 
 }  // namespace netcons

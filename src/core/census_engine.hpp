@@ -12,8 +12,9 @@
 //
 // This engine never executes those. It maintains
 //   * per-state alive-node lists (who is in state q),
-//   * per-state-pair active-edge buckets (how many active edges join a
-//     state-a node to a state-b node), and
+//   * per-state-pair active-edge buckets over a flat SoA edge store
+//     (parallel arrays of endpoints, bucket ids, and back-pointer
+//     positions; swap-remove everywhere; a free list recycles slots), and
 //   * the protocol-derived list of *effective classes*: the (a, b, c)
 //     triples, a <= b, for which Protocol::ineffective is false,
 // giving every class multiplicity -- and hence W -- in O(1). Each step it
@@ -27,6 +28,35 @@
 // statistically indistinguishable (the CI KS gate enforces this), at O(1)
 // expected cost per effective interaction instead of O(1/p).
 //
+// Class selection is an integer Walker alias table over the class weights,
+// rebuilt incrementally: every state/edge transition recomputes only the
+// weights of classes containing a touched state (a dirty log), and draws
+// stay exact against the *current* weights via a mixture decomposition --
+// with probability surplus/W a draw resolves from the dirty classes'
+// weight gains, otherwise the alias table proposes ~ snapshot weight and a
+// rejection step corrects classes whose weight shrank. The table is
+// re-snapshotted when the dirty set or the correction terms grow past
+// fixed fractions, so draws are O(1) expected even for large |Q|^2.
+//
+// External mutation through mutable_world() no longer invalidates the
+// tables wholesale: a WorldMutationLog journals every mutation the engine
+// did not perform itself, and the journal replays as exact O(1)-per-entry
+// deltas before the next sampled step (a full rebuild only happens if the
+// journal overflows, e.g. after a long naive-fallback phase).
+//
+// Leap mode ("census-leap" in the engine registry) batches K draws per
+// alias refresh: at batch start the weights are exact and the table is
+// freshly snapshotted; during the batch, draws reuse the frozen table and
+// frozen total W0, skipping all weight maintenance. One encounter changes
+// the effectiveness triple of at most the 2n-3 pairs containing one of its
+// endpoints, so |W - W0| <= k * (2n - 3) after k batched draws; choosing
+// K = staleness * W0 / (2n) keeps every within-batch sampling probability
+// within the configured relative staleness bound of exact. Batches abort
+// to exact sampling when a frozen draw lands on a class whose multiplicity
+// has dried up, and leap falls back to exact census stepping entirely
+// while K < 2 (small n or near-quiescent tails) -- so at small populations
+// census-leap *is* census.
+//
 // Exactness boundaries (the engine falls back -- one stderr note, never a
 // throw -- to the inherited naive per-step semantics):
 //   * a non-uniform scheduler supplied at construction: the census
@@ -34,16 +64,14 @@
 //   * an installed StepInterceptor (fault injection): hooks must observe
 //     every step, which skipping contradicts. Census sampling resumes when
 //     the interceptor is cleared (skipping is memoryless, so resuming
-//     mid-run stays exact).
-// External world mutation through mutable_world() (custom initializers,
-// fault bursts) invalidates the census tables; they rebuild lazily before
-// the next sampled step.
+//     mid-run stays exact), replaying the fault phase's mutations from the
+//     journal when it fits.
 #pragma once
 
 #include "core/simulator.hpp"
 
 #include <cstdint>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 namespace netcons {
@@ -61,18 +89,47 @@ struct EffectiveClass {
 /// table-agreement tests (tests/core/test_engine.cpp).
 [[nodiscard]] std::vector<EffectiveClass> effective_state_classes(const Protocol& protocol);
 
+/// Tuning for the batched leap mode. `staleness` bounds the relative drift
+/// of any within-batch sampling weight from exact: a batch holds
+/// K = min(max_batch, staleness * W0 / (2n)) draws against the frozen
+/// table, which is conservative because one encounter changes the triple
+/// of at most 2n - 3 unordered pairs. K < 2 means exact census stepping.
+struct CensusLeapOptions {
+  bool enabled = false;
+  double staleness = 0.05;
+  std::uint32_t max_batch = 4096;
+};
+
 class CensusEngine final : public Simulator {
  public:
+  /// Internals counters surfaced by publish_metrics (single-threaded: an
+  /// engine lives on one worker thread; the registry does the cross-thread
+  /// merging). Exposed for the delta-vs-rebuild and leap unit tests.
+  struct Stats {
+    std::uint64_t full_rebuilds = 0;      ///< Full census-table rebuilds.
+    std::uint64_t delta_updates = 0;      ///< Journal entries replayed as O(1) deltas.
+    std::uint64_t alias_rebuilds = 0;     ///< Alias-table re-snapshots.
+    std::uint64_t geometric_skips = 0;    ///< Ineffective steps skipped wholesale.
+    std::uint64_t effective_samples = 0;  ///< Census-sampled effective encounters.
+    std::uint64_t leap_batches = 0;       ///< Frozen-table batches opened.
+    std::uint64_t leap_batched_steps = 0; ///< Draws served from a frozen table.
+    std::uint64_t leap_exact_steps = 0;   ///< Leap-mode draws served exactly (K < 2).
+    std::uint64_t leap_aborts = 0;        ///< Batches aborted on a dried-up class.
+  };
+
   /// Census sampling assumes the uniform random scheduler (the default,
   /// also recognized when passed explicitly). Supplying any non-uniform
   /// scheduler triggers the naive fallback for the engine's whole lifetime.
   CensusEngine(Protocol protocol, int n, std::uint64_t seed,
-               std::unique_ptr<Scheduler> scheduler = nullptr);
+               std::unique_ptr<Scheduler> scheduler = nullptr, CensusLeapOptions leap = {});
 
-  [[nodiscard]] const char* engine_name() const noexcept override { return "census"; }
+  [[nodiscard]] const char* engine_name() const noexcept override {
+    return leap_.enabled ? "census-leap" : "census";
+  }
 
-  /// External mutation invalidates the census tables; rebuilt lazily.
-  [[nodiscard]] World& mutable_world() noexcept override;
+  /// External mutations are journaled (WorldMutationLog) and replayed as
+  /// exact deltas before the next sampled step.
+  [[nodiscard]] World& mutable_world() noexcept override { return Simulator::mutable_world(); }
 
   /// A non-null interceptor switches to exact per-step execution (with a
   /// one-line stderr note, once per process); clearing it resumes census
@@ -86,10 +143,12 @@ class CensusEngine final : public Simulator {
   [[nodiscard]] ConvergenceReport run_until_stable(const StabilityOptions& options) override;
   using Engine::run_until_stable;
 
-  /// O(1) while the census tables are fresh; otherwise the inherited
-  /// O(n^2) scan (a const method cannot rebuild the tables).
+  /// O(1) while the census tables and weights are fresh; otherwise the
+  /// inherited O(n^2) scan (a const method cannot replay the journal).
   [[nodiscard]] bool is_quiescent() const override {
-    if (!tables_dirty_ && weight_valid_) return cached_weight_ == 0;
+    if (!tables_dirty_ && !weights_stale_ && log_.clean() && leap_remaining_ == 0) {
+      return total_weight_ == 0;
+    }
     return Simulator::is_quiescent();
   }
 
@@ -100,96 +159,206 @@ class CensusEngine final : public Simulator {
   }
 
   /// Total multiplicity W of effective pairs in the current configuration
-  /// (rebuilds the tables if stale). W == 0 iff the configuration is
-  /// quiescent -- the O(1) form of Engine::is_quiescent.
+  /// (replays the journal / refreshes weights if stale; ends any open leap
+  /// batch). W == 0 iff the configuration is quiescent -- the O(1) form of
+  /// Engine::is_quiescent.
   [[nodiscard]] std::uint64_t effective_pair_weight();
 
-  /// Publishes the inherited engine.* counters plus census.rebuilds /
-  /// census.geometric_skips / census.effective_samples and the
-  /// census.bucket_occupancy histogram (active-edge bucket sizes over the
-  /// current configuration; sampled 1-in-8 publishes to keep per-trial
-  /// cost inside the telemetry overhead budget, and omitted while the
-  /// naive fallback is active, when the tables may be stale).
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CensusLeapOptions& leap_options() const noexcept { return leap_; }
+
+  /// Publishes the inherited engine.* counters plus the census.* family
+  /// (full_rebuilds / delta_updates / alias_rebuilds / geometric_skips /
+  /// effective_samples, the census.leap.* batch counters when leap mode is
+  /// on) and the census.bucket_occupancy histogram (active-edge bucket
+  /// sizes over the current configuration; sampled 1-in-8 publishes to
+  /// keep per-trial cost inside the telemetry overhead budget, and omitted
+  /// while the naive fallback is active, when the tables may be stale).
   void publish_metrics(telemetry::Registry& registry) override;
+
+  // --- Test hooks (deterministic, but not part of the engine contract) ---
+
+  /// One class draw against the current weights via the alias/mixture
+  /// sampler; returns an index into debug_classes(). Ends any open batch.
+  [[nodiscard]] std::size_t debug_draw_class();
+  /// The effective classes, after syncing the tables.
+  [[nodiscard]] const std::vector<EffectiveClass>& debug_classes();
+  /// Current per-class weights (same order as debug_classes()).
+  [[nodiscard]] std::vector<std::uint64_t> debug_class_weights();
+  /// Canonical text rendering of the census tables (sorted node lists,
+  /// sorted bucket edge lists, class weights) -- identical strings iff the
+  /// tables describe the same configuration, regardless of the swap-remove
+  /// history that produced them.
+  [[nodiscard]] std::string debug_table_snapshot();
+  /// Discard the tables and rebuild from the world (for equivalence tests).
+  void debug_force_full_rebuild();
 
  private:
   struct BucketEdge {
     int u = 0;
     int v = 0;
+    std::uint32_t slot = 0xffffffffu;  ///< kNoSlot unless drawn from a bucket.
   };
 
-  /// One tracked active edge: its endpoints, the normalized state pair of
-  /// the bucket it currently lives in, and its positions in that bucket and
-  /// in both endpoints' adjacency lists (all swap-removable in O(1)).
-  struct EdgeRec {
-    int u = 0;
-    int v = 0;
-    StateId ba = 0;
-    StateId bb = 0;
-    std::uint32_t bucket_pos = 0;
-    std::uint32_t pos_u = 0;
-    std::uint32_t pos_v = 0;
+  enum class StepOutcome : std::uint8_t {
+    kExecuted,         ///< One effective encounter executed.
+    kBudgetExhausted,  ///< Next effective step falls beyond the budget.
+    kQuiescent         ///< W == 0; the clock did not move.
   };
 
-  void mark_dirty() noexcept {
-    tables_dirty_ = true;
-    weight_valid_ = false;
-  }
-  void ensure_tables();
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // --- table lifecycle ---
   void rebuild_tables();
+  /// Bring the tables in line with the world: full rebuild if flagged or
+  /// the journal overflowed, otherwise exact per-entry journal replay.
+  void sync_tables();
+  void apply_log_entry(const WorldMutationLog::Entry& entry);
+  /// Recompute every class weight from the tables (post-batch, post-sync).
+  void refresh_weights();
 
-  [[nodiscard]] std::size_t bucket_key(StateId a, StateId b) const noexcept;
+  // --- SoA edge store ---
+  [[nodiscard]] std::uint32_t bucket_key(StateId a, StateId b) const noexcept;
   [[nodiscard]] std::uint64_t class_multiplicity(const EffectiveClass& cls) const noexcept;
-
   void insert_edge(int u, int v);
-  void erase_edge(std::size_t key);
+  void erase_edge(std::uint32_t slot);
   /// Move an edge to the bucket of its endpoints' *current* states after a
   /// state change (adjacency positions are untouched).
-  void rebucket_edge(std::size_t key);
+  void rebucket_edge(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t find_edge_slot(int u, int v) const noexcept;
   void node_list_move(int u, StateId from, StateId to);
+  void node_list_remove(int u, StateId from);
 
-  /// Geometric number of ineffective steps before the next effective one
-  /// (success probability p in (0, 1]).
+  // --- alias table / weight maintenance ---
+  /// Recompute one class's weight and fold the change into the running
+  /// total, the dirty log, and the surplus term. No-op while a leap batch
+  /// has the weights wholesale-stale.
+  void touch_class(std::uint32_t ci);
+  void touch_state_classes(StateId q);
+  void rebuild_alias();
+  [[nodiscard]] bool alias_rebuild_due() const noexcept;
+  /// Draw ~ snapshot weights (frozen-table path; requires alias_built_).
+  [[nodiscard]] std::size_t alias_only_draw();
+  /// Draw ~ *current* weights, exactly (mixture + rejection over the
+  /// alias proposal). Requires fresh weights and total_weight_ > 0.
+  [[nodiscard]] std::size_t draw_class();
+
+  // --- stepping ---
   [[nodiscard]] std::uint64_t geometric_skips(double p);
-
   /// Pick a concrete unordered pair uniformly within the class.
   [[nodiscard]] BucketEdge sample_pair(const EffectiveClass& cls, std::uint64_t multiplicity);
-
   /// One census-sampled step, never advancing the clock past `budget`.
-  /// Returns true if an effective encounter was executed; false when the
-  /// next effective step falls beyond the budget (the clock then rests at
-  /// `budget`, and the discarded geometric tail is redrawn later -- exact
-  /// by memorylessness). Requires non-zero effective weight.
-  bool census_step(std::uint64_t budget);
-
-  /// Apply the encounter and incrementally repair the census tables.
-  void execute_and_update(int u, int v);
+  /// Memoryless: a kBudgetExhausted tail is redrawn by the next call.
+  StepOutcome census_step(std::uint64_t budget);
+  /// Apply the encounter and incrementally repair tables and weights.
+  /// `slot_hint` is the pair's edge slot when the caller already knows it
+  /// (a bucket draw), kNoSlot to look it up here.
+  void execute_and_update(int u, int v, std::uint32_t slot_hint);
+  [[nodiscard]] std::uint32_t leap_batch_size(std::uint64_t weight) const noexcept;
+  void end_leap_batch() noexcept { leap_remaining_ = 0; }
 
   bool custom_scheduler_ = false;
   bool interceptor_installed_ = false;
   bool tables_dirty_ = true;
-  // Internals counters surfaced by publish_metrics (single-threaded: an
-  // engine lives on one worker thread; the registry does the cross-thread
-  // merging).
-  std::uint64_t rebuilds_ = 0;           ///< Full census-table rebuilds.
-  std::uint64_t geometric_skipped_ = 0;  ///< Ineffective steps skipped wholesale.
-  std::uint64_t effective_samples_ = 0;  ///< Census-sampled effective encounters.
-  /// Cached per-class multiplicities + their sum, recomputed once per
-  /// configuration change (effective step, rebuild, external mutation).
-  bool weight_valid_ = false;
-  std::uint64_t cached_weight_ = 0;
-  std::vector<std::uint64_t> class_mults_;
+  /// True while per-class weights are wholesale-stale (during a leap batch
+  /// and until the first refresh after it); total_weight_ is then invalid.
+  bool weights_stale_ = true;
+  bool alias_built_ = false;
+
+  Stats stats_;
+  CensusLeapOptions leap_;
+  std::uint32_t leap_remaining_ = 0;
+  std::uint64_t leap_frozen_weight_ = 0;
+
+  WorldMutationLog log_;
 
   std::vector<EffectiveClass> classes_;
-  std::vector<std::vector<int>> nodes_by_state_;
-  std::vector<int> node_pos_;
-  /// Active-edge buckets keyed by unordered state pair (bucket_key); each
-  /// holds Graph::pair_index keys into edges_.
-  std::vector<std::vector<std::size_t>> edge_buckets_;
-  /// Per-node incident active-edge keys, so a state change rebuckets the
-  /// node's edges in O(degree) instead of an O(n) scan.
-  std::vector<std::vector<std::size_t>> adj_;
-  std::unordered_map<std::size_t, EdgeRec> edges_;
+  /// classes_by_state_[q] = indices of classes whose (a, b) contains q; a
+  /// transition touching states S can only change weights of classes with
+  /// a state in S, so these lists drive the dirty marking.
+  std::vector<std::vector<std::uint32_t>> classes_by_state_;
+
+  std::vector<std::uint64_t> weight_;
+  std::uint64_t total_weight_ = 0;
+
+  // Alias snapshot (integer Vose: per-column own-token height out of
+  // snapshot_total_) plus the dirty log that keeps draws exact between
+  // re-snapshots.
+  std::vector<std::uint64_t> snapshot_;
+  std::uint64_t snapshot_total_ = 0;
+  std::vector<std::uint64_t> alias_height_;
+  std::vector<std::uint32_t> alias_other_;
+  std::vector<std::uint32_t> dirty_;
+  std::vector<std::uint8_t> class_dirty_;
+  std::uint64_t surplus_total_ = 0;
+
+  std::vector<std::vector<std::int32_t>> nodes_by_state_;
+  std::vector<std::int32_t> node_pos_;
+
+  // Flat edge store: one packed 24-byte record per active edge (endpoints,
+  // bucket id, and the three back-pointers that make every removal a
+  // swap-remove). Packing matters: edge operations read several attributes
+  // of a *random* slot together, so one record is one cache line where
+  // parallel per-attribute arrays would be six.
+  struct EdgeSlot {
+    std::int32_t u = 0;  ///< Smaller endpoint.
+    std::int32_t v = 0;  ///< Larger endpoint.
+    std::uint32_t bucket = 0;
+    std::uint32_t bucket_pos = 0;
+    std::uint32_t pos_u = 0;
+    std::uint32_t pos_v = 0;
+  };
+  std::vector<EdgeSlot> edges_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  ///< Slot ids per state-pair key.
+
+  // Per-node incident-slot lists, hybrid layout: the first kInlineAdj
+  // entries of node u's list live in the flat adj_inline_ array (one cache
+  // line, no pointer chase -- the paper's protocols keep degrees tiny) and
+  // only entries past that spill into adj_over_[u]. Positions are
+  // contiguous across the two.
+  static constexpr std::uint32_t kInlineAdj = 4;
+  std::vector<std::uint32_t> adj_inline_;  ///< kInlineAdj entries per node.
+  std::vector<std::uint32_t> adj_len_;
+  std::vector<std::vector<std::uint32_t>> adj_over_;
+
+  [[nodiscard]] std::uint32_t adj_at(int u, std::uint32_t pos) const noexcept {
+    return pos < kInlineAdj
+               ? adj_inline_[static_cast<std::size_t>(u) * kInlineAdj + pos]
+               : adj_over_[static_cast<std::size_t>(u)][pos - kInlineAdj];
+  }
+  void adj_put(int u, std::uint32_t pos, std::uint32_t slot) noexcept {
+    if (pos < kInlineAdj) {
+      adj_inline_[static_cast<std::size_t>(u) * kInlineAdj + pos] = slot;
+    } else {
+      adj_over_[static_cast<std::size_t>(u)][pos - kInlineAdj] = slot;
+    }
+  }
+  /// Append `slot` to u's list; returns its position.
+  std::uint32_t adj_push(int u, std::uint32_t slot) {
+    const std::uint32_t pos = adj_len_[static_cast<std::size_t>(u)]++;
+    if (pos < kInlineAdj) {
+      adj_inline_[static_cast<std::size_t>(u) * kInlineAdj + pos] = slot;
+    } else {
+      adj_over_[static_cast<std::size_t>(u)].push_back(slot);
+    }
+    return pos;
+  }
+  /// Swap-remove position `pos` from u's list, fixing the moved slot's
+  /// back-pointer through `edges_`.
+  void adj_swap_remove(int u, std::uint32_t pos) noexcept {
+    const std::uint32_t last = --adj_len_[static_cast<std::size_t>(u)];
+    if (pos != last) {
+      const std::uint32_t moved = adj_at(u, last);
+      adj_put(u, pos, moved);
+      if (edges_[moved].u == u) {
+        edges_[moved].pos_u = pos;
+      } else {
+        edges_[moved].pos_v = pos;
+      }
+    }
+    if (last >= kInlineAdj) adj_over_[static_cast<std::size_t>(u)].pop_back();
+  }
 };
 
 }  // namespace netcons

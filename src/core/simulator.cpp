@@ -31,9 +31,15 @@ bool Simulator::execute_encounter(int u, int v) {
   if (world_.dead_count() != 0 && (!world_.alive(u) || !world_.alive(v))) {
     return false;
   }
+  return execute_encounter(u, v, world_.edge(u, v));
+}
+
+bool Simulator::execute_encounter(int u, int v, bool c) {
+  if (world_.dead_count() != 0 && (!world_.alive(u) || !world_.alive(v))) {
+    return false;
+  }
   const StateId a = world_.state(u);
   const StateId b = world_.state(v);
-  const bool c = world_.edge(u, v);
   const auto resolved = protocol_.resolve(a, b, c);
   if (resolved.rule == nullptr || !resolved.rule->effective) return false;
 
@@ -47,7 +53,6 @@ bool Simulator::execute_encounter(int u, int v) {
 void Simulator::apply(const RuleEntry& rule, int initiator, int responder) {
   const StateId a = world_.state(initiator);
   const StateId b = world_.state(responder);
-  const bool c = world_.edge(initiator, responder);
 
   // PREL branch choice (probability 1/2 each), then the model's inherent
   // symmetry-breaking coin: when a == b and the chosen outcome has a' != b',
@@ -77,8 +82,6 @@ void Simulator::apply(const RuleEntry& rule, int initiator, int responder) {
   if (membership_changed || output_edge_changed || output_edge_changed_before) {
     last_output_change_ = steps_;
   }
-
-  (void)c;
 }
 
 void Simulator::run(std::uint64_t count) {

@@ -93,6 +93,9 @@ class Simulator : public Engine {
   /// Returns true if it was effective. Does NOT touch the step counter or
   /// the interceptor; callers account for the step themselves.
   bool execute_encounter(int u, int v);
+  /// As above with the caller-known current edge state of {u, v}, sparing
+  /// the probe when an engine's own tables already answer it.
+  bool execute_encounter(int u, int v, bool c);
 
   /// Advance the step clock by `count` interactions without executing them.
   void skip_steps(std::uint64_t count) noexcept { steps_ += count; }

@@ -29,6 +29,16 @@ def overhead_doc(throughput, overhead=None):
     return document
 
 
+def scaling_doc(points):
+    """points: {n: ns_per_effective} for a single census curve."""
+    return {"bench": "engine_scaling",
+            "scaling_curve": {"census_ns_per_effective":
+                              {f"n_{n}": value for n, value in points.items()}}}
+
+
+FLAT_CURVE = {256: 170.0, 1024: 160.0, 16384: 220.0, 65536: 290.0}
+
+
 class CompareBenchTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory(prefix="netcons_compare_bench_")
@@ -75,11 +85,12 @@ class CompareBenchTest(unittest.TestCase):
         self.assertNotIn("Traceback", result.stderr)
 
     def test_schema_mismatched_baseline_is_status_3(self):
-        # Valid JSON, but nothing under a "throughput" or "overhead" object.
+        # Valid JSON, but nothing under a "throughput", "overhead", or
+        # "scaling_curve" object.
         result = self.run_compare(self.write("base.json", {"other_schema": [1, 2, 3]}),
                                   self.write("cur.json", bench_doc(100.0)))
         self.assertEqual(result.returncode, 3)
-        self.assertIn("no throughput or overhead metrics", result.stderr)
+        self.assertIn("no throughput, overhead, or scaling metrics", result.stderr)
 
     def test_missing_current_is_status_2(self):
         result = self.run_compare(self.write("base.json", bench_doc(100.0)),
@@ -133,6 +144,62 @@ class CompareBenchTest(unittest.TestCase):
                                   self.write("cur.json", overhead_doc(100.0, 0.025)),
                                   "--overhead-threshold", "0.005")
         self.assertEqual(result.returncode, 1)
+
+    def test_flat_scaling_curve_within_point_threshold_passes(self):
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(
+                                      {n: v * 1.10 for n, v in FLAT_CURVE.items()})))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_scaling_point_regression_fails(self):
+        slower_top = dict(FLAT_CURVE)
+        slower_top[16384] = FLAT_CURVE[16384] * 1.40  # > 25% slower at one n
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(slower_top)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("n_16384", result.stdout)
+
+    def test_scaling_point_improvement_never_fails(self):
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(
+                                      {n: v * 0.5 for n, v in FLAT_CURVE.items()})))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_unflat_current_curve_fails_even_without_a_baseline(self):
+        # The acceptance bar (largest n <= 2x the n_1024 point) binds on the
+        # first night too, when the baseline is yet to be seeded.
+        steep = dict(FLAT_CURVE)
+        steep[65536] = FLAT_CURVE[1024] * 2.5
+        result = self.run_compare(self.root / "does-not-exist.json",
+                                  self.write("cur.json", scaling_doc(steep)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("flat-curve gate", result.stdout)
+
+    def test_flat_factor_flag_is_respected(self):
+        result = self.run_compare(self.root / "does-not-exist.json",
+                                  self.write("cur.json", scaling_doc(FLAT_CURVE)),
+                                  "--flat-factor", "1.5")
+        self.assertEqual(result.returncode, 1)  # 290/160 = 1.81 > 1.5
+
+    def test_scaling_only_baseline_is_not_a_schema_mismatch(self):
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(FLAT_CURVE)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_dropping_the_largest_n_point_fails(self):
+        shrunk = {n: v for n, v in FLAT_CURVE.items() if n != 65536}
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(shrunk)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("largest point n_65536", result.stdout)
+
+    def test_dropping_a_middle_point_only_reports_missing(self):
+        shrunk = {n: v for n, v in FLAT_CURVE.items() if n != 16384}
+        result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),
+                                  self.write("cur.json", scaling_doc(shrunk)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("MISSING", result.stdout)
 
 
 if __name__ == "__main__":

@@ -12,15 +12,29 @@ families are recognized, anywhere in the document:
   * every numeric under an "overhead" object is lower-is-better; the gate
     fails if a current value exceeds its baseline by more than
     --overhead-threshold (default 0.02, absolute -- overheads are small
-    fractions, where relative comparison would amplify noise).
+    fractions, where relative comparison would amplify noise);
+  * a "scaling_curve" object (bench_engine_speedup --scaling) holds one
+    object per curve whose keys are "n_<population>" points and whose
+    values are ns per effective interaction, e.g.
 
-Metrics present in only one of the two files are reported but never fail
-the gate, so adding a new bench (or a new metric family) does not brick CI
-on its first night -- older baselines without "overhead" objects simply
-report the new metrics as NEW.
+        {"scaling_curve": {"census_ns_per_effective":
+            {"n_256": 160.1, ..., "n_65536": 290.4}}}
+
+    Each point is lower-is-better and gated relatively at --threshold,
+    AND two structural checks apply: the current document's own curves
+    must be flat (largest-n point at most --flat-factor times the n_1024
+    point, the paper-scaling acceptance bar -- enforced even on the first
+    night, when there is no baseline), and the baseline's largest-n point
+    must still exist in the current run (a sweep that silently shrinks
+    its top population is a failure, not a MISSING notice).
+
+Other metrics present in only one of the two files are reported but never
+fail the gate, so adding a new bench (or a new metric family) does not
+brick CI on its first night -- older baselines without "overhead" objects
+simply report the new metrics as NEW.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
-           [--overhead-threshold 0.02]
+           [--overhead-threshold 0.02] [--flat-factor 2.0]
 
 Exit status:
     0  within threshold
@@ -66,6 +80,77 @@ def overhead_metrics(document, prefix=""):
     return tagged_metrics(document, "overhead", prefix)
 
 
+def scaling_metrics(document, prefix=""):
+    """ns-per-effective points under any "scaling_curve" object.
+
+    One level deeper than the flat families: scaling_curve -> curve name ->
+    n_<population> -> value, flattened to "<path>.<curve>.n_<population>".
+    """
+    metrics = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key == "scaling_curve" and isinstance(value, dict):
+                for curve, points in value.items():
+                    if not isinstance(points, dict):
+                        continue
+                    for name, metric in points.items():
+                        if isinstance(metric, (int, float)) and not isinstance(metric, bool):
+                            metrics[f"{path}.{curve}.{name}"] = float(metric)
+            else:
+                metrics.update(scaling_metrics(value, path))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            metrics.update(scaling_metrics(value, f"{prefix}[{index}]"))
+    return metrics
+
+
+def curve_points(scaling):
+    """Group flattened scaling metrics as {curve_path: {n: value}}."""
+    curves = {}
+    for name, value in scaling.items():
+        head, _, tail = name.rpartition(".n_")
+        try:
+            n = int(tail)
+        except ValueError:
+            continue
+        curves.setdefault(head, {})[n] = value
+    return curves
+
+
+def flat_curve_failures(scaling, flat_factor, reference_n=1024):
+    """Curves whose largest-n point exceeds flat_factor x the reference.
+
+    The reference is the n_1024 point when the sweep covers it (the
+    acceptance bar is stated against n = 2^10), else the smallest n.
+    """
+    failures = []
+    for curve, points in sorted(curve_points(scaling).items()):
+        if len(points) < 2:
+            continue
+        top_n = max(points)
+        ref_n = reference_n if reference_n in points else min(points)
+        ref, top = points[ref_n], points[top_n]
+        if ref > 0 and top > ref * flat_factor:
+            failures.append(f"{curve}: n_{top_n} is {top / ref:.2f}x the n_{ref_n} "
+                            f"point (flat-curve gate {flat_factor:.1f}x)")
+    return failures
+
+
+def shrunk_sweep_failures(baseline_scaling, current_scaling):
+    """Baseline curves whose largest-n point vanished from the current run."""
+    current_curves = curve_points(current_scaling)
+    failures = []
+    for curve, points in sorted(curve_points(baseline_scaling).items()):
+        top_n = max(points)
+        if curve not in current_curves:
+            failures.append(f"{curve}: the whole curve is gone from the current run")
+        elif top_n not in current_curves[curve]:
+            failures.append(f"{curve}: baseline's largest point n_{top_n} is gone "
+                            f"(current sweep tops out at n_{max(current_curves[curve])})")
+    return failures
+
+
 def compare_family(baseline, current, *, regressed, describe):
     """Print one family's comparison; return the regressed metric names."""
     regressions = []
@@ -95,6 +180,9 @@ def main():
     parser.add_argument("--overhead-threshold", type=float, default=0.02,
                         help="maximum tolerated absolute increase of an overhead "
                              "metric (default 0.02)")
+    parser.add_argument("--flat-factor", type=float, default=2.0,
+                        help="maximum tolerated ratio of a scaling curve's largest-n "
+                             "point over its n_1024 reference (default 2.0)")
     args = parser.parse_args()
 
     # The current document is this run's output: failing to read it is a
@@ -105,6 +193,17 @@ def main():
     except (OSError, json.JSONDecodeError) as error:
         print(f"compare_bench: cannot read current metrics: {error}", file=sys.stderr)
         return 2
+
+    # The flat-curve gate judges the current run on its own -- it must hold
+    # on the very first night too, when there is no baseline to diff against.
+    current_scaling = scaling_metrics(current_doc)
+    flat_failures = flat_curve_failures(current_scaling, args.flat_factor)
+    for failure in flat_failures:
+        print(f"  REGRESSION {failure}")
+    if flat_failures:
+        print(f"compare_bench: {len(flat_failures)} scaling curve(s) violate the "
+              "flat-curve gate", file=sys.stderr)
+        return 1
 
     # The baseline comes from a cache that may be absent (first run), stale,
     # or written by an older schema. None of those are this run's fault:
@@ -118,10 +217,11 @@ def main():
         return 3
     baseline_throughput = throughput_metrics(baseline_doc)
     baseline_overhead = overhead_metrics(baseline_doc)
-    if not baseline_throughput and not baseline_overhead:
-        print(f"compare_bench: baseline {args.baseline} has no throughput or overhead "
-              "metrics (schema mismatch?); this run should seed a fresh baseline",
-              file=sys.stderr)
+    baseline_scaling = scaling_metrics(baseline_doc)
+    if not baseline_throughput and not baseline_overhead and not baseline_scaling:
+        print(f"compare_bench: baseline {args.baseline} has no throughput, overhead, "
+              "or scaling metrics (schema mismatch?); this run should seed a fresh "
+              "baseline", file=sys.stderr)
         return 3
 
     regressions = compare_family(
@@ -132,6 +232,14 @@ def main():
         baseline_overhead, overhead_metrics(current_doc),
         regressed=lambda base, cur: cur > base + args.overhead_threshold,
         describe=lambda base, cur: f"{cur - base:+.4f} absolute")
+    regressions += compare_family(
+        baseline_scaling, current_scaling,
+        regressed=lambda base, cur: base > 0 and cur > base * (1.0 + args.threshold),
+        describe=lambda base, cur: f"{(cur - base) / base:+.1%}" if base > 0 else "n/a")
+    shrunk = shrunk_sweep_failures(baseline_scaling, current_scaling)
+    for failure in shrunk:
+        print(f"  REGRESSION {failure}")
+    regressions += shrunk
 
     if regressions:
         print(f"compare_bench: {len(regressions)} metric(s) regressed beyond the gate: "
