@@ -338,6 +338,7 @@ CampaignResult run(const CampaignSpec& spec, const RunOptions& options) {
     for (int t = 0; t < trials; ++t) {
       if (filled[slot_of(p, t)]) continue;
       if (!in_shard(p, t, trials, shard_index, shard_count)) continue;
+      if (options.select && !options.select(p, t)) continue;
       tasks.push_back(Task{p, t});
     }
   }

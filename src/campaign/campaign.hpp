@@ -204,6 +204,12 @@ struct RunOptions {
   /// slots are filled without re-executing. Keys outside the grid are
   /// ignored. Not owned; must outlive run().
   const OutcomeMap* resume = nullptr;
+  /// Optional slot filter: when set, only (point, trial) slots for which it
+  /// returns true are scheduled this run (composes with shard striping and
+  /// resume skips — a filtered-out slot is simply not this run's work).
+  /// This is how a fabric worker executes a lease: one run() per leased
+  /// trial range, selecting exactly those slots.
+  std::function<bool(std::size_t point, int trial)> select;
   /// Optional progress callback, invoked from worker threads after each
   /// completed job with (executed_trials, trials_scheduled_this_run) —
   /// resumed and out-of-shard trials are not scheduled, so the total

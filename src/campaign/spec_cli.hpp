@@ -1,0 +1,62 @@
+// Shared campaign-spec CLI vocabulary: every tool that declares a campaign
+// grid from flags (netcons_campaign, netcons_coord, netcons_worker) parses
+// the same --protocols/--processes/--ns/... flag set through this one
+// implementation. That sameness is load-bearing for the fabric: the
+// coordinator and its workers independently build CampaignSpec from their
+// command lines, and the fingerprint handshake (hello / header_mismatch)
+// only ever compares what these functions produced.
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "campaign/registry.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons::campaign {
+
+/// The raw spec flags, before registry lookups.
+struct SpecCli {
+  std::vector<std::string> protocols;
+  std::vector<std::string> processes;
+  std::vector<std::string> schedulers;
+  std::vector<std::string> faults;
+  std::vector<std::string> engines;
+  std::vector<int> ns;
+  int trials = 20;
+  std::uint64_t seed = 1;
+  ProtocolParams params;
+};
+
+/// Strict base-10 integer parse: the whole token must be a number in
+/// range (no silent truncation or saturation). Shared by the tool CLIs.
+[[nodiscard]] std::optional<long long> parse_ll(const std::string& text);
+[[nodiscard]] std::optional<int> parse_i(const std::string& text);
+
+/// Split "a,b,c" into tokens, dropping empties.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& text);
+
+/// Try to consume argv[i] as a spec flag (advancing i past its value).
+/// Returns 1 when consumed, 0 when argv[i] is not a spec flag, -1 on a
+/// malformed value (diagnostic already printed to stderr).
+[[nodiscard]] int consume_spec_flag(SpecCli& cli, int argc, char** argv, int& i);
+
+/// The spec-flag lines of a usage/--help message (each line indented two
+/// spaces and newline-terminated).
+[[nodiscard]] std::string spec_usage();
+
+/// Print every registered name the spec flags accept (protocols,
+/// processes, schedulers, engines, fault-plan examples + grammar) — the
+/// body of --list, shared so every spec-declaring tool can offer it.
+void print_registry(std::ostream& out);
+
+/// Resolve names against the registries ("all" expands to every registered
+/// protocol/process) and assemble the CampaignSpec. nullopt on unknown
+/// names or an empty grid, with a diagnostic on stderr naming what IS
+/// registered.
+[[nodiscard]] std::optional<CampaignSpec> build_spec(const SpecCli& cli);
+
+}  // namespace netcons::campaign

@@ -1,0 +1,280 @@
+#include "fabric/coordinator.hpp"
+
+#include "fabric/frame.hpp"
+#include "fabric/messages.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <iostream>
+#include <list>
+#include <utility>
+#include <vector>
+
+namespace netcons::fabric {
+
+namespace {
+
+/// One accepted connection. `worker` stays 0 until a valid hello.
+struct Connection {
+  Socket socket;
+  FrameBuffer frames;
+  int worker = 0;
+  bool closing = false;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(campaign::CampaignHeader header, const campaign::OutcomeMap* resume,
+                         CoordinatorOptions options)
+    : header_(std::move(header)), resume_(resume), options_(std::move(options)) {}
+
+CoordinatorSummary Coordinator::serve() {
+  using Clock = CoordinatorCore::Clock;
+  using std::chrono::duration;
+  using std::chrono::duration_cast;
+
+  CoreOptions core_options;
+  core_options.lease_size = options_.lease_size;
+  core_options.deadline = duration_cast<Clock::duration>(duration<double>(
+      options_.deadline_seconds > 0.0 ? options_.deadline_seconds : 1e9));
+  CoordinatorCore core(header_.points.size(), header_.trials, core_options);
+  if (resume_ != nullptr) {
+    for (const auto& [key, outcome] : *resume_) core.precommit(key.first, key.second);
+  }
+
+  Socket listener = listen_on(options_.host, options_.port);
+  const int port = local_port(listener);
+  // Orchestrators parse this line to learn a kernel-assigned port.
+  std::cout << "netcons_coord listening on " << options_.host << ":" << port << "\n"
+            << std::flush;
+
+  std::list<Connection> connections;
+  const auto started = Clock::now();
+  auto last_activity = started;
+  bool aborted = false;
+
+  const auto log = [&](const std::string& line) {
+    if (!options_.quiet) std::fprintf(stderr, "[coord] %s\n", line.c_str());
+  };
+
+  const auto send = [&](Connection& connection, const Message& message) {
+    if (!write_frame(connection.socket.fd(), message.encode())) connection.closing = true;
+  };
+
+  // Handle one decoded frame; true to keep the connection open.
+  const auto handle = [&](Connection& connection, const Message& message,
+                          Clock::time_point now) -> bool {
+    if (connection.worker == 0) {
+      if (message.type != Message::Type::kHello) {
+        send(connection, Message::error("expected hello, got " +
+                                        std::string(type_name(message.type))));
+        return false;
+      }
+      campaign::CampaignHeader theirs;
+      try {
+        theirs = campaign::parse_header_line(message.text);
+      } catch (const std::exception& error) {
+        send(connection, Message::error(std::string("malformed hello header: ") +
+                                        error.what()));
+        return false;
+      }
+      const std::string mismatch = campaign::header_mismatch(header_, theirs);
+      if (!mismatch.empty()) {
+        send(connection, Message::error("campaign spec mismatch: " + mismatch));
+        return false;
+      }
+      connection.worker = core.connect(now);
+      send(connection, Message::welcome(connection.worker, options_.heartbeat_period_seconds,
+                                        options_.deadline_seconds));
+      log("worker " + std::to_string(connection.worker) + " joined (" +
+          std::to_string(message.threads) + " threads)");
+      return true;
+    }
+    switch (message.type) {
+      case Message::Type::kRequest: {
+        const auto lease = core.grant(connection.worker, now);
+        if (lease) {
+          send(connection, Message::grant(lease->id, lease->range.point, lease->range.begin,
+                                          lease->range.end));
+        } else if (core.done()) {
+          send(connection, Message::drain());
+          return false;  // the campaign is over for this worker
+        } else {
+          // Work exists but is all leased out; the worker re-requests, and
+          // the request doubles as its liveness signal while idle.
+          send(connection, Message::wait(250));
+        }
+        return true;
+      }
+      case Message::Type::kDone:
+        core.complete(connection.worker, message.lease, now);
+        return true;
+      case Message::Type::kHeartbeat:
+        core.heartbeat(connection.worker, now);
+        return true;
+      default:
+        send(connection, Message::error("unexpected " + std::string(type_name(message.type)) +
+                                        " from a worker"));
+        return false;
+    }
+  };
+
+  while (!core.done()) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener.fd(), POLLIN, 0});
+    for (const Connection& connection : connections) {
+      fds.push_back(pollfd{connection.socket.fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0 && errno != EINTR) break;
+    const auto now = Clock::now();
+
+    if (fds[0].revents & POLLIN) {
+      Socket accepted = accept_on(listener);
+      if (accepted.valid()) {
+        set_nonblocking(accepted);
+        connections.push_back(Connection{std::move(accepted), {}, 0, false});
+        last_activity = now;
+      }
+    }
+
+    std::size_t index = 1;
+    for (auto it = connections.begin(); it != connections.end(); ++index) {
+      Connection& connection = *it;
+      bool open = !connection.closing;
+      if (open && (fds[index].revents & (POLLIN | POLLHUP | POLLERR))) {
+        char buffer[65536];
+        while (open) {
+          const ssize_t n = ::read(connection.socket.fd(), buffer, sizeof buffer);
+          if (n > 0) {
+            connection.frames.append(buffer, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          open = false;  // EOF or hard error: the worker is gone
+        }
+        try {
+          while (auto frame = connection.frames.pop()) {
+            last_activity = now;
+            if (!handle(connection, Message::decode(*frame), now)) {
+              open = false;
+              break;
+            }
+          }
+        } catch (const std::exception& error) {
+          log("dropping worker " + std::to_string(connection.worker) + ": " + error.what());
+          open = false;
+        }
+      }
+      if (!open || connection.closing) {
+        if (connection.worker != 0) {
+          core.disconnect(connection.worker);
+          log("worker " + std::to_string(connection.worker) + " disconnected");
+        }
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    for (const int dead : core.expire(now)) {
+      log("worker " + std::to_string(dead) + " missed its heartbeat deadline; leases requeued");
+      for (auto it = connections.begin(); it != connections.end();) {
+        if (it->worker == dead) {
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    if (options_.registry != nullptr) {
+      const CoordinatorCore::Stats& stats = core.stats();
+      telemetry::Registry& registry = *options_.registry;
+      registry.set("fabric.trials_total", static_cast<double>(core.total()));
+      registry.set("fabric.trials_committed", static_cast<double>(core.committed()));
+      registry.set("fabric.live_workers", static_cast<double>(core.live_workers()));
+      registry.set("fabric.pending_leases", static_cast<double>(core.pending()));
+      registry.set("fabric.outstanding_leases", static_cast<double>(core.outstanding()));
+      registry.set("fabric.workers_seen", static_cast<double>(stats.workers_seen));
+      registry.set("fabric.workers_dead", static_cast<double>(stats.workers_dead));
+      registry.set("fabric.leases_granted", static_cast<double>(stats.leases_granted));
+      registry.set("fabric.leases_completed", static_cast<double>(stats.leases_completed));
+      registry.set("fabric.leases_requeued", static_cast<double>(stats.leases_requeued));
+      registry.set("fabric.late_completions", static_cast<double>(stats.late_completions));
+      registry.set("fabric.duplicate_trials", static_cast<double>(stats.duplicate_trials));
+    }
+
+    if (!connections.empty()) last_activity = now;
+    if (options_.max_idle_seconds > 0.0 && connections.empty() &&
+        duration<double>(now - last_activity).count() > options_.max_idle_seconds) {
+      log("no workers for " + std::to_string(options_.max_idle_seconds) +
+          "s with work remaining; giving up");
+      aborted = true;
+      break;
+    }
+  }
+
+  // Let already-connected workers hear their drain instead of a reset: any
+  // request now answers drain (core.done() holds), and everyone who was
+  // mid-lease reports done first. Bounded by the liveness deadline.
+  if (!aborted) {
+    const auto drain_deadline =
+        Clock::now() + duration_cast<Clock::duration>(
+                           duration<double>(options_.deadline_seconds > 0.0
+                                                ? options_.deadline_seconds
+                                                : 5.0));
+    while (!connections.empty() && Clock::now() < drain_deadline) {
+      std::vector<pollfd> fds;
+      for (const Connection& connection : connections) {
+        fds.push_back(pollfd{connection.socket.fd(), POLLIN, 0});
+      }
+      if (::poll(fds.data(), fds.size(), 200) < 0 && errno != EINTR) break;
+      const auto now = Clock::now();
+      std::size_t index = 0;
+      for (auto it = connections.begin(); it != connections.end(); ++index) {
+        Connection& connection = *it;
+        bool open = !connection.closing;
+        if (open && (fds[index].revents & (POLLIN | POLLHUP | POLLERR))) {
+          char buffer[65536];
+          while (open) {
+            const ssize_t n = ::read(connection.socket.fd(), buffer, sizeof buffer);
+            if (n > 0) {
+              connection.frames.append(buffer, static_cast<std::size_t>(n));
+              continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            if (n < 0 && errno == EINTR) continue;
+            open = false;
+          }
+          try {
+            while (auto frame = connection.frames.pop()) {
+              if (!handle(connection, Message::decode(*frame), now)) {
+                open = false;
+                break;
+              }
+            }
+          } catch (const std::exception&) {
+            open = false;
+          }
+        }
+        it = open && !connection.closing ? std::next(it) : connections.erase(it);
+      }
+    }
+  }
+
+  CoordinatorSummary summary;
+  summary.complete = core.done();
+  summary.trials_total = core.total();
+  summary.trials_committed = core.committed();
+  summary.stats = core.stats();
+  summary.wall_seconds = duration<double>(Clock::now() - started).count();
+  return summary;
+}
+
+}  // namespace netcons::fabric

@@ -1,0 +1,80 @@
+// The fabric coordinator: one poll()-driven TCP server that owns the
+// campaign grid and hands out trial-range leases to however many workers
+// connect (tools/netcons_coord.cpp is a thin CLI over this).
+//
+// The coordinator never executes a trial and never touches records on
+// disk. Workers stream records through their own TrialRecordSinks exactly
+// as sharded runs do; the coordinator's only authority is *scheduling*:
+// which slots are committed, which ranges are outstanding, and which
+// workers are still alive. Correctness therefore reduces to the
+// CoordinatorCore invariants (fabric/lease.hpp) plus last-wins record
+// semantics — a worker SIGKILLed mid-lease costs at most that lease's
+// trials, re-executed elsewhere to bit-identical outcomes, and the merged
+// summary is byte-identical to a single-host run.
+//
+// Liveness: any frame from a worker refreshes its deadline; between
+// grants, the worker's CampaignMonitor heartbeats (forwarded verbatim as
+// heartbeat frames) keep the connection warm. A worker silent past
+// `deadline_seconds` is declared dead, its connection is closed, and its
+// leases go back to the front of the queue.
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "campaign/trial_record.hpp"
+#include "fabric/lease.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace netcons::telemetry {
+class Registry;
+}  // namespace netcons::telemetry
+
+namespace netcons::fabric {
+
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0: kernel-assigned; read the announce line for the port.
+  /// Work-stealing granularity and liveness deadline (see CoreOptions).
+  int lease_size = 32;
+  double deadline_seconds = 10.0;
+  /// Heartbeat cadence workers are told to keep (welcome.period_s); must
+  /// be comfortably below the deadline.
+  double heartbeat_period_seconds = 1.0;
+  /// With work remaining but no connected workers for this long, give up
+  /// and return an incomplete summary (0: wait forever for a worker).
+  double max_idle_seconds = 0.0;
+  bool quiet = false;  ///< Suppress per-worker lifecycle lines on stderr.
+  /// fabric.* gauges published here per poll iteration (may be null).
+  telemetry::Registry* registry = nullptr;
+};
+
+struct CoordinatorSummary {
+  bool complete = false;  ///< Every (point, trial) slot committed.
+  std::uint64_t trials_total = 0;
+  std::uint64_t trials_committed = 0;
+  CoordinatorCore::Stats stats;
+  double wall_seconds = 0.0;
+};
+
+class Coordinator {
+ public:
+  /// `header` is the campaign fingerprint every worker's hello must match.
+  /// `resume` precommits slots already recorded by an earlier run (not
+  /// owned; may be null; must outlive serve()).
+  Coordinator(campaign::CampaignHeader header, const campaign::OutcomeMap* resume,
+              CoordinatorOptions options);
+
+  /// Bind, print "netcons_coord listening on HOST:PORT" on stdout (flushed,
+  /// so orchestrators can parse the kernel-assigned port), then serve until
+  /// every slot is committed or the idle deadline fires. Throws
+  /// std::runtime_error on bind failure.
+  [[nodiscard]] CoordinatorSummary serve();
+
+ private:
+  campaign::CampaignHeader header_;
+  const campaign::OutcomeMap* resume_;
+  CoordinatorOptions options_;
+};
+
+}  // namespace netcons::fabric

@@ -1,0 +1,182 @@
+#include "fabric/frame.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace netcons::fabric {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in resolve(const std::string& host, int port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("fabric: not an IPv4 address: '" + host + "'");
+  }
+  return address;
+}
+
+void encode_length(char out[4], std::size_t size) {
+  out[0] = static_cast<char>((size >> 24) & 0xff);
+  out[1] = static_cast<char>((size >> 16) & 0xff);
+  out[2] = static_cast<char>((size >> 8) & 0xff);
+  out[3] = static_cast<char>(size & 0xff);
+}
+
+std::size_t decode_length(const char in[4]) {
+  const auto byte = [&](int i) {
+    return static_cast<std::size_t>(static_cast<unsigned char>(in[i]));
+  };
+  return (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+}
+
+/// Write all of `data`, restarting on EINTR; false once the peer is gone.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t written = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes. 1: done, 0: clean EOF before any byte,
+/// -1: error or mid-read EOF.
+int read_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_on(const std::string& host, int port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw std::runtime_error(errno_text("fabric: socket"));
+  const int enable = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  const sockaddr_in address = resolve(host, port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw std::runtime_error(errno_text("fabric: bind"));
+  }
+  if (::listen(socket.fd(), 64) != 0) throw std::runtime_error(errno_text("fabric: listen"));
+  return socket;
+}
+
+int local_port(const Socket& socket) {
+  sockaddr_in address{};
+  socklen_t size = sizeof address;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&address), &size) != 0) {
+    throw std::runtime_error(errno_text("fabric: getsockname"));
+  }
+  return static_cast<int>(ntohs(address.sin_port));
+}
+
+Socket connect_to(const std::string& host, int port, double io_timeout_seconds) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw std::runtime_error(errno_text("fabric: socket"));
+  if (io_timeout_seconds > 0.0) {
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(io_timeout_seconds);
+    timeout.tv_usec =
+        static_cast<suseconds_t>((io_timeout_seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  }
+  const sockaddr_in address = resolve(host, port);
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw std::runtime_error("fabric: cannot connect to " + host + ":" + std::to_string(port) +
+                             ": " + std::strerror(errno));
+  }
+  return socket;
+}
+
+Socket accept_on(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  return Socket(fd);  // invalid on transient failure; the poll loop retries
+}
+
+void set_nonblocking(const Socket& socket) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK);
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error("fabric: frame payload of " + std::to_string(payload.size()) +
+                             " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                             "-byte limit");
+  }
+  char prefix[4];
+  encode_length(prefix, payload.size());
+  return write_all(fd, prefix, sizeof prefix) && write_all(fd, payload.data(), payload.size());
+}
+
+ReadResult read_frame(int fd, std::string& payload) {
+  char prefix[4];
+  const int head = read_all(fd, prefix, sizeof prefix);
+  if (head == 0) return ReadResult::kEof;
+  if (head < 0) return ReadResult::kError;
+  const std::size_t size = decode_length(prefix);
+  if (size > kMaxFramePayload) return ReadResult::kError;
+  payload.resize(size);
+  if (read_all(fd, payload.data(), size) != 1) return ReadResult::kError;
+  return ReadResult::kFrame;
+}
+
+std::optional<std::string> FrameBuffer::pop() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::size_t size = decode_length(buffer_.data());
+  if (size > kMaxFramePayload) {
+    throw std::runtime_error("fabric: oversized frame (" + std::to_string(size) +
+                             " bytes) — corrupt stream");
+  }
+  if (buffer_.size() < 4 + size) return std::nullopt;
+  std::string frame = buffer_.substr(4, size);
+  buffer_.erase(0, 4 + size);
+  return frame;
+}
+
+}  // namespace netcons::fabric

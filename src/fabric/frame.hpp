@@ -1,0 +1,93 @@
+// TCP transport for the distributed campaign fabric: a thin RAII socket
+// wrapper plus length-prefixed framing.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON (one fabric message, see fabric/messages.hpp). The
+// prefix makes message boundaries explicit on a byte stream, so a reader
+// never has to scan for delimiters inside JSON, and a torn tail — the
+// half-written frame of a SIGKILLed worker — is detected as a short read
+// instead of being parsed as garbage. Payloads above kMaxFramePayload are
+// protocol corruption and a hard error, never an allocation.
+//
+// Two read styles, matching the two fabric roles: the worker blocks on one
+// socket (read_frame), while the coordinator multiplexes many via poll()
+// and feeds whatever bytes arrived into a per-connection FrameBuffer.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netcons::fabric {
+
+/// Upper bound on one frame's payload (a campaign header for a huge grid
+/// fits in well under a megabyte; anything near this is corruption).
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 socket on `host:port` (port 0: kernel-assigned; read it
+/// back with local_port). Throws std::runtime_error on failure.
+[[nodiscard]] Socket listen_on(const std::string& host, int port);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] int local_port(const Socket& socket);
+
+/// Blocking connect to `host:port`; throws std::runtime_error on failure.
+/// `io_timeout_seconds` > 0 arms SO_RCVTIMEO/SO_SNDTIMEO so a dead peer
+/// surfaces as an error instead of a hang.
+[[nodiscard]] Socket connect_to(const std::string& host, int port,
+                                double io_timeout_seconds = 0.0);
+
+/// Accept one pending connection; invalid Socket on transient failure.
+[[nodiscard]] Socket accept_on(const Socket& listener);
+
+/// Put a socket into non-blocking mode (the coordinator's poll loop).
+void set_nonblocking(const Socket& socket);
+
+/// Write one frame (length prefix + payload). Returns false when the peer
+/// is gone (connection reset / closed); never raises SIGPIPE. Throws on
+/// payloads above kMaxFramePayload.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+enum class ReadResult { kFrame, kEof, kError };
+
+/// Blocking read of exactly one frame into `payload`. kEof: the peer
+/// closed cleanly between frames; kError: mid-frame EOF, socket error, or
+/// an oversized length prefix.
+[[nodiscard]] ReadResult read_frame(int fd, std::string& payload);
+
+/// Incremental frame decoder for non-blocking readers: append whatever
+/// bytes arrived, then pop complete frames until it returns nullopt.
+class FrameBuffer {
+ public:
+  void append(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  /// Next complete frame, or nullopt while more bytes are needed. Throws
+  /// std::runtime_error on an oversized length prefix (corrupt stream).
+  [[nodiscard]] std::optional<std::string> pop();
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace netcons::fabric

@@ -1,0 +1,214 @@
+#include "fabric/messages.hpp"
+
+#include "campaign/json.hpp"
+
+#include <stdexcept>
+
+namespace netcons::fabric {
+
+namespace json = campaign::json;
+
+namespace {
+
+Message::Type type_from_name(const std::string& name) {
+  if (name == "hello") return Message::Type::kHello;
+  if (name == "request") return Message::Type::kRequest;
+  if (name == "done") return Message::Type::kDone;
+  if (name == "heartbeat") return Message::Type::kHeartbeat;
+  if (name == "welcome") return Message::Type::kWelcome;
+  if (name == "grant") return Message::Type::kGrant;
+  if (name == "wait") return Message::Type::kWait;
+  if (name == "drain") return Message::Type::kDrain;
+  if (name == "error") return Message::Type::kError;
+  throw std::runtime_error("fabric: unknown message type '" + name + "'");
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += ", \"";
+  out += key;
+  out += "\": " + std::to_string(value);
+}
+
+void append_int(std::string& out, const char* key, long long value) {
+  out += ", \"";
+  out += key;
+  out += "\": " + std::to_string(value);
+}
+
+void append_dbl(std::string& out, const char* key, double value) {
+  out += ", \"";
+  out += key;
+  out += "\": ";
+  json::append_double(out, value);
+}
+
+void append_str(std::string& out, const char* key, const std::string& value) {
+  out += ", \"";
+  out += key;
+  out += "\": ";
+  json::append_escaped(out, value);
+}
+
+}  // namespace
+
+const char* type_name(Message::Type type) {
+  switch (type) {
+    case Message::Type::kHello: return "hello";
+    case Message::Type::kRequest: return "request";
+    case Message::Type::kDone: return "done";
+    case Message::Type::kHeartbeat: return "heartbeat";
+    case Message::Type::kWelcome: return "welcome";
+    case Message::Type::kGrant: return "grant";
+    case Message::Type::kWait: return "wait";
+    case Message::Type::kDrain: return "drain";
+    case Message::Type::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Message::encode() const {
+  std::string out = "{\"fabric\": \"";
+  out += kFabricSchema;
+  out += "\", \"type\": \"";
+  out += type_name(type);
+  out += '"';
+  switch (type) {
+    case Type::kHello:
+      append_int(out, "threads", threads);
+      append_str(out, "header", text);
+      break;
+    case Type::kDone:
+      append_u64(out, "lease", lease);
+      append_u64(out, "executed", executed);
+      break;
+    case Type::kHeartbeat: append_str(out, "line", text); break;
+    case Type::kWelcome:
+      append_int(out, "worker", worker);
+      append_dbl(out, "period_s", period_s);
+      append_dbl(out, "deadline_s", deadline_s);
+      break;
+    case Type::kGrant:
+      append_u64(out, "lease", lease);
+      append_u64(out, "point", point);
+      append_int(out, "begin", begin);
+      append_int(out, "end", end);
+      break;
+    case Type::kWait: append_int(out, "retry_ms", retry_ms); break;
+    case Type::kError: append_str(out, "message", text); break;
+    case Type::kRequest:
+    case Type::kDrain: break;
+  }
+  out += '}';
+  return out;
+}
+
+Message Message::decode(std::string_view payload) {
+  const json::Value document = json::parse(payload);
+  const json::Object& object = document.as_object();
+  const std::string& schema = json::field(object, "fabric").as_string();
+  if (schema != kFabricSchema) {
+    throw std::runtime_error("fabric: peer speaks '" + schema + "', this binary speaks '" +
+                             kFabricSchema + "'");
+  }
+  Message message;
+  message.type = type_from_name(json::field(object, "type").as_string());
+  switch (message.type) {
+    case Type::kHello:
+      message.threads = static_cast<int>(json::field(object, "threads").as_u64());
+      message.text = json::field(object, "header").as_string();
+      break;
+    case Type::kDone:
+      message.lease = json::field(object, "lease").as_u64();
+      message.executed = json::field(object, "executed").as_u64();
+      break;
+    case Type::kHeartbeat: message.text = json::field(object, "line").as_string(); break;
+    case Type::kWelcome:
+      message.worker = static_cast<int>(json::field(object, "worker").as_u64());
+      message.period_s = json::field(object, "period_s").as_double();
+      message.deadline_s = json::field(object, "deadline_s").as_double();
+      break;
+    case Type::kGrant:
+      message.lease = json::field(object, "lease").as_u64();
+      message.point = json::field(object, "point").as_u64();
+      message.begin = static_cast<int>(json::field(object, "begin").as_u64());
+      message.end = static_cast<int>(json::field(object, "end").as_u64());
+      break;
+    case Type::kWait:
+      message.retry_ms = static_cast<int>(json::field(object, "retry_ms").as_u64());
+      break;
+    case Type::kError: message.text = json::field(object, "message").as_string(); break;
+    case Type::kRequest:
+    case Type::kDrain: break;
+  }
+  return message;
+}
+
+Message Message::hello(std::string header_line, int threads) {
+  Message m;
+  m.type = Type::kHello;
+  m.text = std::move(header_line);
+  m.threads = threads;
+  return m;
+}
+
+Message Message::request() {
+  Message m;
+  m.type = Type::kRequest;
+  return m;
+}
+
+Message Message::done(std::uint64_t lease, std::uint64_t executed) {
+  Message m;
+  m.type = Type::kDone;
+  m.lease = lease;
+  m.executed = executed;
+  return m;
+}
+
+Message Message::heartbeat(std::string line) {
+  Message m;
+  m.type = Type::kHeartbeat;
+  m.text = std::move(line);
+  return m;
+}
+
+Message Message::welcome(int worker, double period_s, double deadline_s) {
+  Message m;
+  m.type = Type::kWelcome;
+  m.worker = worker;
+  m.period_s = period_s;
+  m.deadline_s = deadline_s;
+  return m;
+}
+
+Message Message::grant(std::uint64_t lease, std::uint64_t point, int begin, int end) {
+  Message m;
+  m.type = Type::kGrant;
+  m.lease = lease;
+  m.point = point;
+  m.begin = begin;
+  m.end = end;
+  return m;
+}
+
+Message Message::wait(int retry_ms) {
+  Message m;
+  m.type = Type::kWait;
+  m.retry_ms = retry_ms;
+  return m;
+}
+
+Message Message::drain() {
+  Message m;
+  m.type = Type::kDrain;
+  return m;
+}
+
+Message Message::error(std::string message) {
+  Message m;
+  m.type = Type::kError;
+  m.text = std::move(message);
+  return m;
+}
+
+}  // namespace netcons::fabric

@@ -1,0 +1,64 @@
+// The fabric wire vocabulary: one JSON object per frame, discriminated by
+// "type", all stamped "fabric": "netcons-fabric-v1" (an incompatible
+// revision bumps the stamp, so mismatched binaries fail loudly at hello
+// instead of mis-parsing each other mid-campaign).
+//
+// Worker -> coordinator: hello (campaign-spec fingerprint + thread count),
+// request (give me a lease), done (lease finished), heartbeat (one
+// netcons-heartbeat-v1 line, carried verbatim as a string).
+// Coordinator -> worker: welcome (worker id + heartbeat cadence/deadline),
+// grant (a trial-range lease on one grid point), wait (nothing grantable
+// right now, retry), drain (every trial committed — exit cleanly), error
+// (refusal, e.g. a spec-fingerprint mismatch, naming the field).
+//
+// The full protocol — frame layout, message catalog, lease lifecycle,
+// failure semantics — is specified in docs/fabric-protocol.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace netcons::fabric {
+
+inline constexpr const char* kFabricSchema = "netcons-fabric-v1";
+
+struct Message {
+  enum class Type { kHello, kRequest, kDone, kHeartbeat, kWelcome, kGrant, kWait, kDrain, kError };
+
+  Type type = Type::kRequest;
+  /// hello: the netcons-trials-v2 header line, verbatim. heartbeat: one
+  /// netcons-heartbeat-v1 line, verbatim. error: human-readable reason.
+  std::string text;
+  int threads = 0;         ///< hello: the worker's thread count (informational).
+  int worker = 0;          ///< welcome: coordinator-assigned worker id (>= 1).
+  double period_s = 0.0;   ///< welcome: heartbeat cadence the worker must keep.
+  double deadline_s = 0.0; ///< welcome: silence past this declares the worker dead.
+  std::uint64_t lease = 0; ///< grant/done: lease id.
+  std::uint64_t point = 0; ///< grant: grid-point index.
+  int begin = 0;           ///< grant: first trial of the leased range.
+  int end = 0;             ///< grant: one past the last trial.
+  std::uint64_t executed = 0;  ///< done: trials executed under the lease.
+  int retry_ms = 0;        ///< wait: how long to back off before re-requesting.
+
+  [[nodiscard]] std::string encode() const;
+
+  /// Parse one frame payload. Throws std::runtime_error on malformed JSON,
+  /// an unknown type, or a fabric-schema mismatch (naming both versions).
+  [[nodiscard]] static Message decode(std::string_view payload);
+
+  // Factories for the common shapes (fields not listed default to zero).
+  [[nodiscard]] static Message hello(std::string header_line, int threads);
+  [[nodiscard]] static Message request();
+  [[nodiscard]] static Message done(std::uint64_t lease, std::uint64_t executed);
+  [[nodiscard]] static Message heartbeat(std::string line);
+  [[nodiscard]] static Message welcome(int worker, double period_s, double deadline_s);
+  [[nodiscard]] static Message grant(std::uint64_t lease, std::uint64_t point, int begin, int end);
+  [[nodiscard]] static Message wait(int retry_ms);
+  [[nodiscard]] static Message drain();
+  [[nodiscard]] static Message error(std::string message);
+};
+
+[[nodiscard]] const char* type_name(Message::Type type);
+
+}  // namespace netcons::fabric

@@ -1,0 +1,170 @@
+#include "fabric/worker.hpp"
+
+#include "campaign/trial_record.hpp"
+#include "fabric/frame.hpp"
+#include "fabric/messages.hpp"
+#include "telemetry/heartbeat.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <thread>
+#include <utility>
+
+namespace netcons::fabric {
+
+namespace {
+
+/// streambuf that hands complete lines (without the newline) to a
+/// callback: the bridge between CampaignMonitor's heartbeat ostream and
+/// heartbeat frames. The monitor writes one whole line per emit and
+/// flushes, so buffering until '\n' never holds a partial heartbeat long.
+class LineForwardBuf : public std::streambuf {
+ public:
+  explicit LineForwardBuf(std::function<void(const std::string&)> on_line)
+      : on_line_(std::move(on_line)) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) {
+      if (ch == '\n') {
+        on_line_(line_);
+        line_.clear();
+      } else {
+        line_.push_back(static_cast<char>(ch));
+      }
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize size) override {
+    for (std::streamsize i = 0; i < size; ++i) overflow(data[i]);
+    return size;
+  }
+
+ private:
+  std::function<void(const std::string&)> on_line_;
+  std::string line_;
+};
+
+std::string worker_record_path(const std::string& dir, int worker) {
+  char name[64];
+  for (int generation = 0;; ++generation) {
+    std::snprintf(name, sizeof name, "fabric-w%04d-g%04d.jsonl", worker, generation);
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    if (!std::filesystem::exists(path)) return path.string();
+  }
+}
+
+Message read_message(int fd, std::string& scratch) {
+  switch (read_frame(fd, scratch)) {
+    case ReadResult::kFrame: return Message::decode(scratch);
+    case ReadResult::kEof: throw std::runtime_error("fabric: coordinator closed the connection");
+    case ReadResult::kError: break;
+  }
+  throw std::runtime_error("fabric: lost the coordinator (read error or timeout)");
+}
+
+}  // namespace
+
+WorkerSummary run_worker(const campaign::CampaignSpec& spec, const WorkerOptions& options) {
+  const campaign::CampaignHeader header = campaign::CampaignHeader::describe(spec);
+  const int threads = campaign::resolve_threads(options.threads);
+
+  Socket socket = connect_to(options.host, options.port, options.io_timeout_seconds);
+  // One frame writer for both the main loop and the monitor's ticker
+  // thread; frames must not interleave mid-frame.
+  std::mutex write_mutex;
+  const auto send = [&](const Message& message) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!write_frame(socket.fd(), message.encode())) {
+      throw std::runtime_error("fabric: lost the coordinator (write failed)");
+    }
+  };
+
+  send(Message::hello(campaign::header_line(header), threads));
+  std::string scratch;
+  const Message welcome = read_message(socket.fd(), scratch);
+  if (welcome.type == Message::Type::kError) {
+    throw std::runtime_error("fabric: coordinator refused: " + welcome.text);
+  }
+  if (welcome.type != Message::Type::kWelcome) {
+    throw std::runtime_error(std::string("fabric: expected welcome, got ") +
+                             type_name(welcome.type));
+  }
+
+  WorkerSummary summary;
+  summary.worker = welcome.worker;
+  const auto log = [&](const std::string& line) {
+    if (!options.quiet) {
+      std::fprintf(stderr, "[worker %d] %s\n", summary.worker, line.c_str());
+    }
+  };
+
+  std::filesystem::create_directories(options.records_dir);
+  campaign::TrialRecordSink sink(worker_record_path(options.records_dir, summary.worker),
+                                 header);
+
+  // Heartbeats ride the ticker thread; a write failure there must not tear
+  // down the ostream (the main loop will hit the dead socket itself), so
+  // forwarding swallows errors.
+  LineForwardBuf heartbeat_buffer([&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    (void)write_frame(socket.fd(), Message::heartbeat(line).encode());
+  });
+  std::ostream heartbeat_stream(&heartbeat_buffer);
+  telemetry::CampaignMonitor monitor({.period_seconds = welcome.period_s,
+                                      .heartbeat = &heartbeat_stream,
+                                      .progress_stderr = false,
+                                      .registry = nullptr});
+
+  while (true) {
+    send(Message::request());
+    const Message reply = read_message(socket.fd(), scratch);
+    switch (reply.type) {
+      case Message::Type::kGrant: {
+        const std::size_t point = reply.point;
+        const int begin = reply.begin;
+        const int end = reply.end;
+        campaign::RunOptions run_options;
+        run_options.threads = options.threads;
+        run_options.select = [point, begin, end](std::size_t p, int t) {
+          return p == point && t >= begin && t < end;
+        };
+        run_options.on_trial = [&sink](std::size_t p, int t, std::uint64_t seed,
+                                       const campaign::TrialOutcome& outcome) {
+          sink.write(campaign::TrialRecord{p, t, seed, outcome});
+        };
+        run_options.monitor = &monitor;
+        const campaign::CampaignResult result = campaign::run(spec, run_options);
+        summary.executed_trials += result.executed_trials;
+        ++summary.leases;
+        send(Message::done(reply.lease, result.executed_trials));
+        log("lease " + std::to_string(reply.lease) + ": point " + std::to_string(point) +
+            " trials [" + std::to_string(begin) + ", " + std::to_string(end) + ")");
+        break;
+      }
+      case Message::Type::kWait:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            reply.retry_ms > 0 ? reply.retry_ms : 250));
+        break;
+      case Message::Type::kDrain:
+        summary.drained = true;
+        log("drained after " + std::to_string(summary.leases) + " leases, " +
+            std::to_string(summary.executed_trials) + " trials");
+        return summary;
+      case Message::Type::kError:
+        throw std::runtime_error("fabric: coordinator error: " + reply.text);
+      default:
+        throw std::runtime_error(std::string("fabric: unexpected ") + type_name(reply.type) +
+                                 " from the coordinator");
+    }
+  }
+}
+
+}  // namespace netcons::fabric

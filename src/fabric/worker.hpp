@@ -1,0 +1,54 @@
+// The fabric worker: connects to a coordinator, proves it was launched
+// with the same campaign spec (hello carries the netcons-trials-v2 header
+// line; the coordinator diffs fingerprints), then loops request → grant →
+// execute → done until the coordinator answers drain.
+//
+// Each granted lease executes as one campaign::run invocation with
+// RunOptions::select restricted to the leased trial range, so engines,
+// fault plans, schedulers, per-trial seeds, and telemetry flow through the
+// exact single-host code path — the fabric adds scheduling, never
+// semantics. Outcomes stream to a per-worker record file in the shared
+// records directory (fabric-wNNNN-gNNNN.jsonl); netcons_merge folds any
+// set of worker files into the byte-identical single-host summary.
+//
+// Liveness: one long-lived CampaignMonitor watches every run; its
+// netcons-heartbeat-v1 lines are forwarded verbatim as heartbeat frames
+// from the monitor's ticker thread (socket writes are mutex-serialized
+// against the request/done traffic). Between leases the request traffic
+// itself is the liveness signal.
+#pragma once
+
+#include "campaign/campaign.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace netcons::fabric {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Directory shared (or later collected) with every other worker's
+  /// records; this worker writes fabric-wNNNN-gNNNN.jsonl into it.
+  std::string records_dir;
+  int threads = 0;  ///< 0: hardware concurrency.
+  /// Socket I/O timeout: a coordinator silent this long is treated as
+  /// dead and the worker exits with an error (0: block forever).
+  double io_timeout_seconds = 30.0;
+  bool quiet = false;  ///< Suppress per-lease progress lines on stderr.
+};
+
+struct WorkerSummary {
+  int worker = 0;  ///< Coordinator-assigned id.
+  std::uint64_t leases = 0;
+  std::uint64_t executed_trials = 0;
+  bool drained = false;  ///< True: clean drain; false never returns (throws).
+};
+
+/// Run the worker loop to completion. Throws std::runtime_error on
+/// connection failure, a coordinator error reply (e.g. spec mismatch), or
+/// a coordinator that vanished mid-campaign.
+[[nodiscard]] WorkerSummary run_worker(const campaign::CampaignSpec& spec,
+                                       const WorkerOptions& options);
+
+}  // namespace netcons::fabric

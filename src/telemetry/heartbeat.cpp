@@ -14,6 +14,40 @@ std::atomic<std::uint64_t> g_next_monitor_id{1};
 
 }  // namespace
 
+double HeartbeatPoint::mean_utilization() const noexcept {
+  if (utilization.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double u : utilization) sum += u;
+  return sum / static_cast<double>(utilization.size());
+}
+
+std::optional<HeartbeatPoint> parse_heartbeat_line(std::string_view line) {
+  namespace json = campaign::json;
+  try {
+    const json::Value document = json::parse(line);
+    const json::Object& object = document.as_object();
+    if (json::field(object, "schema").as_string() != "netcons-heartbeat-v1") {
+      return std::nullopt;
+    }
+    HeartbeatPoint point;
+    point.final = json::field(object, "type").as_string() == "final";
+    point.seq = json::field(object, "seq").as_u64();
+    point.elapsed_s = json::field(object, "elapsed_s").as_double();
+    point.trials_done = json::field(object, "trials_done").as_u64();
+    point.trials_total = json::field(object, "trials_total").as_u64();
+    point.trials_per_sec = json::field(object, "trials_per_sec").as_double();
+    point.eta_s = json::field(object, "eta_s").as_double();
+    point.queue_depth = json::field(object, "queue_depth").as_u64();
+    point.workers = json::field(object, "workers").as_u64();
+    for (const json::Value& u : json::field(object, "utilization").as_array()) {
+      point.utilization.push_back(u.as_double());
+    }
+    return point;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 CampaignMonitor::CampaignMonitor(Options options)
     : options_(options), id_(g_next_monitor_id.fetch_add(1, std::memory_order_relaxed)) {}
 

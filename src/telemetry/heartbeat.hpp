@@ -30,11 +30,36 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace netcons::telemetry {
+
+/// One parsed netcons-heartbeat-v1 line (the schema CampaignMonitor emits).
+struct HeartbeatPoint {
+  bool final = false;
+  std::uint64_t seq = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  double trials_per_sec = 0.0;
+  double eta_s = 0.0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t workers = 0;
+  std::vector<double> utilization;  ///< Busy fraction per worker slot.
+
+  [[nodiscard]] double mean_utilization() const noexcept;
+};
+
+/// Parse one heartbeat line. nullopt on anything that is not a complete
+/// netcons-heartbeat-v1 object — malformed JSON (typically the torn tail of
+/// a line being written right now), a foreign schema, a missing field —
+/// so tailing readers (netcons_top, the fabric coordinator) can skip and
+/// retry instead of aborting.
+[[nodiscard]] std::optional<HeartbeatPoint> parse_heartbeat_line(std::string_view line);
 
 class CampaignMonitor {
  public:

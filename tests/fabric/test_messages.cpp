@@ -1,0 +1,133 @@
+// The netcons-fabric-v1 wire vocabulary: every message type round-trips
+// through encode/decode, schema mismatches fail loudly, and the
+// incremental FrameBuffer reassembles frames from arbitrary byte slices
+// (the coordinator feeds it whatever read() returned).
+#include "fabric/frame.hpp"
+#include "fabric/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using netcons::fabric::FrameBuffer;
+using netcons::fabric::Message;
+
+TEST(FabricMessages, HelloRoundTrips) {
+  const std::string header = R"({"schema": "netcons-trials-v2", "seed": 7})";
+  const Message decoded = Message::decode(Message::hello(header, 8).encode());
+  EXPECT_EQ(decoded.type, Message::Type::kHello);
+  EXPECT_EQ(decoded.text, header);  // verbatim, escaping included
+  EXPECT_EQ(decoded.threads, 8);
+}
+
+TEST(FabricMessages, GrantAndDoneRoundTrip) {
+  const Message grant = Message::decode(Message::grant(42, 3, 16, 32).encode());
+  EXPECT_EQ(grant.type, Message::Type::kGrant);
+  EXPECT_EQ(grant.lease, 42u);
+  EXPECT_EQ(grant.point, 3u);
+  EXPECT_EQ(grant.begin, 16);
+  EXPECT_EQ(grant.end, 32);
+
+  const Message done = Message::decode(Message::done(42, 16).encode());
+  EXPECT_EQ(done.type, Message::Type::kDone);
+  EXPECT_EQ(done.lease, 42u);
+  EXPECT_EQ(done.executed, 16u);
+}
+
+TEST(FabricMessages, WelcomeWaitDrainErrorRoundTrip) {
+  const Message welcome = Message::decode(Message::welcome(2, 1.5, 10.0).encode());
+  EXPECT_EQ(welcome.type, Message::Type::kWelcome);
+  EXPECT_EQ(welcome.worker, 2);
+  EXPECT_DOUBLE_EQ(welcome.period_s, 1.5);
+  EXPECT_DOUBLE_EQ(welcome.deadline_s, 10.0);
+
+  const Message wait = Message::decode(Message::wait(250).encode());
+  EXPECT_EQ(wait.type, Message::Type::kWait);
+  EXPECT_EQ(wait.retry_ms, 250);
+
+  EXPECT_EQ(Message::decode(Message::drain().encode()).type, Message::Type::kDrain);
+  EXPECT_EQ(Message::decode(Message::request().encode()).type, Message::Type::kRequest);
+
+  const Message error = Message::decode(Message::error("spec mismatch: trials").encode());
+  EXPECT_EQ(error.type, Message::Type::kError);
+  EXPECT_EQ(error.text, "spec mismatch: trials");
+}
+
+TEST(FabricMessages, HeartbeatCarriesTheLineVerbatim) {
+  const std::string line =
+      R"({"schema": "netcons-heartbeat-v1", "type": "heartbeat", "seq": 3})";
+  const Message decoded = Message::decode(Message::heartbeat(line).encode());
+  EXPECT_EQ(decoded.type, Message::Type::kHeartbeat);
+  EXPECT_EQ(decoded.text, line);
+}
+
+TEST(FabricMessages, SchemaMismatchNamesBothVersions) {
+  try {
+    (void)Message::decode(R"({"fabric": "netcons-fabric-v99", "type": "request"})");
+    FAIL() << "expected a schema-mismatch throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("netcons-fabric-v99"), std::string::npos) << what;
+    EXPECT_NE(what.find("netcons-fabric-v1"), std::string::npos) << what;
+  }
+}
+
+TEST(FabricMessages, MalformedPayloadsThrow) {
+  EXPECT_THROW((void)Message::decode("not json"), std::runtime_error);
+  EXPECT_THROW((void)Message::decode(R"({"fabric": "netcons-fabric-v1"})"),
+               std::runtime_error);  // no type
+  EXPECT_THROW(
+      (void)Message::decode(R"({"fabric": "netcons-fabric-v1", "type": "launch"})"),
+      std::runtime_error);  // unknown type
+  EXPECT_THROW(
+      (void)Message::decode(R"({"fabric": "netcons-fabric-v1", "type": "grant"})"),
+      std::runtime_error);  // grant without its fields
+}
+
+/// 4-byte big-endian length prefix + payload, as write_frame produces.
+std::string framed(const std::string& payload) {
+  std::string out;
+  out.push_back(static_cast<char>((payload.size() >> 24) & 0xff));
+  out.push_back(static_cast<char>((payload.size() >> 16) & 0xff));
+  out.push_back(static_cast<char>((payload.size() >> 8) & 0xff));
+  out.push_back(static_cast<char>(payload.size() & 0xff));
+  return out + payload;
+}
+
+TEST(FrameBuffer, ReassemblesFramesFromSingleByteSlices) {
+  const std::string stream = framed("alpha") + framed("") + framed("beta");
+  FrameBuffer buffer;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    buffer.append(&byte, 1);
+    while (auto frame = buffer.pop()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "alpha");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], "beta");
+}
+
+TEST(FrameBuffer, HoldsAPartialFrameUntilTheRestArrives) {
+  const std::string stream = framed("payload");
+  FrameBuffer buffer;
+  buffer.append(stream.data(), 6);  // prefix + 2 of 7 payload bytes
+  EXPECT_FALSE(buffer.pop().has_value());
+  buffer.append(stream.data() + 6, stream.size() - 6);
+  const auto frame = buffer.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "payload");
+  EXPECT_FALSE(buffer.pop().has_value());
+}
+
+TEST(FrameBuffer, OversizedPrefixIsCorruptionNotAllocation) {
+  FrameBuffer buffer;
+  const char huge[4] = {0x7f, 0x7f, 0x7f, 0x7f};  // ~2 GiB claimed payload
+  buffer.append(huge, 4);
+  EXPECT_THROW((void)buffer.pop(), std::runtime_error);
+}
+
+}  // namespace

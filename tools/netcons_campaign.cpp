@@ -39,6 +39,7 @@
 // with or without it (CI-gated).
 #include "campaign/campaign.hpp"
 #include "campaign/registry.hpp"
+#include "campaign/spec_cli.hpp"
 #include "campaign/result_sink.hpp"
 #include "campaign/trial_record.hpp"
 #include "faults/fault_plan.hpp"
@@ -63,16 +64,8 @@ namespace {
 using namespace netcons;
 
 struct Options {
-  std::vector<std::string> protocols;
-  std::vector<std::string> processes;
-  std::vector<int> ns;
-  std::vector<std::string> schedulers;
-  std::vector<std::string> faults;
-  std::vector<std::string> engines;
-  int trials = 20;
+  campaign::SpecCli spec;
   int threads = 0;  // all cores
-  std::uint64_t seed = 1;
-  campaign::ProtocolParams params;
   std::optional<std::string> json_path;
   std::optional<std::string> csv_path;
   std::optional<std::string> records_dir;
@@ -87,55 +80,59 @@ struct Options {
   bool quiet = false;
 };
 
-/// Strict integer parse: the whole token must be a base-10 number that
-/// fits the range (no silent truncation or saturation).
-std::optional<long long> parse_int(const std::string& text) {
-  char* end = nullptr;
-  errno = 0;
-  const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
-  return value;
-}
-
-std::optional<int> parse_bounded_int(const std::string& text) {
-  const auto value = parse_int(text);
-  if (!value || *value < std::numeric_limits<int>::min() ||
-      *value > std::numeric_limits<int>::max()) {
-    return std::nullopt;
-  }
-  return static_cast<int>(*value);
-}
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream stream(csv);
-  std::string item;
-  while (std::getline(stream, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+void print_help(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [spec flags] [run flags]\n"
+      << "       " << argv0 << " --list\n"
+      << "\nDeclare and execute a Monte-Carlo campaign grid "
+         "(unit x scheduler x faults x engine x n).\n"
+      << "\nspec flags:\n"
+      << campaign::spec_usage()
+      << "\nrun flags:\n"
+         "  --threads K             worker threads (default: all cores)\n"
+         "  --json FILE             write the summary document (netcons-campaign-v3)\n"
+         "  --csv FILE              write the summary as CSV\n"
+         "  --records DIR           stream one JSONL trial record per completed trial\n"
+         "  --shard I/K             execute only slice I of K (requires --records)\n"
+         "  --resume DIR            skip trials already recorded in DIR\n"
+         "  --trial-cap N           stop after N executed trials (crash-test stand-in)\n"
+         "  --telemetry DIR         write metrics.json, trace.json, heartbeat.jsonl\n"
+         "  --progress SECONDS      human-readable progress on stderr every period\n"
+         "  --trace-sample K        record every K-th per-trial trace span (default 16)\n"
+         "  --list                  print registered protocols/processes/schedulers/engines\n"
+         "  --quiet                 suppress the result table and informational lines\n"
+         "  --help                  this message\n"
+         "\nSee docs/OPERATIONS.md for the runbook and docs/FILE_FORMATS.md for the\n"
+         "emitted schemas.\n";
 }
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--protocols a,b|all] [--processes a,b|all] --ns N1,N2,...\n"
                "       [--trials T] [--threads K] [--seed S] [--schedulers s1,s2]\n"
-               "       [--faults none,crash:k=1,...] [--engine naive,census|list]\n"
+               "       [--faults none,crash:k=1,...] [--engine naive,census,...|list]\n"
                "       [--k K] [--c C] [--d D]\n"
                "       [--json FILE] [--csv FILE] [--quiet]\n"
                "       [--records DIR] [--shard I/K] [--resume DIR] [--trial-cap N]\n"
                "       [--telemetry DIR] [--progress SECONDS] [--trace-sample K]\n"
                "       "
-            << argv0 << " --list\n";
+            << argv0 << " --list\n"
+            << "(--help for flag descriptions)\n";
   return 2;
 }
 
 std::optional<Options> parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
+    const int spec = campaign::consume_spec_flag(opt.spec, argc, argv, i);
+    if (spec == -1) return std::nullopt;
+    if (spec == 1) continue;
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
-    if (arg == "--list") {
+    if (arg == "--help") {
+      print_help(argv[0]);
+      std::exit(0);
+    } else if (arg == "--list") {
       opt.list = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
@@ -146,10 +143,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const std::size_t slash = value.find('/');
       const auto index = slash == std::string::npos
                              ? std::nullopt
-                             : parse_bounded_int(value.substr(0, slash));
+                             : campaign::parse_i(value.substr(0, slash));
       const auto count = slash == std::string::npos
                              ? std::nullopt
-                             : parse_bounded_int(value.substr(slash + 1));
+                             : campaign::parse_i(value.substr(slash + 1));
       if (!index || !count || *count < 1 || *index < 0 || *index >= *count) {
         std::cerr << "--shard expects I/K with 0 <= I < K, got '" << value << "'\n";
         return std::nullopt;
@@ -167,58 +164,24 @@ std::optional<Options> parse(int argc, char** argv) {
         return std::nullopt;
       }
       opt.trial_cap = cap;
-    } else if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
-               arg == "--faults" || arg == "--engine" || arg == "--ns" || arg == "--json" ||
-               arg == "--csv" || arg == "--records" || arg == "--resume" ||
+    } else if (arg == "--json" || arg == "--csv" || arg == "--records" || arg == "--resume" ||
                arg == "--telemetry") {
       const char* v = next();
       if (!v) return std::nullopt;
-      if (arg == "--protocols") opt.protocols = split_list(v);
-      if (arg == "--processes") opt.processes = split_list(v);
-      if (arg == "--schedulers") opt.schedulers = split_list(v);
-      if (arg == "--faults") opt.faults = split_list(v);
-      if (arg == "--engine") opt.engines = split_list(v);
       if (arg == "--json") opt.json_path = v;
       if (arg == "--csv") opt.csv_path = v;
       if (arg == "--records") opt.records_dir = v;
       if (arg == "--resume") opt.resume_dir = v;
       if (arg == "--telemetry") opt.telemetry_dir = v;
-      if (arg == "--ns") {
-        for (const std::string& item : split_list(v)) {
-          const auto n = parse_bounded_int(item);
-          if (!n || *n <= 0) {
-            std::cerr << "--ns expects positive integers, got '" << item << "'\n";
-            return std::nullopt;
-          }
-          opt.ns.push_back(*n);
-        }
-      }
-    } else if (arg == "--trials" || arg == "--threads" || arg == "--seed" || arg == "--k" ||
-               arg == "--c" || arg == "--d" || arg == "--progress" || arg == "--trace-sample") {
+    } else if (arg == "--threads" || arg == "--progress" || arg == "--trace-sample") {
       const char* v = next();
       if (!v) return std::nullopt;
-      if (arg == "--seed") {
-        // Full 64-bit range (strtoll would reject seeds above 2^63 - 1).
-        char* end = nullptr;
-        errno = 0;
-        const std::uint64_t seed = std::strtoull(v, &end, 10);
-        if (end == v || *end != '\0' || errno == ERANGE) {
-          std::cerr << "--seed expects an unsigned 64-bit integer, got '" << v << "'\n";
-          return std::nullopt;
-        }
-        opt.seed = seed;
-        continue;
-      }
-      const auto value = parse_bounded_int(v);
+      const auto value = campaign::parse_i(v);
       if (!value) {
         std::cerr << arg << " expects an int-range integer, got '" << v << "'\n";
         return std::nullopt;
       }
-      if (arg == "--trials") opt.trials = *value;
       if (arg == "--threads") opt.threads = *value;
-      if (arg == "--k") opt.params.k = *value;
-      if (arg == "--c") opt.params.c = *value;
-      if (arg == "--d") opt.params.d = *value;
       if (arg == "--progress") {
         if (*value <= 0) {
           std::cerr << "--progress expects a positive period in seconds, got '" << v << "'\n";
@@ -248,28 +211,8 @@ int list_engines() {
 }
 
 int list_registry() {
-  std::cout << "protocols:\n";
-  for (const auto& name : campaign::protocol_names()) std::cout << "  " << name << '\n';
-  std::cout << "processes:\n";
-  for (const auto& name : campaign::process_names()) std::cout << "  " << name << '\n';
-  std::cout << "schedulers:\n";
-  for (const auto& name : campaign::scheduler_names()) std::cout << "  " << name << '\n';
-  std::cout << "engines:\n";
-  for (const auto& name : campaign::engine_names()) std::cout << "  " << name << '\n';
-  std::cout << "fault plans (examples; see the grammar for the full space):\n";
-  for (const auto& name : campaign::fault_plan_examples()) std::cout << "  " << name << '\n';
-  std::cout << faults::fault_plan_grammar() << '\n';
+  campaign::print_registry(std::cout);
   return 0;
-}
-
-/// "a, b, c" -- so an unknown-name error can show what IS registered.
-std::string joined(const std::vector<std::string>& names) {
-  std::string out;
-  for (const auto& name : names) {
-    if (!out.empty()) out += ", ";
-    out += name;
-  }
-  return out;
 }
 
 }  // namespace
@@ -280,71 +223,11 @@ int main(int argc, char** argv) {
   Options opt = *parsed;  // mutable: the compiled-out-telemetry path clears flags
   if (opt.list) return list_registry();
   // `--engine list` prints the engine registry, mirroring --list's other axes.
-  if (opt.engines.size() == 1 && opt.engines[0] == "list") return list_engines();
+  if (opt.spec.engines.size() == 1 && opt.spec.engines[0] == "list") return list_engines();
 
-  campaign::CampaignSpec spec;
-  spec.ns = opt.ns;
-  spec.trials = opt.trials;
-  spec.base_seed = opt.seed;
-
-  const std::vector<std::string> protocol_list =
-      (opt.protocols.size() == 1 && opt.protocols[0] == "all") ? campaign::protocol_names()
-                                                               : opt.protocols;
-  for (const std::string& name : protocol_list) {
-    auto protocol = campaign::make_protocol(name, opt.params);
-    if (!protocol) {
-      std::cerr << "unknown protocol '" << name
-                << "'; registered protocols: " << joined(campaign::protocol_names()) << "\n";
-      return 2;
-    }
-    spec.units.push_back(campaign::Unit::protocol(name, std::move(*protocol)));
-  }
-  const std::vector<std::string> process_list =
-      (opt.processes.size() == 1 && opt.processes[0] == "all") ? campaign::process_names()
-                                                               : opt.processes;
-  for (const std::string& name : process_list) {
-    auto process = campaign::make_process(name);
-    if (!process) {
-      std::cerr << "unknown process '" << name
-                << "'; registered processes: " << joined(campaign::process_names()) << "\n";
-      return 2;
-    }
-    // Name the grid point by the slug the user typed (and --list prints),
-    // so the exported `unit` column matches the input.
-    spec.units.push_back(campaign::Unit::process(name, std::move(*process)));
-  }
-  for (const std::string& name : opt.schedulers) {
-    auto scheduler = campaign::make_scheduler(name);
-    if (!scheduler) {
-      std::cerr << "unknown scheduler '" << name
-                << "'; registered schedulers: " << joined(campaign::scheduler_names()) << "\n";
-      return 2;
-    }
-    spec.schedulers.push_back(std::move(*scheduler));
-  }
-  for (const std::string& name : opt.faults) {
-    std::string error;
-    auto plan = campaign::make_fault_plan(name, &error);
-    if (!plan) {
-      std::cerr << error << "\n";
-      return 2;
-    }
-    spec.faults.push_back(std::move(*plan));
-  }
-  for (const std::string& name : opt.engines) {
-    auto engine = campaign::make_engine(name);
-    if (!engine) {
-      std::cerr << "unknown engine '" << name
-                << "'; registered engines: " << joined(campaign::engine_names()) << "\n";
-      return 2;
-    }
-    spec.engines.push_back(std::move(*engine));
-  }
-
-  if (spec.units.empty() || spec.ns.empty()) {
-    std::cerr << "nothing to run: need --protocols and/or --processes, plus --ns\n";
-    return usage(argv[0]);
-  }
+  const auto built = campaign::build_spec(opt.spec);
+  if (!built) return usage(argv[0]);
+  const campaign::CampaignSpec& spec = *built;
 
   campaign::RunOptions run_options;
   run_options.threads = opt.threads;

@@ -1,0 +1,203 @@
+// netcons_coord: the campaign-fabric coordinator (see src/fabric/).
+//
+//   netcons_coord --protocols cycle-cover --ns 64 --trials 1000 --port 7450
+//   netcons_coord --protocols cycle-cover --ns 64 --trials 1000 --port 0
+//       # kernel-assigned port; parse "netcons_coord listening on HOST:PORT"
+//   netcons_coord ... --resume records/   # skip trials already on disk
+//
+// The coordinator owns the campaign grid and hands out trial-range leases
+// to whatever netcons_worker processes connect with the same spec flags.
+// It executes nothing and writes no records; workers stream their own
+// record files, and `netcons_merge` folds them into the byte-identical
+// single-host summary afterwards. A worker silent past --deadline is
+// declared dead and its leases are reassigned, so a SIGKILLed worker costs
+// at most its in-flight trials.
+#include "campaign/spec_cli.hpp"
+#include "campaign/trial_record.hpp"
+#include "fabric/coordinator.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace {
+
+using namespace netcons;
+
+struct Options {
+  campaign::SpecCli spec;
+  int port = 0;
+  int lease = 32;
+  double deadline = 10.0;
+  double max_idle = 60.0;
+  std::optional<std::string> resume_dir;
+  std::optional<std::string> telemetry_dir;
+  bool quiet = false;
+};
+
+void print_help(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [spec flags] [fabric flags]\n"
+      << "\nServe a campaign grid as trial-range leases to netcons_worker "
+         "processes\n(the spec flags must match the workers' exactly; the hello "
+         "handshake enforces it).\n"
+      << "\nspec flags:\n"
+      << campaign::spec_usage()
+      << "\nfabric flags:\n"
+         "  --port P                TCP port to listen on (0: kernel-assigned;\n"
+         "                          the chosen port is printed on stdout)\n"
+         "  --lease N               max trials per lease (default 32)\n"
+         "  --deadline SECONDS      declare a silent worker dead after this (default 10)\n"
+         "  --max-idle SECONDS      give up when no workers are connected and work\n"
+         "                          remains for this long (default 60; 0: wait forever)\n"
+         "  --resume DIR            precommit trials already recorded in DIR\n"
+         "  --telemetry DIR         write a fabric metrics.json snapshot into DIR\n"
+         "  --list                  print registered protocols/processes/schedulers/engines\n"
+         "  --quiet                 suppress worker lifecycle lines on stderr\n"
+         "  --help                  this message\n"
+         "\nProtocol spec: docs/fabric-protocol.md. Runbook: docs/OPERATIONS.md.\n";
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [spec flags] [--port P] [--lease N] [--deadline SECONDS]\n"
+               "       [--max-idle SECONDS] [--resume DIR] [--telemetry DIR] [--quiet]\n"
+               "(--help for flag descriptions)\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const int spec = campaign::consume_spec_flag(opt.spec, argc, argv, i);
+    if (spec == -1) return std::nullopt;
+    if (spec == 1) continue;
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
+    if (arg == "--help") {
+      print_help(argv[0]);
+      std::exit(0);
+    } else if (arg == "--list") {
+      campaign::print_registry(std::cout);
+      std::exit(0);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--resume" || arg == "--telemetry") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (arg == "--resume") opt.resume_dir = v;
+      if (arg == "--telemetry") opt.telemetry_dir = v;
+    } else if (arg == "--port" || arg == "--lease") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const auto value = campaign::parse_i(v);
+      if (!value || *value < 0) {
+        std::cerr << arg << " expects a non-negative integer, got '" << v << "'\n";
+        return std::nullopt;
+      }
+      if (arg == "--port") opt.port = *value;
+      if (arg == "--lease") opt.lease = *value > 0 ? *value : 1;
+    } else if (arg == "--deadline" || arg == "--max-idle") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      char* end = nullptr;
+      const double value = std::strtod(v, &end);
+      if (end == v || *end != '\0' || value < 0.0) {
+        std::cerr << arg << " expects a non-negative number of seconds, got '" << v << "'\n";
+        return std::nullopt;
+      }
+      if (arg == "--deadline") opt.deadline = value;
+      if (arg == "--max-idle") opt.max_idle = value;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return usage(argv[0]);
+  const Options& opt = *parsed;
+
+  const auto spec = campaign::build_spec(opt.spec);
+  if (!spec) return usage(argv[0]);
+  const campaign::CampaignHeader header = campaign::CampaignHeader::describe(*spec);
+
+  campaign::OutcomeMap resume_outcomes;
+  if (opt.resume_dir && std::filesystem::exists(*opt.resume_dir)) {
+    try {
+      campaign::LoadedRecords loaded;
+      loaded.header = header;
+      campaign::load_records(*opt.resume_dir, loaded);
+      resume_outcomes = std::move(loaded.outcomes);
+      if (!opt.quiet) {
+        std::cerr << "[coord] resuming: " << resume_outcomes.size()
+                  << " trials already recorded in " << *opt.resume_dir << "\n";
+      }
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+  }
+
+  // The fabric gauges go through an explicit registry, so they work even
+  // in NETCONS_TELEMETRY=OFF builds (the macros compile out, Registry
+  // itself never does).
+  std::optional<telemetry::Registry> registry;
+  if (opt.telemetry_dir) {
+    try {
+      std::filesystem::create_directories(*opt.telemetry_dir);
+    } catch (const std::exception& error) {
+      std::cerr << "--telemetry: " << error.what() << "\n";
+      return 1;
+    }
+    registry.emplace();
+  }
+
+  fabric::CoordinatorOptions coordinator_options;
+  coordinator_options.port = opt.port;
+  coordinator_options.lease_size = opt.lease;
+  coordinator_options.deadline_seconds = opt.deadline;
+  coordinator_options.max_idle_seconds = opt.max_idle;
+  coordinator_options.quiet = opt.quiet;
+  coordinator_options.registry = registry ? &*registry : nullptr;
+
+  fabric::CoordinatorSummary summary;
+  try {
+    fabric::Coordinator coordinator(header, resume_outcomes.empty() ? nullptr : &resume_outcomes,
+                                    coordinator_options);
+    summary = coordinator.serve();
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+
+  if (registry) {
+    try {
+      registry->write_snapshot(
+          (std::filesystem::path(*opt.telemetry_dir) / "metrics.json").string());
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr,
+               "netcons_coord: %llu/%llu trials committed in %.3f s "
+               "(%llu leases, %llu requeued, %llu workers, %llu dead)\n",
+               static_cast<unsigned long long>(summary.trials_committed),
+               static_cast<unsigned long long>(summary.trials_total), summary.wall_seconds,
+               static_cast<unsigned long long>(summary.stats.leases_granted),
+               static_cast<unsigned long long>(summary.stats.leases_requeued),
+               static_cast<unsigned long long>(summary.stats.workers_seen),
+               static_cast<unsigned long long>(summary.stats.workers_dead));
+  return summary.complete ? 0 : 1;
+}

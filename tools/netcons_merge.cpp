@@ -42,10 +42,26 @@ namespace {
 
 using namespace netcons;
 
+void print_help(const char* argv0) {
+  std::cout << "usage: " << argv0 << " [flags] RECORDS...\n"
+            << "\nFold trial-record JSONL streams (netcons-trials-v2) from sharded, fabric,\n"
+               "or interrupted runs into the byte-identical single-run campaign summary.\n"
+               "RECORDS are .jsonl files and/or directories of them; every input must\n"
+               "carry the same campaign fingerprint.\n"
+            << "\nflags:\n"
+               "  --json FILE             write the merged summary (netcons-campaign-v3)\n"
+               "  --csv FILE              write the merged summary as CSV\n"
+               "  --compact FILE          write one deduplicated, canonically ordered\n"
+               "                          record stream (an archival fixed point)\n"
+               "  --quiet                 suppress the result table and progress lines\n"
+               "  --help                  this message\n";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json FILE] [--csv FILE] [--compact FILE] [--quiet] RECORDS...\n"
-               "       RECORDS: trial-record .jsonl files and/or directories of them\n";
+               "       RECORDS: trial-record .jsonl files and/or directories of them\n"
+               "(--help for flag descriptions)\n";
   return 2;
 }
 
@@ -60,6 +76,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help") {
+      print_help(argv[0]);
+      return 0;
+    }
     if (arg == "--json" || arg == "--csv" || arg == "--compact") {
       if (i + 1 >= argc) return usage(argv[0]);
       (arg == "--json" ? json_path : arg == "--csv" ? csv_path : compact_path) = argv[++i];

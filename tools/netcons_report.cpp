@@ -58,6 +58,33 @@ struct Options {
   bool quiet = false;
 };
 
+void print_help(const char* argv0) {
+  std::cout << "usage: " << argv0 << " RECORDS... [flags]\n"
+            << "       " << argv0 << " --compare A B [--max-ks D] [flags]\n"
+            << "\nCompute per-trial distribution statistics (histograms, ECDFs, tail\n"
+               "quantiles) exactly from trial-record streams, or compare two record\n"
+               "sets with the two-sample Kolmogorov-Smirnov distance.\n"
+               "RECORDS are .jsonl files and/or directories of them; every input must\n"
+               "carry the same campaign fingerprint.\n"
+            << "\nflags:\n"
+               "  --json FILE             write the report (netcons-report-v1) or, with\n"
+               "                          --compare, KS distances (netcons-compare-v1)\n"
+               "  --csv FILE              write per-point histograms as CSV\n"
+               "  --ecdf-csv FILE         write per-point ECDFs as CSV\n"
+               "  --bins N|fd             histogram binning: a fixed count or\n"
+               "                          Freedman-Diaconis (default fd)\n"
+               "  --metrics m1,m2,...     restrict to these metrics (default all):\n"
+               "                          convergence_steps, steps_executed,\n"
+               "                          recovery_steps, edges_residual\n"
+               "  --compare               compare exactly two record sets point-by-point\n"
+               "  --max-ks D              with --compare: exit 1 if any KS distance\n"
+               "                          exceeds D (an equivalence gate)\n"
+               "  --allow-partial         report incomplete record streams instead of\n"
+               "                          failing on missing trials\n"
+               "  --quiet                 suppress tables and progress lines\n"
+               "  --help                  this message\n";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " RECORDS... [--json FILE] [--csv FILE] [--ecdf-csv FILE]\n"
@@ -67,7 +94,8 @@ int usage(const char* argv0) {
             << " --compare A B [--max-ks D] [--json FILE] [--quiet]\n"
                "       RECORDS: trial-record .jsonl files and/or directories of them\n"
                "       metrics: convergence_steps, steps_executed, recovery_steps, "
-               "edges_residual\n";
+               "edges_residual\n"
+               "(--help for flag descriptions)\n";
   return 2;
 }
 
@@ -76,7 +104,10 @@ std::optional<Options> parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
-    if (arg == "--quiet") {
+    if (arg == "--help") {
+      print_help(argv[0]);
+      std::exit(0);
+    } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--allow-partial") {
       opt.allow_partial = true;

@@ -22,6 +22,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -62,12 +63,34 @@ std::vector<std::string> spec_names() {
   return names;
 }
 
+void print_help(const char* argv0) {
+  std::cout << "usage: " << argv0 << " --protocol NAME [flags]\n"
+            << "       " << argv0 << " --list\n"
+            << "\nRun one constructor protocol to certified stability and validate the\n"
+               "output graph against the paper's target topology.\n"
+            << "\nflags:\n"
+               "  --protocol NAME         protocol to run (see --list)\n"
+               "  --n N                   population size (default 20)\n"
+               "  --seed S                trial seed (default 1)\n"
+               "  --trials T              trials; > 1 reports mean/median/CI (default 1)\n"
+               "  --engine NAME           execution engine: naive, census, census-leap\n"
+               "                          (default naive)\n"
+               "  --k K  --c C  --d D     protocol-family parameters\n"
+               "  --dot FILE              export the constructed network as Graphviz DOT\n"
+               "  --ascii                 render the constructed network as ASCII art\n"
+               "  --describe              print the protocol's transition table\n"
+               "  --telemetry DIR         write metrics.json and trace.json into DIR\n"
+               "  --list                  print registered protocols\n"
+               "  --help                  this message\n";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --protocol <name> [--n N] [--seed S] [--trials T]\n"
-               "       [--engine naive|census] [--k K] [--c C] [--d D]\n"
+               "       [--engine naive|census|census-leap] [--k K] [--c C] [--d D]\n"
                "       [--dot FILE] [--ascii] [--describe] [--telemetry DIR]\n"
-               "       " << argv0 << " --list\n";
+               "       " << argv0 << " --list\n"
+            << "(--help for flag descriptions)\n";
   return 2;
 }
 
@@ -76,7 +99,10 @@ std::optional<Options> parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
-    if (arg == "--list") {
+    if (arg == "--help") {
+      print_help(argv[0]);
+      std::exit(0);
+    } else if (arg == "--list") {
       opt.list = true;
     } else if (arg == "--ascii") {
       opt.ascii = true;

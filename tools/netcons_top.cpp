@@ -14,70 +14,28 @@
 // Robustness: a line that fails to parse -- typically the torn tail of a
 // heartbeat being written right now -- ends the current scan instead of
 // aborting; --follow simply retries it on the next poll.
-#include "campaign/json.hpp"
+#include "telemetry/heartbeat.hpp"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
-#include <vector>
 
 namespace {
 
-using netcons::campaign::json::field;
-using netcons::campaign::json::parse;
-using netcons::campaign::json::Value;
-
-struct Heartbeat {
-  bool final = false;
-  std::uint64_t seq = 0;
-  double elapsed_s = 0.0;
-  std::uint64_t trials_done = 0;
-  std::uint64_t trials_total = 0;
-  double trials_per_sec = 0.0;
-  double eta_s = 0.0;
-  std::uint64_t queue_depth = 0;
-  std::uint64_t workers = 0;
-  double mean_utilization = 0.0;
-};
-
-std::optional<Heartbeat> parse_heartbeat(const std::string& line) {
-  try {
-    const Value document = parse(line);
-    const auto& object = document.as_object();
-    if (field(object, "schema").as_string() != "netcons-heartbeat-v1") return std::nullopt;
-    Heartbeat hb;
-    hb.final = field(object, "type").as_string() == "final";
-    hb.seq = field(object, "seq").as_u64();
-    hb.elapsed_s = field(object, "elapsed_s").as_double();
-    hb.trials_done = field(object, "trials_done").as_u64();
-    hb.trials_total = field(object, "trials_total").as_u64();
-    hb.trials_per_sec = field(object, "trials_per_sec").as_double();
-    hb.eta_s = field(object, "eta_s").as_double();
-    hb.queue_depth = field(object, "queue_depth").as_u64();
-    hb.workers = field(object, "workers").as_u64();
-    const auto& utilization = field(object, "utilization").as_array();
-    double sum = 0.0;
-    for (const Value& u : utilization) sum += u.as_double();
-    hb.mean_utilization =
-        utilization.empty() ? 0.0 : sum / static_cast<double>(utilization.size());
-    return hb;
-  } catch (const std::exception&) {
-    return std::nullopt;  // torn tail or foreign line
-  }
-}
+using netcons::telemetry::HeartbeatPoint;
+using netcons::telemetry::parse_heartbeat_line;
 
 void print_header() {
   std::printf("%10s %18s %6s %12s %10s %6s %8s\n", "elapsed", "trials", "%", "trials/s",
               "eta", "util", "workers");
 }
 
-void print_row(const Heartbeat& hb) {
+void print_row(const HeartbeatPoint& hb) {
   const double percent = hb.trials_total > 0
                              ? 100.0 * static_cast<double>(hb.trials_done) /
                                    static_cast<double>(hb.trials_total)
@@ -85,7 +43,7 @@ void print_row(const Heartbeat& hb) {
   std::string trials = std::to_string(hb.trials_done) + "/" + std::to_string(hb.trials_total);
   std::printf("%9.1fs %18s %5.1f%% %12.1f %9.0fs %5.0f%% %8llu%s\n", hb.elapsed_s,
               trials.c_str(), percent, hb.trials_per_sec, hb.eta_s,
-              100.0 * hb.mean_utilization, static_cast<unsigned long long>(hb.workers),
+              100.0 * hb.mean_utilization(), static_cast<unsigned long long>(hb.workers),
               hb.final ? "  done" : "");
 }
 
@@ -97,9 +55,23 @@ std::string resolve_path(const std::string& arg) {
   return arg;
 }
 
+void print_help(const char* argv0) {
+  std::cout << "usage: " << argv0 << " [--follow] DIR|heartbeat.jsonl\n"
+            << "\nTail a campaign's heartbeat stream (netcons-heartbeat-v1) as a live\n"
+               "progress table: elapsed time, trials done/total, throughput, ETA, mean\n"
+               "worker utilization, worker count.\n"
+            << "\nflags:\n"
+               "  --follow                poll the file (~2x a second) until the final\n"
+               "                          heartbeat arrives\n"
+               "  --help                  this message\n"
+            << "\nDIR is a netcons_campaign --telemetry output directory (reads\n"
+               "DIR/heartbeat.jsonl); a file path passes through.\n";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " [--follow] DIR|heartbeat.jsonl\n"
-            << "  DIR: a netcons_campaign --telemetry output directory\n";
+            << "  DIR: a netcons_campaign --telemetry output directory\n"
+               "(--help for flag descriptions)\n";
   return 2;
 }
 
@@ -110,7 +82,10 @@ int main(int argc, char** argv) {
   std::string target;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--follow") {
+    if (arg == "--help") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--follow") {
       follow = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -147,7 +122,7 @@ int main(int argc, char** argv) {
         ++printed;
         continue;
       }
-      const auto hb = parse_heartbeat(line);
+      const auto hb = parse_heartbeat_line(line);
       if (!hb) break;  // torn tail: retry this line on the next poll
       ++printed;
       print_row(*hb);

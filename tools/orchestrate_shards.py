@@ -1,38 +1,56 @@
 #!/usr/bin/env python3
 """Fan a campaign out over k local processes, then merge and report.
 
-A one-machine version of the k-machine workflow README describes: run the
-same campaign spec as k disjoint shards (netcons_campaign --shard i/k,
-each streaming records into its own directory), wait for all of them, fold
-the records into the exact single-run summary (netcons_merge), compact the
-generations into one archival stream (netcons_merge --compact), and emit
-the distribution report (netcons_report).
+A one-machine version of the k-machine workflow README describes, in two
+flavors:
+
+Static striping (default): run the same campaign spec as k disjoint shards
+(netcons_campaign --shard i/k, each streaming records into its own
+directory), wait for all of them, fold the records into the exact
+single-run summary (netcons_merge), compact the generations into one
+archival stream (netcons_merge --compact), and emit the distribution
+report (netcons_report).
 
     orchestrate_shards.py --shards 4 --out campaign-out --bin-dir build \\
         -- --protocols cycle-cover,global-star --ns 32,64 --trials 1000
 
-Everything after `--` is passed to netcons_campaign verbatim (the campaign
-spec: units, ns, trials, seed, faults, ...). Do not pass --shard/--records/
---json there; the orchestrator owns those. Because shards are deterministic
-grid slices, the merged outputs are byte-identical to an unsharded run of
-the same spec — independent of k.
+Dynamic fabric (--fabric k): launch one netcons_coord plus k local
+netcons_worker processes that pull trial-range leases over TCP
+(work-stealing; see docs/fabric-protocol.md). A worker that dies mid-run
+forfeits only its in-flight leases — the coordinator reassigns them, and
+the merged summary stays byte-identical to an unsharded run. --kill-one
+SIGKILLs one worker as soon as the first trial record lands on disk, which
+is exactly the robustness property CI gates on.
+
+    orchestrate_shards.py --fabric 3 --kill-one --out fabric-out \\
+        --bin-dir build -- --protocols cycle-cover --ns 32 --trials 1000
+
+Everything after `--` is passed to netcons_campaign / netcons_coord /
+netcons_worker verbatim (the campaign spec: units, ns, trials, seed,
+faults, ...). Do not pass --shard/--records/--json there; the orchestrator
+owns those. Because shards and leases are deterministic grid slices with
+position-derived seeds, the merged outputs are byte-identical to an
+unsharded run of the same spec — independent of k and of worker deaths.
 
 Outputs under --out:
-    records/      per-shard trial-record JSONL streams
+    records/      per-shard (or per-worker) trial-record JSONL streams
     compact.jsonl the deduplicated, canonically ordered record stream
     summary.json / summary.csv   the campaign summary (netcons_merge)
     report.json / report.csv / report-ecdf.csv   distributions (netcons_report)
 
 Exit status: 0 on success (even with trial-level failures, which are data),
-2 on bad usage, 1 when a shard process dies or merge/report fail.
+2 on bad usage, 1 when a process dies unexpectedly or merge/report fail.
 
 Stdlib only -- CI runners need nothing installed.
 """
 
 import argparse
 import pathlib
+import re
+import signal
 import subprocess
 import sys
+import time
 
 
 def run_tool(cmd):
@@ -41,53 +59,27 @@ def run_tool(cmd):
     return subprocess.run([str(part) for part in cmd]).returncode
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--shards", type=int, default=2,
-                        help="number of local shard processes (default 2)")
-    parser.add_argument("--bin-dir", default="build",
-                        help="directory holding the netcons_* binaries (default build)")
-    parser.add_argument("--out", default="campaign-out",
-                        help="output directory (default campaign-out)")
-    parser.add_argument("--bins", default="fd",
-                        help="report histogram binning: fd or a bin count (default fd)")
-    parser.add_argument("--skip-report", action="store_true",
-                        help="merge only; skip the distribution report")
-    parser.add_argument("campaign", nargs=argparse.REMAINDER,
-                        help="-- followed by netcons_campaign spec flags")
-    args = parser.parse_args()
+def fold_records(args, out, records):
+    """Merge + compact + report over whatever landed in the records dir."""
+    if run_tool([args.merge_bin, records, "--json", out / "summary.json",
+                 "--csv", out / "summary.csv"]) != 0:
+        return 1
+    if run_tool([args.merge_bin, "--compact", out / "compact.jsonl", records,
+                 "--quiet"]) != 0:
+        return 1
+    if not args.skip_report:
+        if run_tool([args.report_bin, out / "compact.jsonl", "--bins", args.bins,
+                     "--json", out / "report.json", "--csv", out / "report.csv",
+                     "--ecdf-csv", out / "report-ecdf.csv"]) != 0:
+            return 1
+    return 0
 
-    spec = args.campaign
-    if spec and spec[0] == "--":
-        spec = spec[1:]
-    if args.shards < 1 or not spec:
-        parser.print_usage(sys.stderr)
-        print("need --shards >= 1 and a campaign spec after --", file=sys.stderr)
-        return 2
-    for owned in ("--shard", "--records", "--resume", "--json", "--csv"):
-        if owned in spec:
-            print(f"{owned} belongs to the orchestrator; pass only the campaign spec",
-                  file=sys.stderr)
-            return 2
 
-    bin_dir = pathlib.Path(args.bin_dir)
-    campaign_bin = bin_dir / "netcons_campaign"
-    merge_bin = bin_dir / "netcons_merge"
-    report_bin = bin_dir / "netcons_report"
-    for binary in (campaign_bin, merge_bin, report_bin):
-        if not binary.exists():
-            print(f"missing binary: {binary} (build the tree first)", file=sys.stderr)
-            return 2
-
-    out = pathlib.Path(args.out)
-    records = out / "records"
-    records.mkdir(parents=True, exist_ok=True)
-
-    # --- fan out: k shard processes, each with its own record stream -------
+def run_static(args, spec, out, records):
+    """The classic --shard i/k fan-out."""
     children = []
     for shard in range(args.shards):
-        cmd = [str(campaign_bin), *spec,
+        cmd = [str(args.campaign_bin), *spec,
                "--shard", f"{shard}/{args.shards}",
                "--records", str(records), "--quiet"]
         print("+", " ".join(cmd), flush=True)
@@ -116,25 +108,162 @@ def main():
     if failures:
         return 1
 
-    # --- fold: summary, compacted archive stream, distribution report ------
-    if run_tool([merge_bin, records, "--json", out / "summary.json",
-                 "--csv", out / "summary.csv"]) != 0:
-        if exit_ones:
-            print(f"merge failed after shard(s) {exit_ones} exited 1: those "
-                  "shards likely died before finishing (not trial-level "
-                  "failures)", file=sys.stderr)
-        return 1
-    if run_tool([merge_bin, "--compact", out / "compact.jsonl", records,
-                 "--quiet"]) != 0:
-        return 1
-    if not args.skip_report:
-        if run_tool([report_bin, out / "compact.jsonl", "--bins", args.bins,
-                     "--json", out / "report.json", "--csv", out / "report.csv",
-                     "--ecdf-csv", out / "report-ecdf.csv"]) != 0:
-            return 1
+    code = fold_records(args, out, records)
+    if code != 0 and exit_ones:
+        print(f"merge failed after shard(s) {exit_ones} exited 1: those "
+              "shards likely died before finishing (not trial-level "
+              "failures)", file=sys.stderr)
+    if code == 0:
+        print(f"done: {args.shards} shards -> {out}")
+    return code
 
-    print(f"done: {args.shards} shards -> {out}")
-    return 0
+
+def first_record_landed(records):
+    """True once some worker has streamed at least one trial record (file
+    with more than the header line)."""
+    for path in records.glob("*.jsonl"):
+        try:
+            if path.read_bytes().count(b"\n") >= 2:
+                return True
+        except OSError:
+            pass
+    return False
+
+
+def run_fabric(args, spec, out, records):
+    """Coordinator + k workers over TCP leases, optionally killing one."""
+    coord_cmd = [str(args.coord_bin), *spec, "--port", "0",
+                 "--lease", str(args.lease), "--deadline", str(args.deadline),
+                 "--max-idle", "120"]
+    print("+", " ".join(coord_cmd), flush=True)
+    coord_log = open(out / "coord.stdout", "w+b", buffering=0)
+    coord = subprocess.Popen(coord_cmd, stdout=coord_log)
+
+    # The coordinator announces its kernel-assigned port on stdout.
+    port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        coord_log.seek(0)
+        match = re.search(rb"listening on [^:]*:(\d+)", coord_log.read())
+        if match:
+            port = int(match.group(1))
+            break
+        if coord.poll() is not None:
+            print("coordinator exited before announcing its port", file=sys.stderr)
+            return 1
+        time.sleep(0.05)
+    if port is None:
+        coord.kill()
+        print("coordinator never announced its port", file=sys.stderr)
+        return 1
+
+    workers = []
+    for _ in range(args.fabric):
+        cmd = [str(args.worker_bin), *spec,
+               "--connect", f"127.0.0.1:{port}", "--records", str(records)]
+        print("+", " ".join(cmd), flush=True)
+        workers.append(subprocess.Popen(cmd))
+
+    if args.kill_one:
+        # Wait until the doomed worker is plausibly mid-lease (some record
+        # has landed), then SIGKILL it: no drain, no goodbye, a torn record
+        # tail — the exact crash the lease reassignment must absorb.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not first_record_landed(records):
+            time.sleep(0.05)
+        victim = workers[0]
+        print(f"+ kill -9 {victim.pid}  # killing worker 1 of {args.fabric}",
+              flush=True)
+        victim.send_signal(signal.SIGKILL)
+
+    failures = 0
+    for index, worker in enumerate(workers):
+        code = worker.wait()
+        killed = args.kill_one and index == 0
+        if killed:
+            print(f"worker {index + 1} exited {code} (killed on purpose)")
+        elif code != 0:
+            print(f"worker {index + 1} exited with status {code}", file=sys.stderr)
+            failures += 1
+    coord_code = coord.wait()
+    coord_log.close()
+    if coord_code != 0:
+        print(f"coordinator exited with status {coord_code}", file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+
+    code = fold_records(args, out, records)
+    if code == 0:
+        killed = " (one worker killed mid-run)" if args.kill_one else ""
+        print(f"done: coordinator + {args.fabric} workers{killed} -> {out}")
+    return code
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="number of local static-shard processes (default 2)")
+    parser.add_argument("--fabric", type=int, default=0, metavar="K",
+                        help="use the dynamic fabric instead: one netcons_coord "
+                             "plus K local netcons_worker processes")
+    parser.add_argument("--kill-one", action="store_true",
+                        help="fabric mode: SIGKILL one worker once the first "
+                             "record lands (robustness gate)")
+    parser.add_argument("--lease", type=int, default=32,
+                        help="fabric mode: max trials per lease (default 32)")
+    parser.add_argument("--deadline", type=float, default=5.0,
+                        help="fabric mode: worker heartbeat deadline in seconds "
+                             "(default 5)")
+    parser.add_argument("--bin-dir", default="build",
+                        help="directory holding the netcons_* binaries (default build)")
+    parser.add_argument("--out", default="campaign-out",
+                        help="output directory (default campaign-out)")
+    parser.add_argument("--bins", default="fd",
+                        help="report histogram binning: fd or a bin count (default fd)")
+    parser.add_argument("--skip-report", action="store_true",
+                        help="merge only; skip the distribution report")
+    parser.add_argument("campaign", nargs=argparse.REMAINDER,
+                        help="-- followed by netcons_campaign spec flags")
+    args = parser.parse_args()
+
+    spec = args.campaign
+    if spec and spec[0] == "--":
+        spec = spec[1:]
+    if (args.fabric < 0 or args.shards < 1 or not spec
+            or (args.kill_one and args.fabric < 2)):
+        parser.print_usage(sys.stderr)
+        print("need a campaign spec after --, --shards >= 1 (or --fabric >= 1; "
+              ">= 2 with --kill-one)", file=sys.stderr)
+        return 2
+    for owned in ("--shard", "--records", "--resume", "--json", "--csv",
+                  "--connect", "--port"):
+        if owned in spec:
+            print(f"{owned} belongs to the orchestrator; pass only the campaign spec",
+                  file=sys.stderr)
+            return 2
+
+    bin_dir = pathlib.Path(args.bin_dir)
+    args.campaign_bin = bin_dir / "netcons_campaign"
+    args.merge_bin = bin_dir / "netcons_merge"
+    args.report_bin = bin_dir / "netcons_report"
+    args.coord_bin = bin_dir / "netcons_coord"
+    args.worker_bin = bin_dir / "netcons_worker"
+    needed = [args.merge_bin, args.report_bin]
+    needed += [args.coord_bin, args.worker_bin] if args.fabric else [args.campaign_bin]
+    for binary in needed:
+        if not binary.exists():
+            print(f"missing binary: {binary} (build the tree first)", file=sys.stderr)
+            return 2
+
+    out = pathlib.Path(args.out)
+    records = out / "records"
+    records.mkdir(parents=True, exist_ok=True)
+
+    if args.fabric:
+        return run_fabric(args, spec, out, records)
+    return run_static(args, spec, out, records)
 
 
 if __name__ == "__main__":
