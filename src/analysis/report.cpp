@@ -1,0 +1,165 @@
+#include "analysis/report.hpp"
+
+#include "campaign/json.hpp"
+#include "campaign/result_sink.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace netcons::analysis {
+
+namespace {
+
+void append_metric_json(std::string& out, Metric metric, const ValueDistribution& dist,
+                        int bins) {
+  out += "{\"metric\": ";
+  campaign::json::append_escaped(out, std::string(metric_name(metric)));
+  out += ", \"count\": " + std::to_string(dist.count());
+  out += ", \"min\": " + std::to_string(dist.min());
+  out += ", \"max\": " + std::to_string(dist.max());
+  out += ", \"mean\": ";
+  campaign::json::append_double(out, dist.mean());
+  out += ", \"stddev\": ";
+  campaign::json::append_double(out, dist.stddev());
+  for (const auto& [name, p] :
+       {std::pair{"p50", 0.50}, std::pair{"p90", 0.90}, std::pair{"p99", 0.99}}) {
+    out += ", \"";
+    out += name;
+    out += "\": ";
+    campaign::json::append_double(out, dist.quantile(p));
+  }
+  const Histogram h = histogram(dist, bins);
+  out += ", \"histogram\": {\"bins\": ";
+  out += std::to_string(h.bins());
+  out += ", \"lo\": ";
+  campaign::json::append_double(out, h.lo);
+  out += ", \"width\": ";
+  campaign::json::append_double(out, h.width);
+  out += ", \"counts\": [";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(h.counts[i]);
+  }
+  out += "]}";
+  out += ", \"ecdf\": [";
+  bool first = true;
+  for (const EcdfPoint& point : ecdf(dist)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "[" + std::to_string(point.value) + ", " + std::to_string(point.cumulative) + "]";
+  }
+  out += "]}";
+}
+
+void append_point_prefix(std::string& out, const campaign::GridPoint& point, Metric metric) {
+  out += campaign::csv_field(point.unit) + ',' + campaign::csv_field(point.scheduler) + ',' +
+         campaign::csv_field(point.faults) + ',' + campaign::csv_field(point.engine) + ',' +
+         std::to_string(point.n) + ',';
+  out += metric_name(metric);
+}
+
+}  // namespace
+
+ReportSpec default_report_spec() {
+  ReportSpec spec;
+  spec.metrics.assign(all_metrics().begin(), all_metrics().end());
+  return spec;
+}
+
+RecordDistributionBuilder load_distributions(const std::vector<std::string>& inputs) {
+  campaign::TrialRecordReader reader(inputs);
+  std::optional<RecordDistributionBuilder> builder;
+  while (const auto record = reader.next()) {
+    if (!builder) builder.emplace(*reader.header());
+    builder->add(*record);
+  }
+  if (!builder) {
+    if (!reader.header()) throw std::runtime_error("no trial records found in the given inputs");
+    builder.emplace(*reader.header());
+  }
+  return std::move(*builder);
+}
+
+bool metric_applicable(Metric metric, bool faulted) {
+  return faulted || (metric != Metric::kRecoverySteps && metric != Metric::kEdgesResidual);
+}
+
+std::string report_json(const RecordDistributionBuilder& builder,
+                        const std::vector<PointDistributions>& dists, const ReportSpec& spec) {
+  const campaign::CampaignHeader& header = builder.header();
+  std::string out = "{\n  \"schema\": \"netcons-report-v1\",\n";
+  out += "  \"base_seed\": " + std::to_string(header.base_seed) + ",\n";
+  out += "  \"trials\": " + std::to_string(header.trials) + ",\n";
+  out += "  \"trials_recorded\": " + std::to_string(builder.filled()) + ",\n";
+  out += "  \"binning\": ";
+  campaign::json::append_escaped(
+      out, spec.bins <= 0 ? std::string("fd") : "fixed:" + std::to_string(spec.bins));
+  out += ",\n  \"points\": [\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    const campaign::GridPoint& point = header.points[p];
+    out += "    {\"unit\": ";
+    campaign::json::append_escaped(out, point.unit);
+    out += ", \"scheduler\": ";
+    campaign::json::append_escaped(out, point.scheduler);
+    out += ", \"faults\": ";
+    campaign::json::append_escaped(out, point.faults);
+    out += ", \"engine\": ";
+    campaign::json::append_escaped(out, point.engine);
+    out += ", \"n\": " + std::to_string(point.n);
+    out += ", \"seed\": " + std::to_string(point.seed);
+    out += ",\n     \"metrics\": [\n";
+    bool first = true;
+    for (const Metric metric : spec.metrics) {
+      if (!metric_applicable(metric, point.faulted)) continue;
+      if (!first) out += ",\n";
+      first = false;
+      out += "      ";
+      append_metric_json(out, metric, dists[p].metric(metric), spec.bins);
+    }
+    out += "\n     ]}";
+    out += (p + 1 < header.points.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string histogram_csv(const campaign::CampaignHeader& header,
+                          const std::vector<PointDistributions>& dists,
+                          const ReportSpec& spec) {
+  std::string out = "unit,scheduler,faults,engine,n,metric,bin,lo,hi,count\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    for (const Metric metric : spec.metrics) {
+      if (!metric_applicable(metric, header.points[p].faulted)) continue;
+      const Histogram h = histogram(dists[p].metric(metric), spec.bins);
+      for (std::size_t bin = 0; bin < h.counts.size(); ++bin) {
+        append_point_prefix(out, header.points[p], metric);
+        out += ',' + std::to_string(bin) + ',';
+        campaign::json::append_double(out, h.edge(bin));
+        out += ',';
+        campaign::json::append_double(out, h.edge(bin + 1));
+        out += ',' + std::to_string(h.counts[bin]) + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+std::string ecdf_csv(const campaign::CampaignHeader& header,
+                     const std::vector<PointDistributions>& dists, const ReportSpec& spec) {
+  std::string out = "unit,scheduler,faults,engine,n,metric,value,cumulative,fraction\n";
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    for (const Metric metric : spec.metrics) {
+      if (!metric_applicable(metric, header.points[p].faulted)) continue;
+      for (const EcdfPoint& point : ecdf(dists[p].metric(metric))) {
+        append_point_prefix(out, header.points[p], metric);
+        out += ',' + std::to_string(point.value) + ',' + std::to_string(point.cumulative) + ',';
+        campaign::json::append_double(out, point.fraction);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netcons::analysis

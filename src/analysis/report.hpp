@@ -1,0 +1,58 @@
+// Shared rendering of the netcons-report-v1 document and its CSV
+// companions over per-point distribution builders.
+//
+// This is the one implementation behind every surface that emits a report:
+// the netcons_report CLI and the serve-layer result cache both call these
+// functions, so a daemon-served report is byte-identical to the CLI's for
+// the same record set — the property the serve CI gate cmp-enforces.
+// Statistics are computed in canonical (point, metric) order from the
+// builder's exact distributions; the output bytes depend only on the
+// record *set*, never on file arrangement or arrival order.
+#pragma once
+
+#include "analysis/distribution.hpp"
+#include "campaign/trial_record.hpp"
+
+#include <string>
+#include <vector>
+
+namespace netcons::analysis {
+
+/// What to render: which metrics (in emission order) and how to bin
+/// histograms. default_report_spec() — every metric, Freedman–Diaconis —
+/// is what the CLI emits with no --metrics/--bins flags and what the serve
+/// cache stores.
+struct ReportSpec {
+  std::vector<Metric> metrics;
+  int bins = 0;  ///< <= 0: Freedman–Diaconis.
+};
+
+[[nodiscard]] ReportSpec default_report_spec();
+
+/// Stream every record under `inputs` (files and/or directories) into a
+/// distribution builder. Throws std::runtime_error when the inputs hold no
+/// records, on header mismatches, and on corrupt record lines.
+[[nodiscard]] RecordDistributionBuilder load_distributions(
+    const std::vector<std::string>& inputs);
+
+/// Metrics that can ever have samples at this point (recovery metrics only
+/// exist under a fault plan); emitting on applicability — not on observed
+/// counts — keeps the document layout a pure function of the grid.
+[[nodiscard]] bool metric_applicable(Metric metric, bool faulted);
+
+/// The netcons-report-v1 JSON document. `dists` must be `builder.build()`.
+[[nodiscard]] std::string report_json(const RecordDistributionBuilder& builder,
+                                      const std::vector<PointDistributions>& dists,
+                                      const ReportSpec& spec);
+
+/// Per-point histogram rows ("unit,scheduler,...,bin,lo,hi,count").
+[[nodiscard]] std::string histogram_csv(const campaign::CampaignHeader& header,
+                                        const std::vector<PointDistributions>& dists,
+                                        const ReportSpec& spec);
+
+/// Per-point exact ECDF rows ("unit,scheduler,...,value,cumulative,fraction").
+[[nodiscard]] std::string ecdf_csv(const campaign::CampaignHeader& header,
+                                   const std::vector<PointDistributions>& dists,
+                                   const ReportSpec& spec);
+
+}  // namespace netcons::analysis

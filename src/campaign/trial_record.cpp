@@ -327,6 +327,17 @@ void load_records(const std::string& path, LoadedRecords& into) {
   into.discarded_partial += reader.discarded_partial();
 }
 
+OutcomeMap load_resume_outcomes(const std::string& dir, const CampaignHeader& header) {
+  if (!std::filesystem::exists(dir)) return {};
+  LoadedRecords loaded;
+  // Pre-seeding the expected header turns a spec mismatch into a hard error
+  // naming the differing field, instead of silently reusing trials from a
+  // different campaign.
+  loaded.header = header;
+  load_records(dir, loaded);
+  return std::move(loaded.outcomes);
+}
+
 CompactionResult compact_records(const std::vector<std::string>& inputs,
                                  const std::string& output_path,
                                  const CampaignHeader* expected) {

@@ -48,9 +48,15 @@ CoordinatorSummary Coordinator::serve() {
 
   Socket listener = listen_on(options_.host, options_.port);
   const int port = local_port(listener);
-  // Orchestrators parse this line to learn a kernel-assigned port.
-  std::cout << "netcons_coord listening on " << options_.host << ":" << port << "\n"
-            << std::flush;
+  if (options_.on_listening) {
+    // An embedding process (the serve-layer Scheduler) owns its own stdout;
+    // the callback replaces the announce line.
+    options_.on_listening(port);
+  } else {
+    // Orchestrators parse this line to learn a kernel-assigned port.
+    std::cout << "netcons_coord listening on " << options_.host << ":" << port << "\n"
+              << std::flush;
+  }
 
   std::list<Connection> connections;
   const auto started = Clock::now();

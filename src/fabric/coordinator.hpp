@@ -24,6 +24,7 @@
 #include "fabric/lease.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace netcons::telemetry {
@@ -47,6 +48,11 @@ struct CoordinatorOptions {
   bool quiet = false;  ///< Suppress per-worker lifecycle lines on stderr.
   /// fabric.* gauges published here per poll iteration (may be null).
   telemetry::Registry* registry = nullptr;
+  /// Invoked once the listener is bound, with the (possibly
+  /// kernel-assigned) port — how an embedding process (the serve-layer
+  /// Scheduler) learns where to point workers without parsing the stdout
+  /// announce line. May be null.
+  std::function<void(int port)> on_listening;
 };
 
 struct CoordinatorSummary {

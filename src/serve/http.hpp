@@ -1,0 +1,150 @@
+// A minimal embedded HTTP/1.1 server over the fabric's POSIX socket
+// primitives (fabric/frame.hpp) — no new dependencies, just enough of the
+// protocol for the netcons_serve JSON API: request-line + headers parsing,
+// Content-Length bodies, keep-alive, and file-streamed responses for the
+// large cached artifacts (records stream in fixed-size chunks, never
+// materialized in memory).
+//
+// Deliberately NOT implemented (requests using them get a 4xx/close):
+// chunked transfer encoding on requests, HTTP/1.0 keep-alive, TLS, and
+// authentication. The trust model matches docs/fabric-protocol.md: bind to
+// loopback or a trusted network only — see docs/serving-api.md.
+#pragma once
+
+#include "fabric/frame.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace netcons::serve {
+
+struct HttpRequest {
+  std::string method;  ///< Uppercase token as sent ("GET", "POST", ...).
+  std::string target;  ///< The raw request-target ("/v1/campaigns?x=1").
+  std::string path;    ///< Target up to the first '?'.
+  std::string query;   ///< After the '?'; empty when absent.
+  std::map<std::string, std::string> headers;  ///< Names lower-cased.
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Non-empty: stream this file as the body instead (Content-Length from
+  /// the file size, 64 KiB chunks). `body` is ignored.
+  std::string file_path;
+  /// Ask the client to close after this response (also honored when the
+  /// client sent "Connection: close").
+  bool close = false;
+};
+
+[[nodiscard]] std::string_view status_reason(int status) noexcept;
+
+/// Incremental HTTP/1.1 request parser (exposed for unit tests). Feed
+/// bytes as they arrive; kReady means one complete request is available
+/// via take(), which resets the parser for the next request on the
+/// connection (keep-alive). kError is fatal for the connection.
+class RequestParser {
+ public:
+  struct Limits {
+    std::size_t max_head = 64u * 1024u;         ///< Request line + headers.
+    std::size_t max_body = 8u * 1024u * 1024u;  ///< Content-Length cap.
+  };
+
+  enum class State { kIncomplete, kReady, kError };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  State feed(const char* data, std::size_t size);
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// The parsed request; valid only in kReady. Resets for the next one.
+  [[nodiscard]] HttpRequest take();
+
+ private:
+  State fail(const std::string& message);
+  State advance();
+  [[nodiscard]] bool parse_head(std::string_view head);
+
+  Limits limits_;
+  State state_ = State::kIncomplete;
+  std::string buffer_;
+  std::string error_;
+  HttpRequest request_;
+  std::size_t body_needed_ = 0;
+  bool head_done_ = false;
+};
+
+/// Accept-thread + worker-pool HTTP server. Connections queue behind the
+/// workers; each worker owns one connection at a time and serves its
+/// keep-alive request sequence to completion.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0: kernel-assigned; read port() after start().
+    int threads = 4;
+    double io_timeout_seconds = 30.0;  ///< Per-socket read/write timeout.
+    RequestParser::Limits limits;
+  };
+
+  /// `handler` runs on worker threads and must be thread-safe. A handler
+  /// throw becomes a 500 response; it never kills the worker.
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind and start serving. Throws std::runtime_error on bind failure.
+  void start();
+  void stop();
+
+  /// The bound TCP port; valid after start().
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+ private:
+  void accept_main();
+  void worker_main();
+  void serve_connection(fabric::Socket socket);
+
+  Options options_;
+  Handler handler_;
+  fabric::Socket listener_;
+  int port_ = -1;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<fabric::Socket> pending_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// Minimal blocking HTTP/1.1 client for tests and benches: one request per
+/// call over a fresh connection ("Connection: close").
+struct FetchResult {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< Names lower-cased.
+  std::string body;
+};
+
+[[nodiscard]] FetchResult http_fetch(const std::string& host, int port,
+                                     const std::string& method, const std::string& target,
+                                     const std::string& body = {},
+                                     double timeout_seconds = 30.0);
+
+}  // namespace netcons::serve

@@ -29,6 +29,12 @@ def overhead_doc(throughput, overhead=None):
     return document
 
 
+def serve_doc(rps, mean_ms):
+    return {"bench": "serve_throughput",
+            "serve_throughput": {"cache_hit_rps": rps,
+                                 "mean_request_ms": mean_ms}}
+
+
 def scaling_doc(points):
     """points: {n: ns_per_effective} for a single census curve."""
     return {"bench": "engine_scaling",
@@ -85,12 +91,13 @@ class CompareBenchTest(unittest.TestCase):
         self.assertNotIn("Traceback", result.stderr)
 
     def test_schema_mismatched_baseline_is_status_3(self):
-        # Valid JSON, but nothing under a "throughput", "overhead", or
-        # "scaling_curve" object.
+        # Valid JSON, but nothing under a "throughput", "overhead",
+        # "serve_throughput", or "scaling_curve" object.
         result = self.run_compare(self.write("base.json", {"other_schema": [1, 2, 3]}),
                                   self.write("cur.json", bench_doc(100.0)))
         self.assertEqual(result.returncode, 3)
-        self.assertIn("no throughput, overhead, or scaling metrics", result.stderr)
+        self.assertIn("no throughput, overhead, scaling, or serving metrics",
+                      result.stderr)
 
     def test_missing_current_is_status_2(self):
         result = self.run_compare(self.write("base.json", bench_doc(100.0)),
@@ -144,6 +151,36 @@ class CompareBenchTest(unittest.TestCase):
                                   self.write("cur.json", overhead_doc(100.0, 0.025)),
                                   "--overhead-threshold", "0.005")
         self.assertEqual(result.returncode, 1)
+
+    def test_serve_metrics_within_threshold_pass(self):
+        result = self.run_compare(self.write("base.json", serve_doc(1000.0, 1.0)),
+                                  self.write("cur.json", serve_doc(900.0, 1.1)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_serve_rps_drop_beyond_threshold_fails(self):
+        result = self.run_compare(self.write("base.json", serve_doc(1000.0, 1.0)),
+                                  self.write("cur.json", serve_doc(500.0, 1.0)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("cache_hit_rps", result.stdout)
+
+    def test_serve_latency_rise_beyond_threshold_fails(self):
+        # Latencies regress by *rising*: the _rps direction must not be
+        # applied to the non-rate metrics of the family.
+        result = self.run_compare(self.write("base.json", serve_doc(1000.0, 1.0)),
+                                  self.write("cur.json", serve_doc(1000.0, 2.0)))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("mean_request_ms", result.stdout)
+
+    def test_serve_improvement_in_both_directions_passes(self):
+        result = self.run_compare(self.write("base.json", serve_doc(1000.0, 1.0)),
+                                  self.write("cur.json", serve_doc(4000.0, 0.2)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_serve_only_baseline_is_not_a_schema_mismatch(self):
+        result = self.run_compare(self.write("base.json", serve_doc(1000.0, 1.0)),
+                                  self.write("cur.json", serve_doc(1000.0, 1.0)))
+        self.assertEqual(result.returncode, 0, result.stderr)
 
     def test_flat_scaling_curve_within_point_threshold_passes(self):
         result = self.run_compare(self.write("base.json", scaling_doc(FLAT_CURVE)),

@@ -20,7 +20,7 @@ confuses the comparison:
 
 Usage: test_help_matches_docs.py REPO_ROOT NETCONS_RUN NETCONS_CAMPAIGN \
            NETCONS_MERGE NETCONS_REPORT NETCONS_TOP NETCONS_COORD \
-           NETCONS_WORKER
+           NETCONS_WORKER NETCONS_SERVE
 
 Exit status: 0 on agreement, 1 on drift (each mismatch printed).
 Stdlib only -- CI runners need nothing installed.
@@ -83,11 +83,11 @@ def docs_tables(operations_md):
 
 
 def main():
-    if len(sys.argv) != 9:
+    if len(sys.argv) != 10:
         print(__doc__, file=sys.stderr)
         return 2
     root = pathlib.Path(sys.argv[1])
-    binaries = sys.argv[2:9]
+    binaries = sys.argv[2:10]
     operations = (root / "docs" / "OPERATIONS.md").read_text(encoding="utf-8")
     tables = docs_tables(operations)
     spec_table = tables.get("Campaign spec", set())

@@ -14,6 +14,12 @@ Two checks over README.md and docs/*.md:
    docs/FILE_FORMATS.md. (tests/ are excluded on purpose: they mint fake
    versions like netcons-fabric-v99 to exercise mismatch errors.)
 
+3. Every schema name the docs *talk about* is documented too: a
+   netcons-<name>-v<N> mentioned in README.md or any docs/*.md (other
+   than FILE_FORMATS.md itself) must appear in docs/FILE_FORMATS.md --
+   prose must not reference a format the formats reference has dropped
+   or never defined.
+
 Usage: check_docs.py [REPO_ROOT]        (default: the script's repo)
 
 Exit status: 0 clean, 1 findings (each printed as file:line: message).
@@ -86,6 +92,23 @@ def check_schema_coverage(root, formats_doc):
     return findings
 
 
+def check_schema_mentions(doc_paths, formats_doc):
+    """Schema names the prose docs mention but FILE_FORMATS.md does not."""
+    findings = []
+    documented = set(SCHEMA.findall(formats_doc.read_text(encoding="utf-8")))
+    for path in doc_paths:
+        if path.resolve() == formats_doc.resolve():
+            continue
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for name in SCHEMA.findall(line):
+                if name not in documented:
+                    findings.append(
+                        f"{path}:{lineno}: schema {name} is referenced but "
+                        "not documented in docs/FILE_FORMATS.md")
+    return findings
+
+
 def main():
     root = pathlib.Path(
         sys.argv[1] if len(sys.argv) > 1
@@ -100,6 +123,7 @@ def main():
 
     findings = check_links([readme] + docs)
     findings += check_schema_coverage(root, formats)
+    findings += check_schema_mentions([readme] + docs, formats)
     for finding in findings:
         print(finding, file=sys.stderr)
     if findings:

@@ -13,6 +13,11 @@ families are recognized, anywhere in the document:
     fails if a current value exceeds its baseline by more than
     --overhead-threshold (default 0.02, absolute -- overheads are small
     fractions, where relative comparison would amplify noise);
+  * every numeric under a "serve_throughput" object
+    (bench_serve_throughput --json) is gated relatively at --threshold:
+    keys ending in "_rps" are higher-is-better (the sustained cache-hit
+    request rate), every other numeric (e.g. mean_request_ms) is
+    lower-is-better;
   * a "scaling_curve" object (bench_engine_speedup --scaling) holds one
     object per curve whose keys are "n_<population>" points and whose
     values are ns per effective interaction, e.g.
@@ -78,6 +83,20 @@ def throughput_metrics(document, prefix=""):
 def overhead_metrics(document, prefix=""):
     """Lower-is-better metrics (absolute-tolerance gate)."""
     return tagged_metrics(document, "overhead", prefix)
+
+
+def serve_metrics(document, prefix=""):
+    """The serving-layer family, split by direction.
+
+    Returns (higher_is_better, lower_is_better): "*_rps" request rates
+    regress by falling, every other numeric (latencies) by rising.
+    """
+    metrics = tagged_metrics(document, "serve_throughput", prefix)
+    rates = {name: value for name, value in metrics.items()
+             if name.endswith("_rps")}
+    latencies = {name: value for name, value in metrics.items()
+                 if not name.endswith("_rps")}
+    return rates, latencies
 
 
 def scaling_metrics(document, prefix=""):
@@ -218,10 +237,12 @@ def main():
     baseline_throughput = throughput_metrics(baseline_doc)
     baseline_overhead = overhead_metrics(baseline_doc)
     baseline_scaling = scaling_metrics(baseline_doc)
-    if not baseline_throughput and not baseline_overhead and not baseline_scaling:
+    baseline_serve_rates, baseline_serve_latencies = serve_metrics(baseline_doc)
+    if (not baseline_throughput and not baseline_overhead and not baseline_scaling
+            and not baseline_serve_rates and not baseline_serve_latencies):
         print(f"compare_bench: baseline {args.baseline} has no throughput, overhead, "
-              "or scaling metrics (schema mismatch?); this run should seed a fresh "
-              "baseline", file=sys.stderr)
+              "scaling, or serving metrics (schema mismatch?); this run should seed "
+              "a fresh baseline", file=sys.stderr)
         return 3
 
     regressions = compare_family(
@@ -232,6 +253,15 @@ def main():
         baseline_overhead, overhead_metrics(current_doc),
         regressed=lambda base, cur: cur > base + args.overhead_threshold,
         describe=lambda base, cur: f"{cur - base:+.4f} absolute")
+    current_serve_rates, current_serve_latencies = serve_metrics(current_doc)
+    regressions += compare_family(
+        baseline_serve_rates, current_serve_rates,
+        regressed=lambda base, cur: base > 0 and cur < base * (1.0 - args.threshold),
+        describe=lambda base, cur: f"{(cur - base) / base:+.1%}" if base > 0 else "n/a")
+    regressions += compare_family(
+        baseline_serve_latencies, current_serve_latencies,
+        regressed=lambda base, cur: base > 0 and cur > base * (1.0 + args.threshold),
+        describe=lambda base, cur: f"{(cur - base) / base:+.1%}" if base > 0 else "n/a")
     regressions += compare_family(
         baseline_scaling, current_scaling,
         regressed=lambda base, cur: base > 0 and cur > base * (1.0 + args.threshold),

@@ -248,16 +248,10 @@ int main(int argc, char** argv) {
   campaign::OutcomeMap resume_outcomes;
   std::optional<campaign::TrialRecordSink> sink;
   try {
-    if (opt.resume_dir && std::filesystem::exists(*opt.resume_dir)) {
-      campaign::LoadedRecords loaded;
-      // Pre-seeding the expected header turns a spec mismatch into a hard
-      // error naming the differing field, instead of silently reusing
-      // trials from a different campaign.
-      loaded.header = header;
-      campaign::load_records(*opt.resume_dir, loaded);
-      resume_outcomes = std::move(loaded.outcomes);
-      run_options.resume = &resume_outcomes;
-      if (!opt.quiet) {
+    if (opt.resume_dir) {
+      resume_outcomes = campaign::load_resume_outcomes(*opt.resume_dir, header);
+      if (!resume_outcomes.empty()) run_options.resume = &resume_outcomes;
+      if (!opt.quiet && std::filesystem::exists(*opt.resume_dir)) {
         std::cout << "resuming: " << resume_outcomes.size() << " trials already recorded in "
                   << *opt.resume_dir << '\n';
       }

@@ -132,13 +132,10 @@ int main(int argc, char** argv) {
   const campaign::CampaignHeader header = campaign::CampaignHeader::describe(*spec);
 
   campaign::OutcomeMap resume_outcomes;
-  if (opt.resume_dir && std::filesystem::exists(*opt.resume_dir)) {
+  if (opt.resume_dir) {
     try {
-      campaign::LoadedRecords loaded;
-      loaded.header = header;
-      campaign::load_records(*opt.resume_dir, loaded);
-      resume_outcomes = std::move(loaded.outcomes);
-      if (!opt.quiet) {
+      resume_outcomes = campaign::load_resume_outcomes(*opt.resume_dir, header);
+      if (!opt.quiet && std::filesystem::exists(*opt.resume_dir)) {
         std::cerr << "[coord] resuming: " << resume_outcomes.size()
                   << " trials already recorded in " << *opt.resume_dir << "\n";
       }

@@ -25,10 +25,9 @@
 // Exit status: 0 on success, 2 on usage errors, 1 on incomplete streams
 // (unless --allow-partial), header mismatches, or corrupt records.
 #include "analysis/distribution.hpp"
+#include "analysis/report.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/json.hpp"
-#include "campaign/result_sink.hpp"
-#include "campaign/trial_record.hpp"
 #include "util/table.hpp"
 
 #include <cerrno>
@@ -200,155 +199,13 @@ std::optional<Options> parse(int argc, char** argv) {
   return opt;
 }
 
-/// Stream every record under `inputs` into a distribution builder.
-analysis::RecordDistributionBuilder load(const std::vector<std::string>& inputs) {
-  campaign::TrialRecordReader reader(inputs);
-  std::optional<analysis::RecordDistributionBuilder> builder;
-  while (const auto record = reader.next()) {
-    if (!builder) builder.emplace(*reader.header());
-    builder->add(*record);
-  }
-  if (!builder) {
-    if (!reader.header()) throw std::runtime_error("no trial records found in the given inputs");
-    builder.emplace(*reader.header());
-  }
-  return std::move(*builder);
-}
-
-/// Metrics that can ever have samples at this point (recovery metrics only
-/// exist under a fault plan); emitting on applicability — not on observed
-/// counts — keeps the document layout a pure function of the grid.
-bool metric_applicable(analysis::Metric metric, bool faulted) {
-  return faulted || (metric != analysis::Metric::kRecoverySteps &&
-                     metric != analysis::Metric::kEdgesResidual);
-}
-
-void append_metric_json(std::string& out, analysis::Metric metric,
-                        const analysis::ValueDistribution& dist, int bins) {
-  out += "{\"metric\": ";
-  campaign::json::append_escaped(out, std::string(analysis::metric_name(metric)));
-  out += ", \"count\": " + std::to_string(dist.count());
-  out += ", \"min\": " + std::to_string(dist.min());
-  out += ", \"max\": " + std::to_string(dist.max());
-  out += ", \"mean\": ";
-  campaign::json::append_double(out, dist.mean());
-  out += ", \"stddev\": ";
-  campaign::json::append_double(out, dist.stddev());
-  for (const auto& [name, p] :
-       {std::pair{"p50", 0.50}, std::pair{"p90", 0.90}, std::pair{"p99", 0.99}}) {
-    out += ", \"";
-    out += name;
-    out += "\": ";
-    campaign::json::append_double(out, dist.quantile(p));
-  }
-  const analysis::Histogram h = analysis::histogram(dist, bins);
-  out += ", \"histogram\": {\"bins\": ";
-  out += std::to_string(h.bins());
-  out += ", \"lo\": ";
-  campaign::json::append_double(out, h.lo);
-  out += ", \"width\": ";
-  campaign::json::append_double(out, h.width);
-  out += ", \"counts\": [";
-  for (std::size_t i = 0; i < h.counts.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += std::to_string(h.counts[i]);
-  }
-  out += "]}";
-  out += ", \"ecdf\": [";
-  bool first = true;
-  for (const analysis::EcdfPoint& point : analysis::ecdf(dist)) {
-    if (!first) out += ", ";
-    first = false;
-    out += "[" + std::to_string(point.value) + ", " + std::to_string(point.cumulative) + "]";
-  }
-  out += "]}";
-}
-
-std::string report_json(const analysis::RecordDistributionBuilder& builder,
-                        const std::vector<analysis::PointDistributions>& dists,
-                        const Options& opt) {
-  const campaign::CampaignHeader& header = builder.header();
-  std::string out = "{\n  \"schema\": \"netcons-report-v1\",\n";
-  out += "  \"base_seed\": " + std::to_string(header.base_seed) + ",\n";
-  out += "  \"trials\": " + std::to_string(header.trials) + ",\n";
-  out += "  \"trials_recorded\": " + std::to_string(builder.filled()) + ",\n";
-  out += "  \"binning\": ";
-  campaign::json::append_escaped(
-      out, opt.bins <= 0 ? std::string("fd") : "fixed:" + std::to_string(opt.bins));
-  out += ",\n  \"points\": [\n";
-  for (std::size_t p = 0; p < header.points.size(); ++p) {
-    const campaign::GridPoint& point = header.points[p];
-    out += "    {\"unit\": ";
-    campaign::json::append_escaped(out, point.unit);
-    out += ", \"scheduler\": ";
-    campaign::json::append_escaped(out, point.scheduler);
-    out += ", \"faults\": ";
-    campaign::json::append_escaped(out, point.faults);
-    out += ", \"engine\": ";
-    campaign::json::append_escaped(out, point.engine);
-    out += ", \"n\": " + std::to_string(point.n);
-    out += ", \"seed\": " + std::to_string(point.seed);
-    out += ",\n     \"metrics\": [\n";
-    bool first = true;
-    for (const analysis::Metric metric : opt.metrics) {
-      if (!metric_applicable(metric, point.faulted)) continue;
-      if (!first) out += ",\n";
-      first = false;
-      out += "      ";
-      append_metric_json(out, metric, dists[p].metric(metric), opt.bins);
-    }
-    out += "\n     ]}";
-    out += (p + 1 < header.points.size()) ? ",\n" : "\n";
-  }
-  out += "  ]\n}\n";
-  return out;
-}
-
-void append_point_prefix(std::string& out, const campaign::GridPoint& point,
-                         analysis::Metric metric) {
-  out += campaign::csv_field(point.unit) + ',' + campaign::csv_field(point.scheduler) + ',' +
-         campaign::csv_field(point.faults) + ',' + campaign::csv_field(point.engine) + ',' +
-         std::to_string(point.n) + ',';
-  out += analysis::metric_name(metric);
-}
-
-std::string histogram_csv(const campaign::CampaignHeader& header,
-                          const std::vector<analysis::PointDistributions>& dists,
-                          const Options& opt) {
-  std::string out = "unit,scheduler,faults,engine,n,metric,bin,lo,hi,count\n";
-  for (std::size_t p = 0; p < header.points.size(); ++p) {
-    for (const analysis::Metric metric : opt.metrics) {
-      if (!metric_applicable(metric, header.points[p].faulted)) continue;
-      const analysis::Histogram h = analysis::histogram(dists[p].metric(metric), opt.bins);
-      for (std::size_t bin = 0; bin < h.counts.size(); ++bin) {
-        append_point_prefix(out, header.points[p], metric);
-        out += ',' + std::to_string(bin) + ',';
-        campaign::json::append_double(out, h.edge(bin));
-        out += ',';
-        campaign::json::append_double(out, h.edge(bin + 1));
-        out += ',' + std::to_string(h.counts[bin]) + '\n';
-      }
-    }
-  }
-  return out;
-}
-
-std::string ecdf_csv(const campaign::CampaignHeader& header,
-                     const std::vector<analysis::PointDistributions>& dists,
-                     const Options& opt) {
-  std::string out = "unit,scheduler,faults,engine,n,metric,value,cumulative,fraction\n";
-  for (std::size_t p = 0; p < header.points.size(); ++p) {
-    for (const analysis::Metric metric : opt.metrics) {
-      if (!metric_applicable(metric, header.points[p].faulted)) continue;
-      for (const analysis::EcdfPoint& point : analysis::ecdf(dists[p].metric(metric))) {
-        append_point_prefix(out, header.points[p], metric);
-        out += ',' + std::to_string(point.value) + ',' + std::to_string(point.cumulative) + ',';
-        campaign::json::append_double(out, point.fraction);
-        out += '\n';
-      }
-    }
-  }
-  return out;
+/// The rendering spec the parsed flags describe (analysis/report.hpp holds
+/// the shared implementation the serve cache also renders through).
+analysis::ReportSpec report_spec(const Options& opt) {
+  analysis::ReportSpec spec;
+  spec.metrics = opt.metrics;
+  spec.bins = opt.bins;
+  return spec;
 }
 
 bool write_file(const std::string& path, const std::string& content, bool quiet) {
@@ -363,7 +220,7 @@ bool write_file(const std::string& path, const std::string& content, bool quiet)
 }
 
 int run_report(const Options& opt) {
-  analysis::RecordDistributionBuilder builder = load(opt.inputs);
+  analysis::RecordDistributionBuilder builder = analysis::load_distributions(opt.inputs);
   if (builder.missing() > 0 && !opt.allow_partial) {
     const auto missing = builder.first_missing();
     std::cerr << "incomplete record stream: " << builder.missing() << " of "
@@ -387,7 +244,7 @@ int run_report(const Options& opt) {
                      "p50", "p90", "p99", "max"});
     for (std::size_t p = 0; p < header.points.size(); ++p) {
       for (const analysis::Metric metric : opt.metrics) {
-        if (!metric_applicable(metric, header.points[p].faulted)) continue;
+        if (!analysis::metric_applicable(metric, header.points[p].faulted)) continue;
         const analysis::ValueDistribution& dist = dists[p].metric(metric);
         table.add_row({header.points[p].unit, header.points[p].scheduler,
                        header.points[p].faults, header.points[p].engine,
@@ -403,21 +260,22 @@ int run_report(const Options& opt) {
   }
 
   bool ok = true;
+  const analysis::ReportSpec spec = report_spec(opt);
   if (opt.json_path) {
-    ok = write_file(*opt.json_path, report_json(builder, dists, opt), opt.quiet) && ok;
+    ok = write_file(*opt.json_path, analysis::report_json(builder, dists, spec), opt.quiet) && ok;
   }
   if (opt.csv_path) {
-    ok = write_file(*opt.csv_path, histogram_csv(header, dists, opt), opt.quiet) && ok;
+    ok = write_file(*opt.csv_path, analysis::histogram_csv(header, dists, spec), opt.quiet) && ok;
   }
   if (opt.ecdf_csv_path) {
-    ok = write_file(*opt.ecdf_csv_path, ecdf_csv(header, dists, opt), opt.quiet) && ok;
+    ok = write_file(*opt.ecdf_csv_path, analysis::ecdf_csv(header, dists, spec), opt.quiet) && ok;
   }
   return ok ? 0 : 1;
 }
 
 int run_compare(const Options& opt) {
-  const analysis::RecordDistributionBuilder a = load({opt.inputs[0]});
-  const analysis::RecordDistributionBuilder b = load({opt.inputs[1]});
+  const analysis::RecordDistributionBuilder a = analysis::load_distributions({opt.inputs[0]});
+  const analysis::RecordDistributionBuilder b = analysis::load_distributions({opt.inputs[1]});
   // An incomplete stream would make the comparison (and especially a
   // --max-ks gate) vacuously optimistic: missing trials contribute no
   // samples, and an all-header record set would "pass" with ks = 0.
