@@ -3,6 +3,7 @@
 #include "campaign/json.hpp"
 #include "campaign/result_sink.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -57,6 +58,12 @@ void append_point_prefix(std::string& out, const campaign::GridPoint& point, Met
          campaign::csv_field(point.faults) + ',' + campaign::csv_field(point.engine) + ',' +
          std::to_string(point.n) + ',';
   out += metric_name(metric);
+}
+
+/// Same trend series: everything but n (and the metric, handled separately).
+bool same_series(const campaign::GridPoint& a, const campaign::GridPoint& b) {
+  return a.unit == b.unit && a.scheduler == b.scheduler && a.faults == b.faults &&
+         a.engine == b.engine;
 }
 
 }  // namespace
@@ -142,6 +149,101 @@ std::string histogram_csv(const campaign::CampaignHeader& header,
       }
     }
   }
+  return out;
+}
+
+std::vector<TrendRow> trend_rows(const campaign::CampaignHeader& header,
+                                 const ReportSpec& spec) {
+  // Series in first-appearance order over the header's points; within a
+  // series, points sorted by n ascending (stably, so equal-n duplicates
+  // keep header order). Pure function of the grid -- byte-stable.
+  std::vector<std::vector<std::size_t>> series;
+  for (std::size_t p = 0; p < header.points.size(); ++p) {
+    bool placed = false;
+    for (auto& members : series) {
+      if (same_series(header.points[members.front()], header.points[p])) {
+        members.push_back(p);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) series.push_back({p});
+  }
+  std::vector<TrendRow> rows;
+  for (auto& members : series) {
+    std::stable_sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      return header.points[a].n < header.points[b].n;
+    });
+    for (const Metric metric : spec.metrics) {
+      if (!metric_applicable(metric, header.points[members.front()].faulted)) continue;
+      for (const std::size_t p : members) rows.push_back({p, metric});
+    }
+  }
+  return rows;
+}
+
+std::string trend_csv(const campaign::CampaignHeader& header,
+                      const std::vector<PointDistributions>& dists, const ReportSpec& spec) {
+  std::string out = "unit,scheduler,faults,engine,metric,n,count,mean,p50,p90,p99,max\n";
+  for (const TrendRow& row : trend_rows(header, spec)) {
+    const campaign::GridPoint& point = header.points[row.point];
+    const ValueDistribution& dist = dists[row.point].metric(row.metric);
+    out += campaign::csv_field(point.unit) + ',' + campaign::csv_field(point.scheduler) + ',' +
+           campaign::csv_field(point.faults) + ',' + campaign::csv_field(point.engine) + ',';
+    out += metric_name(row.metric);
+    out += ',' + std::to_string(point.n) + ',' + std::to_string(dist.count()) + ',';
+    campaign::json::append_double(out, dist.mean());
+    for (const double p : {0.50, 0.90, 0.99}) {
+      out += ',';
+      campaign::json::append_double(out, dist.quantile(p));
+    }
+    out += ',' + std::to_string(dist.max()) + '\n';
+  }
+  return out;
+}
+
+std::string trend_json(const campaign::CampaignHeader& header,
+                       const std::vector<PointDistributions>& dists, const ReportSpec& spec) {
+  const std::vector<TrendRow> rows = trend_rows(header, spec);
+  std::string out = "{\n  \"schema\": \"netcons-trend-v1\",\n  \"series\": [\n";
+  bool open = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const campaign::GridPoint& point = header.points[rows[i].point];
+    const bool fresh = i == 0 || rows[i - 1].metric != rows[i].metric ||
+                       !same_series(header.points[rows[i - 1].point], point);
+    if (fresh) {
+      if (open) out += "\n    ]},\n";
+      open = true;
+      out += "    {\"unit\": ";
+      campaign::json::append_escaped(out, point.unit);
+      out += ", \"scheduler\": ";
+      campaign::json::append_escaped(out, point.scheduler);
+      out += ", \"faults\": ";
+      campaign::json::append_escaped(out, point.faults);
+      out += ", \"engine\": ";
+      campaign::json::append_escaped(out, point.engine);
+      out += ", \"metric\": ";
+      campaign::json::append_escaped(out, std::string(metric_name(rows[i].metric)));
+      out += ",\n     \"rows\": [\n";
+    } else {
+      out += ",\n";
+    }
+    const ValueDistribution& dist = dists[rows[i].point].metric(rows[i].metric);
+    out += "      {\"n\": " + std::to_string(point.n);
+    out += ", \"count\": " + std::to_string(dist.count());
+    out += ", \"mean\": ";
+    campaign::json::append_double(out, dist.mean());
+    for (const auto& [name, p] :
+         {std::pair{"p50", 0.50}, std::pair{"p90", 0.90}, std::pair{"p99", 0.99}}) {
+      out += ", \"";
+      out += name;
+      out += "\": ";
+      campaign::json::append_double(out, dist.quantile(p));
+    }
+    out += ", \"max\": " + std::to_string(dist.max()) + "}";
+  }
+  if (open) out += "\n    ]}\n";
+  out += "  ]\n}\n";
   return out;
 }
 

@@ -55,4 +55,30 @@ struct ReportSpec {
                                    const std::vector<PointDistributions>& dists,
                                    const ReportSpec& spec);
 
+/// One row of the percentile-over-n trend view: a (unit, scheduler,
+/// faults, engine, metric) series traced across the grid's population
+/// sizes. Rows are grouped by series in header first-appearance order with
+/// n ascending within a series -- a pure function of the grid, so the
+/// rendering is byte-stable like the rest of report-v1.
+struct TrendRow {
+  std::size_t point = 0;  ///< Index into header.points.
+  Metric metric = Metric::kConvergenceSteps;
+};
+
+/// The trend row order over the header's grid points (shared by the CSV,
+/// the JSON, and the CLI table so all three agree line-for-line).
+[[nodiscard]] std::vector<TrendRow> trend_rows(const campaign::CampaignHeader& header,
+                                               const ReportSpec& spec);
+
+/// Trend rows as CSV
+/// ("unit,scheduler,faults,engine,metric,n,count,mean,p50,p90,p99,max").
+[[nodiscard]] std::string trend_csv(const campaign::CampaignHeader& header,
+                                    const std::vector<PointDistributions>& dists,
+                                    const ReportSpec& spec);
+
+/// Trend rows as the netcons-trend-v1 JSON document.
+[[nodiscard]] std::string trend_json(const campaign::CampaignHeader& header,
+                                     const std::vector<PointDistributions>& dists,
+                                     const ReportSpec& spec);
+
 }  // namespace netcons::analysis

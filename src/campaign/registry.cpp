@@ -2,12 +2,16 @@
 
 #include "core/census_engine.hpp"
 #include "protocols/protocols.hpp"
+#include "sched/proximity.hpp"
 #include "sched/schedulers.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 namespace netcons::campaign {
@@ -49,6 +53,84 @@ std::string slugify(const std::string& name) {
   return out;
 }
 
+constexpr const char* kProximityGrammar =
+    "proximity spec: proximity[:alpha=A][:r=R][:layout=L] with A > 0, "
+    "0 < R <= 1, L in {uniform, clustered, grid}";
+
+/// Strict positive-double parse (the whole token must be a number).
+std::optional<double> parse_positive(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (!(value > 0.0)) return std::nullopt;
+  return value;
+}
+
+/// Parse a proximity spec, filling `params` and the canonicalized spec
+/// string (defaults spelled out, fixed alpha/r/layout order, the user's
+/// literal value tokens preserved).
+bool parse_proximity(const std::string& spec, ProximityParams* params,
+                     std::string* canonical, std::string* error) {
+  std::string alpha_tok = "2";
+  std::string r_tok = "0.1";
+  std::string layout_tok = "uniform";
+
+  std::stringstream stream(spec);
+  std::string item;
+  std::getline(stream, item, ':');  // the "proximity" head, already matched
+  while (std::getline(stream, item, ':')) {
+    const std::size_t eq = item.find('=');
+    const std::string key = eq == std::string::npos ? item : item.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : item.substr(eq + 1);
+    if (eq == std::string::npos || value.empty()) {
+      if (error != nullptr) {
+        *error = "proximity: expected key=value, got '" + item + "'; " + kProximityGrammar;
+      }
+      return false;
+    }
+    if (key == "alpha") {
+      const auto alpha = parse_positive(value);
+      if (!alpha) {
+        if (error != nullptr) {
+          *error = "proximity: alpha must be a positive number, got '" + value + "'";
+        }
+        return false;
+      }
+      params->alpha = *alpha;
+      alpha_tok = value;
+    } else if (key == "r") {
+      const auto r = parse_positive(value);
+      if (!r || *r > 1.0) {
+        if (error != nullptr) {
+          *error = "proximity: r must be in (0, 1], got '" + value + "'";
+        }
+        return false;
+      }
+      params->radius = *r;
+      r_tok = value;
+    } else if (key == "layout") {
+      const auto layout = spatial::layout_by_name(value);
+      if (!layout) {
+        if (error != nullptr) {
+          *error = "proximity: unknown layout '" + value +
+                   "' (expected uniform, clustered, or grid)";
+        }
+        return false;
+      }
+      params->layout = *layout;
+      layout_tok = value;
+    } else {
+      if (error != nullptr) {
+        *error = "proximity: unknown parameter '" + key + "'; " + kProximityGrammar;
+      }
+      return false;
+    }
+  }
+  *canonical = "proximity:alpha=" + alpha_tok + ":r=" + r_tok + ":layout=" + layout_tok;
+  return true;
+}
+
 }  // namespace
 
 const std::vector<std::string>& protocol_names() {
@@ -84,7 +166,8 @@ std::optional<ProcessSpec> make_process(const std::string& name) {
 }
 
 const std::vector<std::string>& scheduler_names() {
-  static const std::vector<std::string> names = {"uniform", "permutation", "stale-biased"};
+  static const std::vector<std::string> names = {"uniform", "permutation", "stale-biased",
+                                                 "proximity"};
   return names;
 }
 
@@ -132,7 +215,7 @@ std::optional<faults::FaultPlan> make_fault_plan(const std::string& spec, std::s
   }
 }
 
-std::optional<SchedulerOption> make_scheduler(const std::string& name) {
+std::optional<SchedulerOption> make_scheduler(const std::string& name, std::string* error) {
   if (name == "uniform") return SchedulerOption{"uniform", nullptr};
   if (name == "permutation") {
     return SchedulerOption{"permutation",
@@ -141,6 +224,37 @@ std::optional<SchedulerOption> make_scheduler(const std::string& name) {
   if (name == "stale-biased") {
     return SchedulerOption{"stale-biased",
                            [] { return std::make_unique<StaleBiasedScheduler>(); }};
+  }
+  if (name.rfind("stale-biased:", 0) == 0) {
+    // The bare name keeps its historical spelling (bias 0.5); only the
+    // parameterized form canonicalizes the bias into the point name.
+    const std::string value = name.substr(std::string("stale-biased:").size());
+    if (value.rfind("bias=", 0) != 0) {
+      if (error != nullptr) {
+        *error = "stale-biased spec: stale-biased[:bias=B] with B in [0, 1), got '" + name + "'";
+      }
+      return std::nullopt;
+    }
+    const std::string bias_tok = value.substr(std::string("bias=").size());
+    char* end = nullptr;
+    errno = 0;
+    const double bias = std::strtod(bias_tok.c_str(), &end);
+    if (bias_tok.empty() || end == bias_tok.c_str() || *end != '\0' || errno == ERANGE ||
+        bias < 0.0 || bias >= 1.0) {
+      if (error != nullptr) {
+        *error = "stale-biased: bias must be in [0, 1), got '" + bias_tok + "'";
+      }
+      return std::nullopt;
+    }
+    return SchedulerOption{"stale-biased:bias=" + bias_tok,
+                           [bias] { return std::make_unique<StaleBiasedScheduler>(bias); }};
+  }
+  if (name == "proximity" || name.rfind("proximity:", 0) == 0) {
+    ProximityParams params;
+    std::string canonical;
+    if (!parse_proximity(name, &params, &canonical, error)) return std::nullopt;
+    return SchedulerOption{canonical,
+                           [params] { return std::make_unique<ProximityScheduler>(params); }};
   }
   return std::nullopt;
 }

@@ -33,12 +33,20 @@ struct ProtocolParams {
 
 [[nodiscard]] std::optional<ProcessSpec> make_process(const std::string& name);
 
-/// Registered scheduler names ("uniform", "permutation", "stale-biased").
+/// Registered scheduler names ("uniform", "permutation", "stale-biased",
+/// "proximity"). Like the fault axis, "proximity" is a spec family, not a
+/// single name: `proximity[:alpha=A][:r=R][:layout=L]` with layout one of
+/// uniform / clustered / grid (see sched/proximity.hpp).
 [[nodiscard]] const std::vector<std::string>& scheduler_names();
 
-/// Scheduler option (name + factory) for a registered name; nullopt if
-/// unknown. "uniform" yields a null factory (the simulator default).
-[[nodiscard]] std::optional<SchedulerOption> make_scheduler(const std::string& name);
+/// Scheduler option (name + factory) for a registered name or spec;
+/// nullopt if unknown or malformed (the parser's message lands in `error`
+/// when non-null). "uniform" yields a null factory (the simulator
+/// default). Proximity specs canonicalize -- every omitted parameter is
+/// filled with its default in fixed alpha, r, layout order -- so the
+/// exported `scheduler` column is stable no matter how the spec was typed.
+[[nodiscard]] std::optional<SchedulerOption> make_scheduler(const std::string& name,
+                                                            std::string* error = nullptr);
 
 /// Registered execution-engine names ("naive", "census"); see
 /// core/engine.hpp for the contract each implements.

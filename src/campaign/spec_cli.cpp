@@ -2,6 +2,7 @@
 
 #include "faults/fault_plan.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -52,11 +53,40 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+std::vector<std::string> join_spec_params(std::vector<std::string> items) {
+  // A bare `key=value` item after a CSV split is a continuation of the
+  // previous item's spec -- "proximity:alpha=2,r=0.1" reads naturally but
+  // splits at the comma -- so re-join it with the canonical ':' separator.
+  std::vector<std::string> out;
+  for (std::string& item : items) {
+    const std::size_t eq = item.find('=');
+    bool continuation = !out.empty() && eq != std::string::npos && eq > 0;
+    if (continuation) {
+      for (std::size_t i = 0; i < eq; ++i) {
+        const char c = item[i];
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+          continuation = false;
+          break;
+        }
+      }
+      if (continuation && std::isdigit(static_cast<unsigned char>(item[0])) != 0) {
+        continuation = false;
+      }
+    }
+    if (continuation) {
+      out.back() += ":" + item;
+    } else {
+      out.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
 int consume_spec_flag(SpecCli& cli, int argc, char** argv, int& i) {
   const std::string arg = argv[i];
   const auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : nullptr; };
   if (arg == "--protocols" || arg == "--processes" || arg == "--schedulers" ||
-      arg == "--faults" || arg == "--engine" || arg == "--ns") {
+      arg == "--scheduler" || arg == "--faults" || arg == "--engine" || arg == "--ns") {
     const char* v = next();
     if (!v) {
       std::cerr << arg << " expects a value\n";
@@ -64,7 +94,9 @@ int consume_spec_flag(SpecCli& cli, int argc, char** argv, int& i) {
     }
     if (arg == "--protocols") cli.protocols = split_csv(v);
     if (arg == "--processes") cli.processes = split_csv(v);
-    if (arg == "--schedulers") cli.schedulers = split_csv(v);
+    if (arg == "--schedulers" || arg == "--scheduler") {
+      cli.schedulers = join_spec_params(split_csv(v));
+    }
     if (arg == "--faults") cli.faults = split_csv(v);
     if (arg == "--engine") cli.engines = split_csv(v);
     if (arg == "--ns") {
@@ -117,7 +149,8 @@ std::string spec_usage() {
          "  --ns N1,N2,...          population sizes (required)\n"
          "  --trials T              trials per grid point (default 20)\n"
          "  --seed S                base seed (default 1)\n"
-         "  --schedulers s1,s2      scheduler axis (default uniform)\n"
+         "  --schedulers s1,s2      scheduler axis (default uniform); also --scheduler;\n"
+         "                          proximity takes params: proximity:alpha=2,r=0.1,layout=grid\n"
          "  --faults none,crash:k=1,...  fault-plan axis (default none)\n"
          "  --engine naive,census,...|list  execution-engine axis (default naive)\n"
          "  --k K  --c C  --d D     protocol-family parameters\n";
@@ -130,6 +163,8 @@ void print_registry(std::ostream& out) {
   for (const auto& name : process_names()) out << "  " << name << '\n';
   out << "schedulers:\n";
   for (const auto& name : scheduler_names()) out << "  " << name << '\n';
+  out << "  (proximity takes params: proximity[:alpha=A][:r=R][:layout=L], "
+         "layout in {uniform, clustered, grid})\n";
   out << "engines:\n";
   for (const auto& name : engine_names()) out << "  " << name << '\n';
   out << "fault plans (examples; see the grammar for the full space):\n";
@@ -170,10 +205,15 @@ std::optional<CampaignSpec> build_spec(const SpecCli& cli) {
     spec.units.push_back(Unit::process(name, std::move(*process)));
   }
   for (const std::string& name : cli.schedulers) {
-    auto scheduler = make_scheduler(name);
+    std::string error;
+    auto scheduler = make_scheduler(name, &error);
     if (!scheduler) {
-      std::cerr << "unknown scheduler '" << name
-                << "'; registered schedulers: " << joined(scheduler_names()) << "\n";
+      if (!error.empty()) {
+        std::cerr << error << "\n";
+      } else {
+        std::cerr << "unknown scheduler '" << name
+                  << "'; registered schedulers: " << joined(scheduler_names()) << "\n";
+      }
       return std::nullopt;
     }
     spec.schedulers.push_back(std::move(*scheduler));

@@ -39,6 +39,12 @@ struct SpecCli {
 /// Split "a,b,c" into tokens, dropping empties.
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& text);
 
+/// Re-join CSV items that are `key=value` continuations of a parameterized
+/// spec onto the previous item with the canonical ':' separator, so
+/// "proximity:alpha=2,r=0.1,uniform" parses as the two specs a human
+/// reads: {"proximity:alpha=2:r=0.1", "uniform"}.
+[[nodiscard]] std::vector<std::string> join_spec_params(std::vector<std::string> items);
+
 /// Try to consume argv[i] as a spec flag (advancing i past its value).
 /// Returns 1 when consumed, 0 when argv[i] is not a spec flag, -1 on a
 /// malformed value (diagnostic already printed to stderr).

@@ -60,14 +60,25 @@ std::vector<EffectiveClass> effective_state_classes(const Protocol& protocol) {
 CensusEngine::CensusEngine(Protocol protocol, int n, std::uint64_t seed,
                            std::unique_ptr<Scheduler> scheduler, CensusLeapOptions leap)
     : Simulator(std::move(protocol), n, seed, std::move(scheduler)), leap_(leap) {
-  // Census sampling assumes every unordered pair is equally likely each
-  // step; that is exactly the uniform random scheduler (whether installed
-  // by default or passed explicitly). Anything else gets the naive path.
+  // Census sampling natively assumes every unordered pair is equally
+  // likely each step; that is exactly the uniform random scheduler
+  // (whether installed by default or passed explicitly). A non-uniform
+  // scheduler that can state its law as static per-pair weights exports a
+  // weight model and runs on weighted census sampling; only a scheduler
+  // without one (an exact script) gets the naive path. Querying the model
+  // here consumes exactly the engine-RNG draws the scheduler's first
+  // next() would (e.g. the spatial placement), so the naive and census
+  // engines see the same embedding for a given trial seed.
   const auto* uniform = dynamic_cast<const UniformRandomScheduler*>(Simulator::scheduler());
   custom_scheduler_ = uniform == nullptr;
   if (custom_scheduler_) {
-    note_fallback(g_noted_scheduler, "scheduler", "a non-uniform scheduler");
-    return;  // the tables are never built; no journal needed
+    weight_model_ = Simulator::mutable_scheduler()->weight_model(rng(), n);
+    if (weight_model_ != nullptr) {
+      custom_scheduler_ = false;  // weighted sampling is exact, not a fallback
+    } else {
+      note_fallback(g_noted_scheduler, "scheduler", "a non-uniform scheduler");
+      return;  // the tables are never built; no journal needed
+    }
   }
   // Journal capacity: past ~2 entries per node, replaying costs about as
   // much as the full rebuild the overflow falls back to.
@@ -584,6 +595,13 @@ CensusEngine::StepOutcome CensusEngine::census_step(std::uint64_t budget) {
     sync_tables();
   }
 
+  if (weight_model_ != nullptr) {
+    // Weighted sampling never opens a leap batch (the drift bound does not
+    // cover the acceptance ratio), so the weights are maintained per step.
+    if (weights_stale_) refresh_weights();
+    return weighted_census_step(budget);
+  }
+
   bool batching = leap_.enabled && leap_remaining_ > 0;
   std::uint64_t weight = 0;
   if (batching) {
@@ -655,6 +673,75 @@ CensusEngine::StepOutcome CensusEngine::census_step(std::uint64_t budget) {
     ++stats_.leap_exact_steps;
   }
   return StepOutcome::kExecuted;
+}
+
+CensusEngine::StepOutcome CensusEngine::weighted_census_step(std::uint64_t budget) {
+  // m counts the effective pairs among alive nodes; the model's weights are
+  // strictly positive over *all* pairs (dead ones included -- the naive
+  // scheduler burns steps on those too), so the scheduler-weighted
+  // effective mass is zero iff m is.
+  const std::uint64_t m = total_weight_;
+  if (m == 0) return StepOutcome::kQuiescent;
+  const double w_hat = weight_model_->max_weight();
+  const double w_total = weight_model_->total_weight();
+  const double p_hat = static_cast<double>(m) * w_hat / w_total;
+
+  if (p_hat < 1.0) {
+    // Thinning: a *candidate* effective step occurs with p_hat; a uniform
+    // census draw then accepts with w(u,v)/w_hat, so
+    //   P(step executes (u,v)) = p_hat * (1/m) * (w/w_hat) = w/w_total,
+    // the scheduler's per-step law exactly. A rejected candidate is one of
+    // the naive run's ineffective steps; its clock tick is already
+    // consumed, and p_hat is unchanged (nothing moved), so the loop simply
+    // redraws. Uniform-weight models hit w == w_hat and draw no coin.
+    while (true) {
+      const std::uint64_t skips = geometric_skips(p_hat);
+      const std::uint64_t at = steps();
+      if (skips >= budget - at) {
+        stats_.geometric_skips += budget - at;
+        skip_steps(budget - at);
+        return StepOutcome::kBudgetExhausted;
+      }
+      stats_.geometric_skips += skips;
+      skip_steps(skips + 1);
+      const std::size_t ci = draw_class();
+      const BucketEdge pair = sample_pair(classes_[ci], weight_[ci]);
+      const double w = weight_model_->pair_weight(pair.u, pair.v);
+      if (w < w_hat && !rng().bernoulli(w / w_hat)) {
+        ++stats_.weighted_rejects;
+        continue;
+      }
+      execute_and_update(pair.u, pair.v, pair.slot);
+      ++stats_.effective_samples;
+      ++stats_.weighted_samples;
+      return StepOutcome::kExecuted;
+    }
+  }
+
+  // Dense regime (p_hat >= 1): thinning is invalid, so execute the
+  // scheduler's law one step at a time straight from the model's sampler
+  // -- still skipping nothing, exactly the naive semantics. Expected cost
+  // per effective interaction is w_total / (effective mass) <= 1/p_hat *
+  // (w_hat / w_min) draws, bounded by the model's weight floor; the regime
+  // only arises when effective pairs dominate, where per-step execution is
+  // cheap anyway.
+  while (steps() < budget) {
+    const Encounter e = weight_model_->sample(rng());
+    skip_steps(1);
+    ++stats_.weighted_dense_steps;
+    const World& w = world();
+    if (!w.alive(e.first) || !w.alive(e.second)) continue;
+    const StateId a = w.state(e.first);
+    const StateId b = w.state(e.second);
+    if (protocol().ineffective(std::min(a, b), std::max(a, b), w.edge(e.first, e.second))) {
+      continue;
+    }
+    execute_and_update(e.first, e.second, kNoSlot);
+    ++stats_.effective_samples;
+    ++stats_.weighted_samples;
+    return StepOutcome::kExecuted;
+  }
+  return StepOutcome::kBudgetExhausted;
 }
 
 bool CensusEngine::step() {
@@ -745,6 +832,9 @@ void CensusEngine::publish_metrics(telemetry::Registry& registry) {
     telemetry::Counter* leap_batched = nullptr;
     telemetry::Counter* leap_exact = nullptr;
     telemetry::Counter* leap_aborts = nullptr;
+    telemetry::Counter* weighted_samples = nullptr;
+    telemetry::Counter* weighted_rejects = nullptr;
+    telemetry::Counter* weighted_dense = nullptr;
     telemetry::Histogram* occupancy = nullptr;
     telemetry::Histogram* batch_size = nullptr;
   };
@@ -759,6 +849,9 @@ void CensusEngine::publish_metrics(telemetry::Registry& registry) {
     handles.leap_batched = &registry.counter("census.leap.batched_steps");
     handles.leap_exact = &registry.counter("census.leap.exact_steps");
     handles.leap_aborts = &registry.counter("census.leap.aborts");
+    handles.weighted_samples = &registry.counter("census.weighted_samples");
+    handles.weighted_rejects = &registry.counter("census.weighted_rejects");
+    handles.weighted_dense = &registry.counter("census.weighted_dense_steps");
     handles.occupancy = &registry.histogram("census.bucket_occupancy",
                                             {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
     handles.batch_size = &registry.histogram(
@@ -770,6 +863,11 @@ void CensusEngine::publish_metrics(telemetry::Registry& registry) {
   handles.alias_rebuilds->add(stats_.alias_rebuilds);
   handles.skips->add(stats_.geometric_skips);
   handles.samples->add(stats_.effective_samples);
+  if (weight_model_ != nullptr) {
+    handles.weighted_samples->add(stats_.weighted_samples);
+    handles.weighted_rejects->add(stats_.weighted_rejects);
+    handles.weighted_dense->add(stats_.weighted_dense_steps);
+  }
   if (leap_.enabled) {
     handles.leap_batches->add(stats_.leap_batches);
     handles.leap_batched->add(stats_.leap_batched_steps);

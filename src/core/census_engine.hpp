@@ -57,15 +57,37 @@
 // while K < 2 (small n or near-quiescent tails) -- so at small populations
 // census-leap *is* census.
 //
+// Non-uniform schedulers and the weight-model seam: a scheduler whose
+// single-step pair law is expressible as static per-pair weights exports a
+// SchedulerWeightModel (core/scheduler.hpp), and the engine runs it on
+// *weighted* census sampling instead of falling back. With m the effective
+// multiplicity, w_hat the model's weight bound and W_s = sum of all pair
+// weights (dead pairs included -- the naive scheduler wastes steps on
+// them), a candidate effective step occurs with p_hat = m * w_hat / W_s:
+// geometric skip at p_hat, uniform census draw, then thinning acceptance
+// w(u,v)/w_hat reproduces the scheduler's law exactly -- P(step executes
+// (u,v)) = p_hat * (1/m) * (w/w_hat) = w/W_s. A rejected candidate is one
+// of the naive run's ineffective steps, already accounted by the consumed
+// clock tick. When p_hat >= 1 thinning is invalid and the engine samples
+// the model's own next()-equivalent law per step, which costs at most
+// ~1/p_hat-ish rejections per effective interaction and only arises in
+// weight-concentrated near-converged configurations. Uniform-weight models
+// short-circuit the acceptance coin (w == w_hat draws nothing), so the
+// uniform scheduler's stream is untouched. Leap batching never opens under
+// a weight model: the frozen-table drift bound covers class weights only,
+// not the acceptance ratio.
+//
 // Exactness boundaries (the engine falls back -- one stderr note, never a
 // throw -- to the inherited naive per-step semantics):
-//   * a non-uniform scheduler supplied at construction: the census
-//     argument assumes uniform pair probabilities;
+//   * a non-uniform scheduler that exports *no* weight model (e.g. an
+//     exact script, which must execute step-for-step);
 //   * an installed StepInterceptor (fault injection): hooks must observe
 //     every step, which skipping contradicts. Census sampling resumes when
 //     the interceptor is cleared (skipping is memoryless, so resuming
 //     mid-run stays exact), replaying the fault phase's mutations from the
-//     journal when it fits.
+//     journal when it fits. Under an interceptor a weight-model scheduler
+//     runs naive per-step with its own next(), so the fault phase sees the
+//     scheduler's exact (history-dependent) law.
 #pragma once
 
 #include "core/simulator.hpp"
@@ -115,11 +137,16 @@ class CensusEngine final : public Simulator {
     std::uint64_t leap_batched_steps = 0; ///< Draws served from a frozen table.
     std::uint64_t leap_exact_steps = 0;   ///< Leap-mode draws served exactly (K < 2).
     std::uint64_t leap_aborts = 0;        ///< Batches aborted on a dried-up class.
+    std::uint64_t weighted_samples = 0;   ///< Weighted-path effective encounters.
+    std::uint64_t weighted_rejects = 0;   ///< Thinning candidates rejected.
+    std::uint64_t weighted_dense_steps = 0;  ///< Per-step draws in the dense regime.
   };
 
-  /// Census sampling assumes the uniform random scheduler (the default,
-  /// also recognized when passed explicitly). Supplying any non-uniform
-  /// scheduler triggers the naive fallback for the engine's whole lifetime.
+  /// Census sampling natively assumes the uniform random scheduler (the
+  /// default, also recognized when passed explicitly). A non-uniform
+  /// scheduler exporting a SchedulerWeightModel runs on weighted census
+  /// sampling (see the header comment); one exporting none triggers the
+  /// naive fallback for the engine's whole lifetime.
   CensusEngine(Protocol protocol, int n, std::uint64_t seed,
                std::unique_ptr<Scheduler> scheduler = nullptr, CensusLeapOptions leap = {});
 
@@ -153,9 +180,16 @@ class CensusEngine final : public Simulator {
   }
 
   /// Whether the engine is currently executing per-step naive semantics
-  /// instead of census sampling (custom scheduler or live interceptor).
+  /// instead of census sampling (model-less custom scheduler or live
+  /// interceptor). Weighted census sampling is NOT a fallback.
   [[nodiscard]] bool fallback_active() const noexcept {
     return custom_scheduler_ || interceptor_installed_;
+  }
+
+  /// The scheduler's weight model when weighted census sampling is active,
+  /// nullptr on the uniform (or fallback) paths.
+  [[nodiscard]] const SchedulerWeightModel* weight_model() const noexcept {
+    return weight_model_;
   }
 
   /// Total multiplicity W of effective pairs in the current configuration
@@ -170,7 +204,8 @@ class CensusEngine final : public Simulator {
   /// Publishes the inherited engine.* counters plus the census.* family
   /// (full_rebuilds / delta_updates / alias_rebuilds / geometric_skips /
   /// effective_samples, the census.leap.* batch counters when leap mode is
-  /// on) and the census.bucket_occupancy histogram (active-edge bucket
+  /// on, the census.weighted_* counters when a weight model is active) and
+  /// the census.bucket_occupancy histogram (active-edge bucket
   /// sizes over the current configuration; sampled 1-in-8 publishes to
   /// keep per-trial cost inside the telemetry overhead budget, and omitted
   /// while the naive fallback is active, when the tables may be stale).
@@ -250,6 +285,10 @@ class CensusEngine final : public Simulator {
   /// One census-sampled step, never advancing the clock past `budget`.
   /// Memoryless: a kBudgetExhausted tail is redrawn by the next call.
   StepOutcome census_step(std::uint64_t budget);
+  /// The weighted-sampling step (weight_model_ != nullptr): thinning when
+  /// p_hat < 1, per-step model sampling otherwise. Requires synced tables
+  /// and fresh weights.
+  StepOutcome weighted_census_step(std::uint64_t budget);
   /// Apply the encounter and incrementally repair tables and weights.
   /// `slot_hint` is the pair's edge slot when the caller already knows it
   /// (a bucket draw), kNoSlot to look it up here.
@@ -259,6 +298,9 @@ class CensusEngine final : public Simulator {
 
   bool custom_scheduler_ = false;
   bool interceptor_installed_ = false;
+  /// Non-owning; points into the scheduler (which outlives every step) when
+  /// weighted census sampling is active.
+  SchedulerWeightModel* weight_model_ = nullptr;
   bool tables_dirty_ = true;
   /// True while per-class weights are wholesale-stale (during a leap batch
   /// and until the first refresh after it); total_weight_ is then invalid.

@@ -110,6 +110,11 @@ class Simulator : public Engine {
   /// uniform-pair assumption holds.
   [[nodiscard]] const Scheduler* scheduler() const noexcept { return scheduler_.get(); }
 
+  /// Mutable scheduler access for engines that query the weight-model seam
+  /// (building a model may lazily embed the nodes, which mutates the
+  /// scheduler and consumes engine RNG).
+  [[nodiscard]] Scheduler* mutable_scheduler() noexcept { return scheduler_.get(); }
+
  private:
   void apply(const RuleEntry& rule, int initiator, int responder);
 

@@ -80,6 +80,15 @@ CoordinatorSummary Coordinator::serve() {
                                         std::string(type_name(message.type))));
         return false;
       }
+      if (message.token != options_.token) {
+        // Never echo the expected token; the reason string is enough to
+        // diagnose a worker launched without (or with the wrong) --token.
+        send(connection, Message::error(
+                             "authentication failed: hello token does not match the "
+                             "coordinator's --token"));
+        log("refused a connection (token mismatch)");
+        return false;
+      }
       campaign::CampaignHeader theirs;
       try {
         theirs = campaign::parse_header_line(message.text);

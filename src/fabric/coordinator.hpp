@@ -45,6 +45,11 @@ struct CoordinatorOptions {
   /// With work remaining but no connected workers for this long, give up
   /// and return an incomplete summary (0: wait forever for a worker).
   double max_idle_seconds = 0.0;
+  /// Shared secret: when non-empty, a hello whose token differs (including
+  /// a missing one) is refused with an error frame before the spec
+  /// fingerprint is even parsed. An empty expected token also rejects
+  /// token-carrying hellos — both sides must agree on whether auth is on.
+  std::string token;
   bool quiet = false;  ///< Suppress per-worker lifecycle lines on stderr.
   /// fabric.* gauges published here per poll iteration (may be null).
   telemetry::Registry* registry = nullptr;

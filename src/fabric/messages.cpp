@@ -76,6 +76,7 @@ std::string Message::encode() const {
     case Type::kHello:
       append_int(out, "threads", threads);
       append_str(out, "header", text);
+      if (!token.empty()) append_str(out, "token", token);
       break;
     case Type::kDone:
       append_u64(out, "lease", lease);
@@ -113,10 +114,14 @@ Message Message::decode(std::string_view payload) {
   Message message;
   message.type = type_from_name(json::field(object, "type").as_string());
   switch (message.type) {
-    case Type::kHello:
+    case Type::kHello: {
       message.threads = static_cast<int>(json::field(object, "threads").as_u64());
       message.text = json::field(object, "header").as_string();
+      // Optional on the wire: tokenless peers never encode it.
+      const auto token = object.find("token");
+      if (token != object.end()) message.token = token->second.as_string();
       break;
+    }
     case Type::kDone:
       message.lease = json::field(object, "lease").as_u64();
       message.executed = json::field(object, "executed").as_u64();
@@ -143,11 +148,12 @@ Message Message::decode(std::string_view payload) {
   return message;
 }
 
-Message Message::hello(std::string header_line, int threads) {
+Message Message::hello(std::string header_line, int threads, std::string token) {
   Message m;
   m.type = Type::kHello;
   m.text = std::move(header_line);
   m.threads = threads;
+  m.token = std::move(token);
   return m;
 }
 

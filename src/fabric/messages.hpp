@@ -30,6 +30,11 @@ struct Message {
   /// hello: the netcons-trials-v2 header line, verbatim. heartbeat: one
   /// netcons-heartbeat-v1 line, verbatim. error: human-readable reason.
   std::string text;
+  /// hello: the shared secret (--token). Encoded only when non-empty, so
+  /// tokenless deployments speak byte-identical netcons-fabric-v1 frames;
+  /// absent on the wire decodes as empty. The coordinator compares it
+  /// against its own --token before it even parses the header.
+  std::string token;
   int threads = 0;         ///< hello: the worker's thread count (informational).
   int worker = 0;          ///< welcome: coordinator-assigned worker id (>= 1).
   double period_s = 0.0;   ///< welcome: heartbeat cadence the worker must keep.
@@ -48,7 +53,8 @@ struct Message {
   [[nodiscard]] static Message decode(std::string_view payload);
 
   // Factories for the common shapes (fields not listed default to zero).
-  [[nodiscard]] static Message hello(std::string header_line, int threads);
+  [[nodiscard]] static Message hello(std::string header_line, int threads,
+                                     std::string token = {});
   [[nodiscard]] static Message request();
   [[nodiscard]] static Message done(std::uint64_t lease, std::uint64_t executed);
   [[nodiscard]] static Message heartbeat(std::string line);

@@ -87,7 +87,7 @@ WorkerSummary run_worker(const campaign::CampaignSpec& spec, const WorkerOptions
     }
   };
 
-  send(Message::hello(campaign::header_line(header), threads));
+  send(Message::hello(campaign::header_line(header), threads, options.token));
   std::string scratch;
   const Message welcome = read_message(socket.fd(), scratch);
   if (welcome.type == Message::Type::kError) {

@@ -35,6 +35,9 @@ struct WorkerOptions {
   /// Socket I/O timeout: a coordinator silent this long is treated as
   /// dead and the worker exits with an error (0: block forever).
   double io_timeout_seconds = 30.0;
+  /// Shared secret carried in the hello frame; must equal the
+  /// coordinator's --token (empty on both sides disables auth).
+  std::string token;
   bool quiet = false;  ///< Suppress per-lease progress lines on stderr.
 };
 

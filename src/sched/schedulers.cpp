@@ -24,6 +24,11 @@ Encounter RandomPermutationScheduler::next(Rng& rng, int n) {
   return pairs_[cursor_++];
 }
 
+SchedulerWeightModel* RandomPermutationScheduler::weight_model(Rng&, int n) {
+  if (!model_ || n != n_) model_.emplace(n);
+  return &*model_;
+}
+
 StaleBiasedScheduler::StaleBiasedScheduler(double bias) : bias_(bias) {
   if (bias < 0.0 || bias >= 1.0) {
     throw std::invalid_argument("StaleBiasedScheduler: bias must be in [0,1)");
@@ -55,6 +60,11 @@ Encounter StaleBiasedScheduler::next(Rng& rng, int n) {
   }
   last_played_[Graph::pair_index(e.first, e.second)] = clock_;
   return e;
+}
+
+SchedulerWeightModel* StaleBiasedScheduler::weight_model(Rng&, int n) {
+  if (!model_ || n != n_) model_.emplace(n);
+  return &*model_;
 }
 
 }  // namespace netcons

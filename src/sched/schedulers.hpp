@@ -9,11 +9,18 @@
 //   correctness proofs only assume fairness.
 // * StaleBiasedScheduler is a fair-but-skewed stress scheduler that favors
 //   the least recently played pairs, probing sensitivity of measured times.
+// Random-permutation and stale-biased export a UniformPairWeightModel
+// (their single-step marginal law is uniform by symmetry), so the census
+// engine runs them on weighted sampling instead of the naive fallback;
+// temporal correlations are deliberately dropped, and the CI
+// weighted-census KS gate bounds the effect. ScriptedScheduler exports no
+// model -- an exact script must execute step-for-step.
 #pragma once
 
 #include "core/scheduler.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -47,11 +54,14 @@ class RandomPermutationScheduler final : public Scheduler {
  public:
   [[nodiscard]] Encounter next(Rng& rng, int n) override;
   void reset() override { cursor_ = 0; pairs_.clear(); }
+  /// Every pair plays exactly once per round: the marginal is uniform.
+  [[nodiscard]] SchedulerWeightModel* weight_model(Rng& rng, int n) override;
 
  private:
   std::vector<Encounter> pairs_;
   std::size_t cursor_ = 0;
   int n_ = 0;
+  std::optional<UniformPairWeightModel> model_;
 };
 
 class StaleBiasedScheduler final : public Scheduler {
@@ -62,6 +72,9 @@ class StaleBiasedScheduler final : public Scheduler {
 
   [[nodiscard]] Encounter next(Rng& rng, int n) override;
   void reset() override { last_played_.clear(); }
+  /// Under stationarity every pair is equally likely to be stalest, so
+  /// the single-step marginal is uniform for any bias.
+  [[nodiscard]] SchedulerWeightModel* weight_model(Rng& rng, int n) override;
 
  private:
   double bias_;
@@ -69,6 +82,7 @@ class StaleBiasedScheduler final : public Scheduler {
   std::uint64_t clock_ = 0;
   int n_ = 0;
   UniformRandomScheduler uniform_;
+  std::optional<UniformPairWeightModel> model_;
 };
 
 }  // namespace netcons

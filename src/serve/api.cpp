@@ -157,14 +157,26 @@ std::string status_json(const campaign::JobStatus& status) {
   return body;
 }
 
-Api::Api(campaign::Scheduler& scheduler, telemetry::Registry& registry)
-    : scheduler_(scheduler), registry_(registry) {}
+Api::Api(campaign::Scheduler& scheduler, telemetry::Registry& registry, std::string token)
+    : scheduler_(scheduler), registry_(registry), token_(std::move(token)) {}
+
+bool Api::authorized(const HttpRequest& request) const {
+  if (token_.empty()) return true;
+  const auto header = request.headers.find("authorization");
+  return header != request.headers.end() && header->second == "Bearer " + token_;
+}
 
 HttpResponse Api::handle(const HttpRequest& request) {
   registry_.add("serve.requests");
   HttpResponse response;
   try {
-    if (request.path == "/v1/metrics") {
+    if (!authorized(request)) {
+      // Checked before routing, so an unauthenticated caller cannot even
+      // probe which endpoints exist. The reason never echoes the token.
+      response = error_response(401,
+                                "missing or invalid Authorization header "
+                                "(this daemon requires \"Authorization: Bearer <token>\")");
+    } else if (request.path == "/v1/metrics") {
       response = request.method == "GET" ? metrics()
                                          : error_response(405, "use GET on /v1/metrics");
     } else if (request.path == kCampaignsPrefix) {

@@ -25,8 +25,11 @@ namespace netcons::serve {
 class Api {
  public:
   /// Both references are borrowed and must outlive the Api (the daemon
-  /// owns all three with the same lifetime).
-  Api(campaign::Scheduler& scheduler, telemetry::Registry& registry);
+  /// owns all three with the same lifetime). A non-empty `token` requires
+  /// every request to carry "Authorization: Bearer <token>"; anything else
+  /// is answered 401 before routing (empty: no authentication, the
+  /// historical loopback trust model).
+  Api(campaign::Scheduler& scheduler, telemetry::Registry& registry, std::string token = {});
 
   /// Route one request. Thread-safe (called from HTTP worker threads);
   /// never throws — every failure becomes a netcons-serve-v1 error
@@ -39,8 +42,11 @@ class Api {
   [[nodiscard]] HttpResponse artifact(const std::string& id, const std::string& name);
   [[nodiscard]] HttpResponse metrics();
 
+  [[nodiscard]] bool authorized(const HttpRequest& request) const;
+
   campaign::Scheduler& scheduler_;
   telemetry::Registry& registry_;
+  std::string token_;
 };
 
 /// The netcons-serve-v1 error envelope:

@@ -116,6 +116,7 @@ std::string_view status_reason(int status) noexcept {
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";

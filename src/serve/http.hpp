@@ -6,9 +6,11 @@
 // materialized in memory).
 //
 // Deliberately NOT implemented (requests using them get a 4xx/close):
-// chunked transfer encoding on requests, HTTP/1.0 keep-alive, TLS, and
-// authentication. The trust model matches docs/fabric-protocol.md: bind to
-// loopback or a trusted network only — see docs/serving-api.md.
+// chunked transfer encoding on requests, HTTP/1.0 keep-alive, and TLS.
+// Authentication lives one layer up (serve/api.hpp checks the optional
+// bearer token); the transport trust model still matches
+// docs/fabric-protocol.md: bind to loopback or a trusted network only —
+// see docs/serving-api.md.
 #pragma once
 
 #include "fabric/frame.hpp"

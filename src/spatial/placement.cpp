@@ -1,0 +1,95 @@
+#include "spatial/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcons::spatial {
+
+namespace {
+
+/// Standard deviation of the Gaussian offset around a cluster center, in
+/// unit-square coordinates. Small enough that clusters are visibly denser
+/// than the background at the default cutoff radius 0.1.
+constexpr double kClusterSigma = 0.05;
+
+Point gaussian_offset(Rng& rng) {
+  // Box-Muller. 1 - u1 is in (0, 1], so the log argument never hits zero.
+  const double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  const double radius = kClusterSigma * std::sqrt(-2.0 * std::log(1.0 - u1));
+  const double angle = 2.0 * std::acos(-1.0) * u2;
+  return {radius * std::cos(angle), radius * std::sin(angle)};
+}
+
+}  // namespace
+
+std::optional<Layout> layout_by_name(const std::string& name) {
+  if (name == "uniform") return Layout::kUniform;
+  if (name == "clustered") return Layout::kClustered;
+  if (name == "grid") return Layout::kGrid;
+  return std::nullopt;
+}
+
+const char* layout_name(Layout layout) noexcept {
+  switch (layout) {
+    case Layout::kUniform: return "uniform";
+    case Layout::kClustered: return "clustered";
+    case Layout::kGrid: return "grid";
+  }
+  return "uniform";
+}
+
+Placement Placement::make(Layout layout, int n, Rng& rng) {
+  Placement placement;
+  placement.points_.reserve(static_cast<std::size_t>(n));
+  switch (layout) {
+    case Layout::kUniform: {
+      for (int u = 0; u < n; ++u) {
+        const double x = rng.uniform();
+        const double y = rng.uniform();
+        placement.points_.push_back({x, y});
+      }
+      break;
+    }
+    case Layout::kClustered: {
+      const int centers =
+          std::max(1, static_cast<int>(std::lround(std::sqrt(static_cast<double>(n)) / 2.0)));
+      std::vector<Point> cluster;
+      cluster.reserve(static_cast<std::size_t>(centers));
+      for (int c = 0; c < centers; ++c) {
+        const double x = rng.uniform();
+        const double y = rng.uniform();
+        cluster.push_back({x, y});
+      }
+      for (int u = 0; u < n; ++u) {
+        const auto c = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(centers)));
+        const Point offset = gaussian_offset(rng);
+        placement.points_.push_back({std::clamp(cluster[c].x + offset.x, 0.0, 1.0),
+                                     std::clamp(cluster[c].y + offset.y, 0.0, 1.0)});
+      }
+      break;
+    }
+    case Layout::kGrid: {
+      const int side =
+          std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+      for (int u = 0; u < n; ++u) {
+        const int col = u % side;
+        const int row = u / side;
+        placement.points_.push_back({(static_cast<double>(col) + 0.5) / side,
+                                     (static_cast<double>(row) + 0.5) / side});
+      }
+      break;
+    }
+  }
+  return placement;
+}
+
+double Placement::distance(int u, int v) const noexcept {
+  const Point& a = points_[static_cast<std::size_t>(u)];
+  const Point& b = points_[static_cast<std::size_t>(v)];
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace netcons::spatial

@@ -1,0 +1,62 @@
+// The spatial workload layer: a 2D embedding of the population into the
+// unit square. The paper's model has no geometry -- the uniform scheduler
+// picks any pair -- but real deployments (DTN broadcast, sensor fields)
+// interact by proximity, and the ProximityScheduler (src/sched/) weights
+// pair selection by the distances this layer assigns.
+//
+// A Placement is built once per trial from the trial's own RNG stream, so
+// it is a pure function of the trial seed: the same trial gets the same
+// embedding no matter which engine runs it, which thread runs it, or how
+// the campaign was sharded. The grid layout consumes no randomness at all;
+// uniform and clustered consume a fixed number of draws per node.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcons::spatial {
+
+/// How the n nodes are embedded into [0, 1]^2.
+enum class Layout {
+  kUniform,    ///< i.i.d. uniform positions.
+  kClustered,  ///< ~sqrt(n)/2 uniform cluster centers + Gaussian offsets.
+  kGrid        ///< Deterministic ceil(sqrt(n))-side lattice of cell centers.
+};
+
+/// Registry names, also the `layout=` values of the proximity scheduler
+/// spec grammar (campaign/registry.cpp).
+[[nodiscard]] std::optional<Layout> layout_by_name(const std::string& name);
+[[nodiscard]] const char* layout_name(Layout layout) noexcept;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Embed n nodes under `layout`, consuming position draws from `rng`.
+  /// The draw count is a function of (layout, n) only, so callers that
+  /// build the placement at different times (naive scheduler vs census
+  /// weight model) leave the stream in the same state.
+  [[nodiscard]] static Placement make(Layout layout, int n, Rng& rng);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(points_.size()); }
+
+  [[nodiscard]] const Point& position(int u) const noexcept {
+    return points_[static_cast<std::size_t>(u)];
+  }
+
+  /// Euclidean distance between nodes u and v.
+  [[nodiscard]] double distance(int u, int v) const noexcept;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace netcons::spatial

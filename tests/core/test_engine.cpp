@@ -6,6 +6,7 @@
 
 #include "analysis/distribution.hpp"
 #include "campaign/registry.hpp"
+#include "graph/graph.hpp"
 #include "sched/schedulers.hpp"
 
 #include <gtest/gtest.h>
@@ -210,14 +211,35 @@ TEST(CensusEngine, RunUntilMatchesPredicateSemantics) {
 
 // --- fallbacks -------------------------------------------------------------
 
-TEST(CensusEngine, CustomSchedulerFallsBackToExactNaiveSemantics) {
-  // With a custom scheduler the census engine must execute the reference
+namespace {
+
+/// A scheduler with no weight model: plays pairs in a fixed rotation, so
+/// its law is history-dependent and inexpressible as static weights.
+class RotatingScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Encounter next(Rng&, int n) override {
+    const std::uint64_t pairs = Graph::pair_count(n);
+    const std::uint64_t i = cursor_++ % pairs;
+    int v = 1;
+    while (Graph::pair_count(v + 1) <= i) ++v;
+    return {static_cast<int>(i - Graph::pair_count(v)), v};
+  }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace
+
+TEST(CensusEngine, ModellessSchedulerFallsBackToExactNaiveSemantics) {
+  // A custom scheduler that exports no weight model forces the reference
   // per-step path -- bit-identical to a Simulator built with the same seed
   // and scheduler, not merely equal in distribution.
   const Protocol star = star_protocol();
-  CensusEngine census(star, 12, 77, std::make_unique<RandomPermutationScheduler>());
+  CensusEngine census(star, 12, 77, std::make_unique<RotatingScheduler>());
   EXPECT_TRUE(census.fallback_active());
-  Simulator naive(star, 12, 77, std::make_unique<RandomPermutationScheduler>());
+  Simulator naive(star, 12, 77, std::make_unique<RotatingScheduler>());
   census.run(500);
   naive.run(500);
   EXPECT_EQ(census.steps(), naive.steps());

@@ -1,0 +1,115 @@
+// Placement geometry and determinism: the spatial layer's contract is
+// that an embedding is a pure function of (layout, n, seed), that the
+// draw count depends only on (layout, n) -- so the naive scheduler and
+// the census weight model can build it at different times and leave the
+// trial's stream in the same state -- and that the grid layout consumes
+// no randomness at all.
+#include "spatial/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netcons {
+namespace {
+
+using spatial::Layout;
+using spatial::Placement;
+
+constexpr Layout kAllLayouts[] = {Layout::kUniform, Layout::kClustered, Layout::kGrid};
+
+TEST(Placement, LayoutNamesRoundTrip) {
+  for (const Layout layout : kAllLayouts) {
+    const auto back = spatial::layout_by_name(spatial::layout_name(layout));
+    ASSERT_TRUE(back.has_value()) << spatial::layout_name(layout);
+    EXPECT_EQ(*back, layout);
+  }
+  EXPECT_FALSE(spatial::layout_by_name("ring").has_value());
+  EXPECT_FALSE(spatial::layout_by_name("").has_value());
+}
+
+TEST(Placement, AllLayoutsEmbedInTheUnitSquare) {
+  // Clustered offsets are clamped, so every layout stays in [0, 1]^2 for
+  // any n -- the proximity cell bucketing indexes by position and would
+  // read out of bounds otherwise.
+  for (const Layout layout : kAllLayouts) {
+    for (const int n : {1, 2, 7, 64, 1000}) {
+      Rng rng(42);
+      const Placement placement = Placement::make(layout, n, rng);
+      ASSERT_EQ(placement.size(), n);
+      for (int u = 0; u < n; ++u) {
+        const spatial::Point& p = placement.position(u);
+        EXPECT_GE(p.x, 0.0) << spatial::layout_name(layout) << " node " << u;
+        EXPECT_LE(p.x, 1.0) << spatial::layout_name(layout) << " node " << u;
+        EXPECT_GE(p.y, 0.0) << spatial::layout_name(layout) << " node " << u;
+        EXPECT_LE(p.y, 1.0) << spatial::layout_name(layout) << " node " << u;
+      }
+    }
+  }
+}
+
+TEST(Placement, SameSeedSameEmbeddingAndStreamState) {
+  for (const Layout layout : kAllLayouts) {
+    Rng a(7);
+    Rng b(7);
+    const Placement first = Placement::make(layout, 65, a);
+    const Placement second = Placement::make(layout, 65, b);
+    for (int u = 0; u < 65; ++u) {
+      EXPECT_EQ(first.position(u).x, second.position(u).x);
+      EXPECT_EQ(first.position(u).y, second.position(u).y);
+    }
+    // Both streams consumed the same number of draws: the next value
+    // agrees. This is the cross-engine stream-state invariant.
+    EXPECT_EQ(a(), b()) << spatial::layout_name(layout);
+  }
+}
+
+TEST(Placement, DifferentSeedsGiveDifferentEmbeddings) {
+  for (const Layout layout : {Layout::kUniform, Layout::kClustered}) {
+    Rng a(1);
+    Rng b(2);
+    const Placement first = Placement::make(layout, 32, a);
+    const Placement second = Placement::make(layout, 32, b);
+    bool any_difference = false;
+    for (int u = 0; u < 32 && !any_difference; ++u) {
+      any_difference = first.position(u).x != second.position(u).x ||
+                       first.position(u).y != second.position(u).y;
+    }
+    EXPECT_TRUE(any_difference) << spatial::layout_name(layout);
+  }
+}
+
+TEST(Placement, GridConsumesNoRandomness) {
+  Rng used(5);
+  Rng untouched(5);
+  const Placement placement = Placement::make(Layout::kGrid, 50, used);
+  ASSERT_EQ(placement.size(), 50);
+  EXPECT_EQ(used(), untouched());
+}
+
+TEST(Placement, GridIsTheLatticeOfCellCenters) {
+  // side = ceil(sqrt(9)) = 3, row-major cell centers.
+  Rng rng(0);
+  const Placement placement = Placement::make(Layout::kGrid, 9, rng);
+  for (int u = 0; u < 9; ++u) {
+    EXPECT_DOUBLE_EQ(placement.position(u).x, (u % 3 + 0.5) / 3.0) << u;
+    EXPECT_DOUBLE_EQ(placement.position(u).y, (u / 3 + 0.5) / 3.0) << u;
+  }
+}
+
+TEST(Placement, DistanceIsEuclideanAndSymmetric) {
+  Rng rng(11);
+  const Placement placement = Placement::make(Layout::kUniform, 16, rng);
+  for (int u = 0; u < 16; ++u) {
+    EXPECT_EQ(placement.distance(u, u), 0.0);
+    for (int v = u + 1; v < 16; ++v) {
+      const double dx = placement.position(u).x - placement.position(v).x;
+      const double dy = placement.position(u).y - placement.position(v).y;
+      EXPECT_NEAR(placement.distance(u, v), std::sqrt(dx * dx + dy * dy), 1e-12);
+      EXPECT_EQ(placement.distance(u, v), placement.distance(v, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netcons

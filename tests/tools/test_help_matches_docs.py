@@ -99,6 +99,8 @@ def main():
     commands = {pathlib.Path(path).name: [path] for path in binaries}
     commands["orchestrate_shards.py"] = [
         sys.executable, str(root / "tools" / "orchestrate_shards.py")]
+    commands["plot_report.py"] = [
+        sys.executable, str(root / "tools" / "plot_report.py")]
 
     failures = []
     for tool, command in sorted(commands.items()):

@@ -36,6 +36,7 @@ struct Options {
   double max_idle = 60.0;
   std::optional<std::string> resume_dir;
   std::optional<std::string> telemetry_dir;
+  std::string token;
   bool quiet = false;
 };
 
@@ -56,6 +57,8 @@ void print_help(const char* argv0) {
          "                          remains for this long (default 60; 0: wait forever)\n"
          "  --resume DIR            precommit trials already recorded in DIR\n"
          "  --telemetry DIR         write a fabric metrics.json snapshot into DIR\n"
+         "  --token SECRET          refuse workers whose hello does not carry this\n"
+         "                          shared secret (default: no authentication)\n"
          "  --list                  print registered protocols/processes/schedulers/engines\n"
          "  --quiet                 suppress worker lifecycle lines on stderr\n"
          "  --help                  this message\n"
@@ -65,7 +68,8 @@ void print_help(const char* argv0) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [spec flags] [--port P] [--lease N] [--deadline SECONDS]\n"
-               "       [--max-idle SECONDS] [--resume DIR] [--telemetry DIR] [--quiet]\n"
+               "       [--max-idle SECONDS] [--resume DIR] [--telemetry DIR]\n"
+               "       [--token SECRET] [--quiet]\n"
                "(--help for flag descriptions)\n";
   return 2;
 }
@@ -86,11 +90,12 @@ std::optional<Options> parse(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--quiet") {
       opt.quiet = true;
-    } else if (arg == "--resume" || arg == "--telemetry") {
+    } else if (arg == "--resume" || arg == "--telemetry" || arg == "--token") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--resume") opt.resume_dir = v;
       if (arg == "--telemetry") opt.telemetry_dir = v;
+      if (arg == "--token") opt.token = v;
     } else if (arg == "--port" || arg == "--lease") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
   coordinator_options.lease_size = opt.lease;
   coordinator_options.deadline_seconds = opt.deadline;
   coordinator_options.max_idle_seconds = opt.max_idle;
+  coordinator_options.token = opt.token;
   coordinator_options.quiet = opt.quiet;
   coordinator_options.registry = registry ? &*registry : nullptr;
 

@@ -7,6 +7,7 @@
 //   netcons_report records/ --metrics convergence_steps,recovery_steps
 //   netcons_report --compare fault-free/ faulted/ --json compare.json
 //   netcons_report --compare naive/ census/ --max-ks 0.2   # equivalence gate
+//   netcons_report --trend records/ --csv trend.csv        # percentiles over n
 //
 // Inputs are trial-record .jsonl files and/or directories of them (see
 // netcons_merge); all must carry the same campaign fingerprint. Records
@@ -53,6 +54,7 @@ struct Options {
   int bins = 0;                           // <= 0: Freedman–Diaconis.
   double max_ks = -1.0;                   // < 0: report only, never gate.
   bool compare = false;
+  bool trend = false;
   bool allow_partial = false;
   bool quiet = false;
 };
@@ -60,9 +62,11 @@ struct Options {
 void print_help(const char* argv0) {
   std::cout << "usage: " << argv0 << " RECORDS... [flags]\n"
             << "       " << argv0 << " --compare A B [--max-ks D] [flags]\n"
+            << "       " << argv0 << " --trend RECORDS... [flags]\n"
             << "\nCompute per-trial distribution statistics (histograms, ECDFs, tail\n"
-               "quantiles) exactly from trial-record streams, or compare two record\n"
-               "sets with the two-sample Kolmogorov-Smirnov distance.\n"
+               "quantiles) exactly from trial-record streams, compare two record\n"
+               "sets with the two-sample Kolmogorov-Smirnov distance, or trace\n"
+               "percentiles over the population-size axis (--trend).\n"
                "RECORDS are .jsonl files and/or directories of them; every input must\n"
                "carry the same campaign fingerprint.\n"
             << "\nflags:\n"
@@ -78,6 +82,10 @@ void print_help(const char* argv0) {
                "  --compare               compare exactly two record sets point-by-point\n"
                "  --max-ks D              with --compare: exit 1 if any KS distance\n"
                "                          exceeds D (an equivalence gate)\n"
+               "  --trend                 percentile-over-n trend view: one row per n for\n"
+               "                          each (unit, scheduler, faults, engine, metric)\n"
+               "                          series; --json/--csv emit netcons-trend-v1 and\n"
+               "                          trend rows instead of the report forms\n"
                "  --allow-partial         report incomplete record streams instead of\n"
                "                          failing on missing trials\n"
                "  --quiet                 suppress tables and progress lines\n"
@@ -91,6 +99,9 @@ int usage(const char* argv0) {
                "       "
             << argv0
             << " --compare A B [--max-ks D] [--json FILE] [--quiet]\n"
+               "       "
+            << argv0
+            << " --trend RECORDS... [--json FILE] [--csv FILE] [--quiet]\n"
                "       RECORDS: trial-record .jsonl files and/or directories of them\n"
                "       metrics: convergence_steps, steps_executed, recovery_steps, "
                "edges_residual\n"
@@ -112,6 +123,8 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.allow_partial = true;
     } else if (arg == "--compare") {
       opt.compare = true;
+    } else if (arg == "--trend") {
+      opt.trend = true;
     } else if (arg == "--max-ks") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -175,6 +188,10 @@ std::optional<Options> parse(int argc, char** argv) {
     }
   }
   if (opt.inputs.empty()) return std::nullopt;
+  if (opt.compare && opt.trend) {
+    std::cerr << "--compare and --trend are distinct modes; pick one\n";
+    return std::nullopt;
+  }
   if (opt.compare) {
     if (opt.inputs.size() != 2) {
       std::cerr << "--compare expects exactly two record sets\n";
@@ -192,6 +209,12 @@ std::optional<Options> parse(int argc, char** argv) {
                    "--csv, --ecdf-csv and --bins do not apply\n";
       return std::nullopt;
     }
+  }
+  if (opt.trend && (opt.ecdf_csv_path || opt.bins != 0)) {
+    // Same refusal discipline: trend rows carry no histograms or ECDFs.
+    std::cerr << "--trend emits percentile rows only (--json/--csv/--metrics); "
+                 "--ecdf-csv and --bins do not apply\n";
+    return std::nullopt;
   }
   if (opt.metrics.empty()) {
     opt.metrics.assign(analysis::all_metrics().begin(), analysis::all_metrics().end());
@@ -269,6 +292,47 @@ int run_report(const Options& opt) {
   }
   if (opt.ecdf_csv_path) {
     ok = write_file(*opt.ecdf_csv_path, analysis::ecdf_csv(header, dists, spec), opt.quiet) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
+int run_trend(const Options& opt) {
+  analysis::RecordDistributionBuilder builder = analysis::load_distributions(opt.inputs);
+  if (builder.missing() > 0 && !opt.allow_partial) {
+    std::cerr << "incomplete record stream (" << builder.missing() << " of "
+              << builder.filled() + builder.missing()
+              << " trials missing); complete it or pass --allow-partial\n";
+    return 1;
+  }
+  const std::vector<analysis::PointDistributions> dists = builder.build();
+  const campaign::CampaignHeader& header = builder.header();
+  const analysis::ReportSpec spec = report_spec(opt);
+
+  if (!opt.quiet) {
+    std::cout << "trend over " << builder.filled() << " trials ("
+              << builder.duplicates() << " superseded duplicates, " << builder.missing()
+              << " missing)\n";
+    TextTable table({"unit", "scheduler", "faults", "engine", "metric", "n", "count", "mean",
+                     "p50", "p90", "p99", "max"});
+    for (const analysis::TrendRow& row : analysis::trend_rows(header, spec)) {
+      const campaign::GridPoint& point = header.points[row.point];
+      const analysis::ValueDistribution& dist = dists[row.point].metric(row.metric);
+      table.add_row({point.unit, point.scheduler, point.faults, point.engine,
+                     std::string(analysis::metric_name(row.metric)),
+                     TextTable::integer(static_cast<std::uint64_t>(point.n)),
+                     TextTable::integer(dist.count()), TextTable::num(dist.mean()),
+                     TextTable::num(dist.quantile(0.50)), TextTable::num(dist.quantile(0.90)),
+                     TextTable::num(dist.quantile(0.99)), TextTable::integer(dist.max())});
+    }
+    std::cout << table;
+  }
+
+  bool ok = true;
+  if (opt.json_path) {
+    ok = write_file(*opt.json_path, analysis::trend_json(header, dists, spec), opt.quiet) && ok;
+  }
+  if (opt.csv_path) {
+    ok = write_file(*opt.csv_path, analysis::trend_csv(header, dists, spec), opt.quiet) && ok;
   }
   return ok ? 0 : 1;
 }
@@ -391,7 +455,9 @@ int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed) return usage(argv[0]);
   try {
-    return parsed->compare ? run_compare(*parsed) : run_report(*parsed);
+    if (parsed->compare) return run_compare(*parsed);
+    if (parsed->trend) return run_trend(*parsed);
+    return run_report(*parsed);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;

@@ -18,8 +18,11 @@
 // With "dispatch": "fabric" a job runs as an embedded coordinator handing
 // leases to external netcons_worker processes (see docs/serving-api.md).
 //
-// Trust model: plain HTTP, no auth — bind to loopback or a trusted
-// network only, exactly like the fabric port (docs/fabric-protocol.md).
+// Trust model: plain HTTP; bind to loopback or a trusted network only,
+// exactly like the fabric port (docs/fabric-protocol.md). --token SECRET
+// additionally requires "Authorization: Bearer SECRET" on every request
+// (401 otherwise) — a shared secret, not a substitute for network trust:
+// the token and all traffic still travel in cleartext.
 #include "campaign/scheduler.hpp"
 #include "campaign/spec_cli.hpp"
 #include "serve/api.hpp"
@@ -47,6 +50,7 @@ struct Options {
   int http_threads = 4;  // HTTP connection workers
   std::size_t cache_max = 0;
   double max_idle = 600.0;  // fabric dispatch idle give-up
+  std::string token;
   bool quiet = false;
 };
 
@@ -71,6 +75,9 @@ void print_help(const char* argv0) {
          "                          least-recently-hit (default 0: unbounded)\n"
          "  --max-idle SECONDS      fabric dispatch: give up on a job with no\n"
          "                          connected workers for this long (default 600)\n"
+         "  --token SECRET          require \"Authorization: Bearer SECRET\" on every\n"
+         "                          request; anything else is answered 401\n"
+         "                          (default: no authentication)\n"
          "  --quiet                 suppress informational lines on stderr\n"
          "  --help                  this message\n"
          "\nRunbook: docs/OPERATIONS.md. Emitted schemas: docs/FILE_FORMATS.md.\n";
@@ -79,7 +86,8 @@ void print_help(const char* argv0) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --cache DIR [--host H] [--port P] [--threads K] [--jobs N]\n"
-               "       [--http-threads N] [--cache-max N] [--max-idle SECONDS] [--quiet]\n"
+               "       [--http-threads N] [--cache-max N] [--max-idle SECONDS]\n"
+               "       [--token SECRET] [--quiet]\n"
                "(--help for flag descriptions)\n";
   return 2;
 }
@@ -94,11 +102,12 @@ std::optional<Options> parse(int argc, char** argv) {
       std::exit(0);
     } else if (arg == "--quiet") {
       opt.quiet = true;
-    } else if (arg == "--cache" || arg == "--host") {
+    } else if (arg == "--cache" || arg == "--host" || arg == "--token") {
       const char* v = next();
       if (!v) return std::nullopt;
       if (arg == "--cache") opt.cache_dir = v;
       if (arg == "--host") opt.host = v;
+      if (arg == "--token") opt.token = v;
     } else if (arg == "--port" || arg == "--threads" || arg == "--jobs" ||
                arg == "--http-threads" || arg == "--cache-max") {
       const char* v = next();
@@ -159,7 +168,7 @@ int main(int argc, char** argv) {
 
   try {
     campaign::Scheduler scheduler(scheduler_options);
-    serve::Api api(scheduler, registry);
+    serve::Api api(scheduler, registry, opt.token);
 
     serve::HttpServer::Options server_options;
     server_options.host = opt.host;

@@ -30,6 +30,7 @@ struct Options {
   std::string records_dir;
   int threads = 0;
   double io_timeout = 30.0;
+  std::string token;
   bool quiet = false;
 };
 
@@ -47,6 +48,8 @@ void print_help(const char* argv0) {
          "  --threads K             worker threads (default: all cores)\n"
          "  --io-timeout SECONDS    treat a silent coordinator as dead after this\n"
          "                          (default 30; 0: block forever)\n"
+         "  --token SECRET          shared secret for the hello handshake; must match\n"
+         "                          the coordinator's --token (default: none)\n"
          "  --list                  print registered protocols/processes/schedulers/engines\n"
          "  --quiet                 suppress per-lease progress lines on stderr\n"
          "  --help                  this message\n"
@@ -56,7 +59,7 @@ void print_help(const char* argv0) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [spec flags] --connect HOST:PORT --records DIR\n"
-               "       [--threads K] [--io-timeout SECONDS] [--quiet]\n"
+               "       [--threads K] [--io-timeout SECONDS] [--token SECRET] [--quiet]\n"
                "(--help for flag descriptions)\n";
   return 2;
 }
@@ -94,6 +97,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.records_dir = v;
+    } else if (arg == "--token") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.token = v;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -142,6 +149,7 @@ int main(int argc, char** argv) {
   worker_options.records_dir = opt.records_dir;
   worker_options.threads = opt.threads;
   worker_options.io_timeout_seconds = opt.io_timeout;
+  worker_options.token = opt.token;
   worker_options.quiet = opt.quiet;
 
   try {

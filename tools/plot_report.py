@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Paper-style figures from netcons_report outputs.
+
+Two figure families, both read straight from the CSV companions the report
+tool writes (never from record files -- the exact statistics pipeline stays
+in C++):
+
+  * --trend trend.csv: convergence-steps-vs-n curves (log-log), one line
+    per (unit, scheduler, faults, engine) series per metric -- the paper's
+    "expected running time against the population size" view. The p50 line
+    is drawn solid with a shaded p50..p90 tail band.
+  * --ecdf ecdf.csv: ECDF overlays, one figure per metric with a step
+    curve per (series, n) -- the distribution-shape view behind the tail
+    quantiles.
+
+Inputs come from:
+
+    netcons_report --trend records/ --csv trend.csv
+    netcons_report records/ --ecdf-csv ecdf.csv
+
+One figure file per metric lands in --out (default figures/), named
+trend_<metric>.<fmt> / ecdf_<metric>.<fmt>; filenames and draw order are
+sorted, so reruns produce the same files.
+
+Matplotlib is optional: when it is not importable the script prints a
+notice and exits 0, so CI can invoke it unconditionally and bare runners
+skip gracefully instead of failing the job.
+
+Usage: plot_report.py [--trend FILE] [--ecdf FILE] [--out DIR]
+           [--metrics m1,m2,...] [--format png|svg|pdf]
+
+Exit status: 0 on success or matplotlib-missing skip, 1 on unreadable or
+malformed inputs, 2 on usage errors.
+Stdlib only (plus optional matplotlib).
+"""
+
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def load_rows(path, required):
+    """CSV rows as dicts; fails loudly when the header lacks a column."""
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            reader = csv.DictReader(f)
+            header = set(reader.fieldnames or [])
+            missing = sorted(set(required) - header)
+            if missing:
+                raise ValueError(
+                    f"{path}: missing column(s) {', '.join(missing)} -- is this "
+                    "the right netcons_report CSV?")
+            return list(reader)
+    except OSError as error:
+        raise ValueError(f"cannot read {path}: {error}") from error
+
+
+def series_label(row):
+    """Legend label for a grid series; quiet defaults are elided."""
+    parts = [row["unit"], row["scheduler"], row["engine"]]
+    if row["faults"] != "none":
+        parts.append(row["faults"])
+    return "/".join(parts)
+
+
+def group(rows, key):
+    grouped = {}
+    for row in rows:
+        grouped.setdefault(key(row), []).append(row)
+    return grouped
+
+
+def wanted_metrics(rows, only):
+    metrics = sorted({row["metric"] for row in rows})
+    if only:
+        metrics = [m for m in metrics if m in only]
+    return metrics
+
+
+def plot_trend(plt, rows, metrics, out_dir, fmt):
+    written = []
+    for metric in metrics:
+        metric_rows = [r for r in rows if r["metric"] == metric]
+        series = group(metric_rows, series_label)
+        if not series:
+            continue
+        fig, ax = plt.subplots(figsize=(6.4, 4.8))
+        for label in sorted(series):
+            points = sorted(series[label], key=lambda r: int(r["n"]))
+            ns = [int(r["n"]) for r in points]
+            p50 = [float(r["p50"]) for r in points]
+            p90 = [float(r["p90"]) for r in points]
+            (line,) = ax.plot(ns, p50, marker="o", label=label)
+            ax.fill_between(ns, p50, p90, alpha=0.15, color=line.get_color())
+        ax.set_xscale("log", base=2)
+        ax.set_yscale("log")
+        ax.set_xlabel("population size n")
+        ax.set_ylabel(f"{metric} (p50, band to p90)")
+        ax.set_title(f"{metric} vs n")
+        ax.grid(True, which="both", alpha=0.3)
+        ax.legend(fontsize="small")
+        path = out_dir / f"trend_{metric}.{fmt}"
+        fig.savefig(path, bbox_inches="tight")
+        plt.close(fig)
+        written.append(path)
+    return written
+
+
+def plot_ecdf(plt, rows, metrics, out_dir, fmt):
+    written = []
+    for metric in metrics:
+        metric_rows = [r for r in rows if r["metric"] == metric]
+        curves = group(metric_rows,
+                       lambda r: f"{series_label(r)} n={int(r['n'])}")
+        if not curves:
+            continue
+        fig, ax = plt.subplots(figsize=(6.4, 4.8))
+        for label in sorted(curves):
+            points = sorted(curves[label], key=lambda r: int(r["value"]))
+            values = [int(r["value"]) for r in points]
+            fractions = [float(r["fraction"]) for r in points]
+            ax.step(values, fractions, where="post", label=label)
+        ax.set_xlabel(metric)
+        ax.set_ylabel("fraction of trials")
+        ax.set_ylim(0.0, 1.0)
+        ax.set_title(f"ECDF of {metric}")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize="small")
+        path = out_dir / f"ecdf_{metric}.{fmt}"
+        fig.savefig(path, bbox_inches="tight")
+        plt.close(fig)
+        written.append(path)
+    return written
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Paper-style figures from netcons_report CSVs "
+                    "(see the module docstring for the full contract).")
+    parser.add_argument("--trend", metavar="FILE",
+                        help="trend CSV from netcons_report (trend mode, CSV output)")
+    parser.add_argument("--ecdf", metavar="FILE",
+                        help="ECDF CSV from netcons_report (ECDF CSV export)")
+    parser.add_argument("--out", metavar="DIR", default="figures",
+                        help="output directory (default figures/)")
+    parser.add_argument("--metrics", metavar="m1,m2,...",
+                        help="restrict to these metrics (default: all present)")
+    parser.add_argument("--format", default="png", choices=("png", "svg", "pdf"),
+                        help="figure file format (default png)")
+    args = parser.parse_args()
+    if not args.trend and not args.ecdf:
+        parser.error("nothing to plot: pass --trend and/or --ecdf")
+
+    try:
+        import matplotlib
+    except ImportError:
+        print("plot_report: matplotlib is not installed; skipping figure "
+              "generation (install matplotlib to produce figures)")
+        return 0
+    matplotlib.use("Agg")  # offscreen: no display needed on CI runners
+    import matplotlib.pyplot as plt
+
+    only = set(args.metrics.split(",")) if args.metrics else None
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    written = []
+    try:
+        if args.trend:
+            rows = load_rows(args.trend, ("unit", "scheduler", "faults",
+                                          "engine", "metric", "n", "p50", "p90"))
+            written += plot_trend(plt, rows, wanted_metrics(rows, only),
+                                  out_dir, args.format)
+        if args.ecdf:
+            rows = load_rows(args.ecdf, ("unit", "scheduler", "faults",
+                                         "engine", "metric", "n", "value",
+                                         "fraction"))
+            written += plot_ecdf(plt, rows, wanted_metrics(rows, only),
+                                 out_dir, args.format)
+    except (ValueError, KeyError) as error:
+        print(f"plot_report: {error}", file=sys.stderr)
+        return 1
+
+    if not written:
+        print("plot_report: inputs held no rows for the requested metrics",
+              file=sys.stderr)
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
